@@ -1,0 +1,46 @@
+"""Figure 4 — robustness of expressions matching multiple nodes."""
+
+from conftest import scale
+
+from repro.experiments.reporting import banner, format_series, format_table
+from repro.experiments.robustness_study import run_study
+from repro.sites import multi_node_tasks
+
+
+def test_fig4_multi_node_robustness(benchmark, emit):
+    tasks = multi_node_tasks(limit=scale(14, None))
+
+    study = benchmark.pedantic(
+        lambda: run_study(tasks, n_snapshots=110), rounds=1, iterations=1
+    )
+
+    lines = [banner("Figure 4: robustness, multi-node wrappers")]
+    rows = []
+    for kind in ("generated", "manual", "canonical"):
+        summary = study.summary(kind)
+        rows.append(
+            [
+                kind,
+                summary["n"],
+                f"{summary['median_days']:.0f}",
+                f"{summary['mean_days']:.0f}",
+                summary["under_100"],
+                summary["over_400"],
+                summary["full_period"],
+            ]
+        )
+    lines.append(
+        format_table(
+            ["wrapper", "n", "median_d", "mean_d", "<100d", ">400d", "full"], rows
+        )
+    )
+    for kind in ("generated", "manual", "canonical"):
+        centers, density = study.density(kind)
+        lines.append(format_series(f"density {kind} (days, density)", centers, density))
+    lines.append(f"break groups: {dict(sorted(study.group_counts().items()))}")
+    emit("fig4_robustness_multi", "\n".join(lines))
+
+    # Paper shape: canonical wrappers break quickly on lists.
+    assert study.summary("canonical")["median_days"] <= study.summary("generated")[
+        "median_days"
+    ]

@@ -1,0 +1,68 @@
+"""Figure 7 — result degradation with increasing annotation noise.
+
+Four curves (N1 negative random, N2 negative mid-random, N3 positive
+structural, N4 positive random) of the identical-top-1 rate at noise
+intensities 10–70 %, plus the paper's 300 % spot check for N4.
+Expected ordering: N4 ≳ N3 > N2 > N1.
+"""
+
+from conftest import scale
+
+from repro.experiments.noise_study import build_noise_samples, noise_resistance_curve
+from repro.experiments.reporting import banner, format_table
+from repro.sites import multi_node_tasks
+
+INTENSITIES = [0.1, 0.3, 0.5, 0.7]
+
+CURVES = [
+    ("negative_random", "N1 negative random"),
+    ("negative_mid_random", "N2 negative mid-random"),
+    ("positive_structural", "N3 positive structural"),
+    ("positive_random", "N4 positive random"),
+]
+
+
+def test_fig7_noise_resistance(benchmark, emit):
+    samples = build_noise_samples(
+        tasks=multi_node_tasks(), limit=scale(8, 50), min_targets=3
+    )
+
+    def run_all():
+        results = {}
+        for kind, _ in CURVES:
+            results[kind] = noise_resistance_curve(samples, kind, INTENSITIES)
+        results["positive_random_300"] = noise_resistance_curve(
+            samples, "positive_random", [3.0]
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [banner(f"Figure 7: noise resistance ({len(samples)} samples)")]
+    rows = []
+    for kind, label in CURVES:
+        for point in results[kind]:
+            rows.append(
+                [
+                    label,
+                    f"{point.intensity:.0%}",
+                    f"{point.identical_rate:.0%}",
+                    f"{point.top50_rate:.0%}",
+                ]
+            )
+    spot = results["positive_random_300"][0]
+    rows.append(
+        ["N4 positive random", "300%", f"{spot.identical_rate:.0%}", f"{spot.top50_rate:.0%}"]
+    )
+    lines.append(
+        format_table(["noise type", "intensity", "identical top-1", "within top-50"], rows)
+    )
+    emit("fig7_noise_resistance", "\n".join(lines))
+
+    # Paper shape: positive noise is handled far better than negative.
+    def avg(kind):
+        points = results[kind]
+        return sum(p.identical_rate for p in points) / len(points)
+
+    assert avg("positive_random") >= avg("negative_random")
+    assert avg("negative_mid_random") >= avg("negative_random")

@@ -1,0 +1,32 @@
+"""Sec. 6 (intro) — induction running time.
+
+The paper: single-node induction ranges from milliseconds to seconds
+with a median of 1.4 s.  Absolute numbers depend on hardware and page
+size; the assertion checks only the order of magnitude.
+"""
+
+from conftest import scale
+
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.runtime import measure_induction_runtime
+
+
+def test_runtime_single_node_induction(benchmark, emit):
+    stats = benchmark.pedantic(
+        lambda: measure_induction_runtime(limit=scale(12, 56)), rounds=1, iterations=1
+    )
+
+    rows = [
+        ["n tasks", stats.n],
+        ["median", f"{stats.median_s * 1000:.0f} ms"],
+        ["mean", f"{stats.mean_s * 1000:.0f} ms"],
+        ["min", f"{stats.min_s * 1000:.0f} ms"],
+        ["max", f"{stats.max_s * 1000:.0f} ms"],
+    ]
+    report = [
+        banner("Induction running time (single-node tasks)"),
+        format_table(["metric", "value"], rows),
+    ]
+    emit("runtime_induction", "\n".join(report))
+
+    assert stats.median_s < 5.0  # paper: median 1.4 s

@@ -1,0 +1,47 @@
+"""Sec. 6.2 — change-rate (c-change) statistics.
+
+The paper reports an average of 4.1 c-changes absorbed per surviving
+wrapper for both datasets, a maximum of 25 (single) / 19 (multi), and
+counts of wrappers surviving >5 c-changes.
+"""
+
+from conftest import scale
+
+from repro.experiments.change_rate import ChangeRateStats
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.robustness_study import run_study
+from repro.sites import multi_node_tasks, single_node_tasks
+
+
+def test_sec62_change_rate(benchmark, emit):
+    def run():
+        single = run_study(single_node_tasks(limit=scale(16, None)), n_snapshots=110)
+        multi = run_study(multi_node_tasks(limit=scale(10, None)), n_snapshots=110)
+        return (
+            ChangeRateStats.from_study(single),
+            ChangeRateStats.from_study(multi),
+        )
+
+    single_stats, multi_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, stats in (("single-target", single_stats), ("multi-target", multi_stats)):
+        rows.append(
+            [
+                label,
+                stats.n,
+                f"{stats.average:.1f}",
+                stats.maximum,
+                stats.surviving_more_than_5,
+                stats.surviving_exactly_1,
+            ]
+        )
+    report = [
+        banner("Sec 6.2: c-changes absorbed by generated wrappers"),
+        format_table(["dataset", "n", "avg", "max", ">5 c-changes", "==1 c-change"], rows),
+    ]
+    emit("sec62_change_rate", "\n".join(report))
+
+    # Paper shape: a handful of c-changes on average, max in the tens.
+    assert 0.5 <= single_stats.average <= 12
+    assert single_stats.maximum <= 40

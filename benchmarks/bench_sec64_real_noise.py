@@ -1,0 +1,46 @@
+"""Sec. 6.4 — real-life noise from a (simulated) entity recognizer.
+
+Ten product-listing pages, entity lists of 8–77 items; the NER produces
+on average ≈32 % negative and ≈28 % positive noise.  The paper's system
+recovers the exact intended entity list from the noisy annotations in
+80 % of the cases (8/10), failing on a page with extreme positive noise
+and on one where a same-type sidebar list attracts the wrapper.
+"""
+
+from repro.experiments.noise_study import run_ner_study
+from repro.experiments.reporting import banner, format_table
+
+
+def test_sec64_real_life_noise(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_ner_study(n_pages=10), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            page.page_id,
+            page.entity_type,
+            page.list_size,
+            f"{page.negative_noise:.0%}",
+            f"{page.positive_noise:.0%}",
+            "yes" if page.exact else "NO",
+        ]
+        for page in result.pages
+    ]
+    report = [
+        banner("Sec 6.4: induction from simulated-NER annotations"),
+        format_table(
+            ["page", "entity", "list size", "neg noise", "pos noise", "exact top-1"],
+            rows,
+        ),
+        (
+            f"success rate: {result.success_rate:.0%}   "
+            f"avg negative noise: {result.avg_negative_noise:.0%}   "
+            f"avg positive noise: {result.avg_positive_noise:.0%}"
+        ),
+    ]
+    emit("sec64_real_noise", "\n".join(report))
+
+    # Paper shape: correct extraction despite significant noise (~80%).
+    assert result.success_rate >= 0.6
+    assert result.avg_negative_noise > 0.05

@@ -1,0 +1,38 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+paper-style rows are printed to the terminal *and* written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+
+Workload sizes default to laptop-friendly subsets; set ``REPRO_FULL=1``
+to run the paper-sized datasets.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def scale(small: int, full: int) -> int:
+    """Pick a workload size: ``small`` by default, ``full`` with REPRO_FULL=1."""
+    return full if FULL else small
+
+
+@pytest.fixture
+def emit():
+    """Write a named report to benchmarks/results/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _emit

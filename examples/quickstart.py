@@ -1,0 +1,65 @@
+"""Quickstart: induce a robust wrapper from one annotated page.
+
+Run with::
+
+    python examples/quickstart.py
+
+We load an IMDB-style movie page, annotate the director's name node,
+and let the inducer return the K best dsXPath wrappers.  Note how the
+top-ranked expressions use semantic markup (itemprop/class/id) and
+template labels instead of the director's name itself — they keep
+working when the movie (and director) changes.
+"""
+
+from repro import WrapperInducer, evaluate, parse_html
+from repro.dom.node import TextNode
+
+PAGE = """
+<html><head><title>Casino</title></head><body>
+<div class="header">
+  <input type="text" name="q" id="suggestion-search">
+</div>
+<div class="promo"><p>Subscribe now!</p></div>
+<div class="article" id="main">
+  <h1 itemprop="name">Casino</h1>
+  <div class="txt-block">
+    <h4 class="inline">Director:</h4>
+    <a href="/name/nm0000217"><span itemprop="name" class="itemprop">Martin Scorsese</span></a>
+  </div>
+  <div class="txt-block">
+    <h4 class="inline">Writers:</h4>
+    <span itemprop="name" class="itemprop">Nicholas Pileggi</span>
+  </div>
+</div>
+</body></html>
+"""
+
+
+def main() -> None:
+    doc = parse_html(PAGE)
+
+    # The annotation: the span holding the director's name.  In the
+    # automated setting this would come from an entity recognizer.
+    target = doc.find(tag="span")
+    print(f"annotated node: <span>{target.normalized_text()}</span>\n")
+
+    # Mark the data text as volatile so the inducer does not anchor the
+    # wrapper on "Martin Scorsese" (it would break on the next movie).
+    for node in target.descendants():
+        if isinstance(node, TextNode):
+            node.meta["volatile"] = True
+
+    inducer = WrapperInducer(k=10)
+    result = inducer.induce_one(doc, [target])
+
+    print("top induced wrappers (F0.5, then robustness score):")
+    for rank, instance in enumerate(result.top(5), start=1):
+        print(f"  {rank}. {instance}")
+
+    best = result.best.query
+    print(f"\nbest wrapper: {best}")
+    print("selects:", [n.normalized_text() for n in evaluate(best, doc.root, doc)])
+
+
+if __name__ == "__main__":
+    main()

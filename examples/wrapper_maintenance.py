@@ -1,0 +1,87 @@
+"""Wrapper maintenance: re-induction after a break.
+
+Run with::
+
+    python examples/wrapper_maintenance.py
+
+The paper motivates noise-resistant induction with wrapper-maintenance
+pipelines [22]: when a wrapper breaks, the *old* extraction results can
+be located in the new page version (possibly imperfectly) and used as
+machine-generated annotations to induce a fresh wrapper — no human in
+the loop.  This example runs that loop against the evolving archive.
+"""
+
+from repro import WrapperInducer, evaluate
+from repro.dom.node import TextNode
+from repro.evolution import SyntheticArchive
+from repro.metrics import same_result_set
+from repro.sites.verticals import make_movies_site
+
+
+def relocate_by_text(doc, texts):
+    """Find nodes in a new page version carrying previously-extracted
+    values — a toy instance of the known-instances trick of [15, 22]."""
+    matches = []
+    for element in doc.root.descendant_elements():
+        if doc.normalized_text(element) in texts and not element.element_children():
+            matches.append(element)
+    return matches
+
+
+MAX_REINDUCTIONS = 4
+
+
+def main() -> None:
+    spec = make_movies_site(1)
+    archive = SyntheticArchive(spec, n_snapshots=60)
+    inducer = WrapperInducer(k=10)
+
+    doc = archive.snapshot(0)
+    targets = archive.targets(doc, "cast")
+    wrapper = inducer.induce_one(doc, targets).best.query
+    print(f"day 0: induced {wrapper}")
+
+    re_inductions = 0
+    for index in range(1, archive.n_snapshots):
+        if archive.is_broken(index):
+            continue
+        doc = archive.snapshot(index)
+        truth = archive.targets(doc, "cast")
+        if not truth:
+            print(f"day {archive.day(index)}: cast list removed, stopping")
+            break
+        if same_result_set(evaluate(wrapper, doc.root, doc), truth):
+            continue
+
+        # The wrapper broke.  Relocate last-known values as annotations;
+        # this is noisy (cast lists change between snapshots).
+        previous = archive.snapshot(index - 1)
+        known = {previous.normalized_text(n) for n in archive.targets(previous, "cast")}
+        annotations = relocate_by_text(doc, known)
+        if not annotations:
+            print(f"day {archive.day(index)}: no known instances found, giving up")
+            break
+        for node in annotations:
+            for text in node.descendants():
+                if isinstance(text, TextNode):
+                    text.meta["volatile"] = True
+        wrapper = inducer.induce_one(doc, annotations).best.query
+        re_inductions += 1
+        # The relocated nodes may sit one level below the original target
+        # elements; compare by extracted values, which is what matters.
+        extracted = sorted(doc.normalized_text(n) for n in evaluate(wrapper, doc.root, doc))
+        wanted = sorted(doc.normalized_text(n) for n in truth)
+        verdict = "values match" if extracted == wanted else "partial"
+        print(
+            f"day {archive.day(index):5d}: re-induced from {len(annotations)} "
+            f"relocated instances -> {wrapper}  ({verdict})"
+        )
+        if re_inductions >= MAX_REINDUCTIONS:
+            print("(stopping the demo after a few repairs)")
+            break
+
+    print(f"\nmaintenance loop finished with {re_inductions} re-induction(s)")
+
+
+if __name__ == "__main__":
+    main()

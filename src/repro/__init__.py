@@ -1,0 +1,56 @@
+"""repro — a reproduction of *Robust and Noise Resistant Wrapper Induction*
+(Furche, Guo, Maneth, Schallhart; SIGMOD 2016).
+
+The package implements the paper's dsXPath query language, its K-best
+wrapper-induction algorithm with robustness scoring, and the complete
+evaluation harness (page-evolution studies, noise resistance, and
+state-of-the-art comparisons) on a self-contained DOM substrate.
+
+Quickstart::
+
+    from repro import WrapperInducer, parse_html
+
+    doc = parse_html(open("movie.html").read())
+    target = doc.find(tag="span", itemprop="name")
+    result = WrapperInducer(k=10).induce_one(doc, [target])
+    print(result.best.query)   # a robust dsXPath wrapper
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.dom import Document, E, T, document, parse_html, to_html
+from repro.induction import (
+    InductionConfig,
+    InductionResult,
+    QuerySample,
+    WrapperInducer,
+    induce,
+)
+from repro.scoring import KBestTable, QueryInstance, Scorer, ScoringParams
+from repro.xpath import Query, canonical_path, evaluate, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Document",
+    "E",
+    "InductionConfig",
+    "InductionResult",
+    "KBestTable",
+    "Query",
+    "QueryInstance",
+    "QuerySample",
+    "Scorer",
+    "ScoringParams",
+    "T",
+    "WrapperInducer",
+    "canonical_path",
+    "document",
+    "evaluate",
+    "induce",
+    "parse_html",
+    "parse_query",
+    "to_html",
+    "__version__",
+]

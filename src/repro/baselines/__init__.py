@@ -1,0 +1,21 @@
+"""Baseline and comparison wrapper inducers.
+
+* :mod:`repro.baselines.canonical` — the paper's simple baseline:
+  absolute canonical-path wrappers.
+* :mod:`repro.baselines.treeedit` — a reconstruction of Dalvi et al.'s
+  probabilistic tree-edit-model ranking [6] (Sec. 6.1 comparison).
+* :mod:`repro.baselines.weir` — a reconstruction of WEIR [2], the
+  multi-page redundancy-based inducer (Sec. 6.1 comparison).
+"""
+
+from repro.baselines.canonical import CanonicalInducer, UnionWrapper
+from repro.baselines.treeedit import TreeEditInducer, TreeEditModel
+from repro.baselines.weir import WeirInducer
+
+__all__ = [
+    "CanonicalInducer",
+    "TreeEditInducer",
+    "TreeEditModel",
+    "UnionWrapper",
+    "WeirInducer",
+]

@@ -1,0 +1,45 @@
+"""Canonical (absolute-path) wrappers: the paper's simple baseline.
+
+A canonical wrapper for a target set is the union of the targets'
+canonical paths — exactly what browser developer tools emit, and the
+paper's stand-in for naive induction.  It breaks on any c-change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dom.node import Document, Node
+from repro.xpath.ast import Query
+from repro.xpath.canonical import canonical_path
+from repro.xpath.evaluator import evaluate
+
+
+@dataclass(frozen=True)
+class UnionWrapper:
+    """A wrapper made of one or more queries; selects their union.
+
+    Our induced wrappers are single queries; canonical baselines for
+    multi-target tasks need one absolute path per target, hence a union.
+    """
+
+    queries: tuple[Query, ...]
+
+    def select(self, doc: Document) -> list[Node]:
+        results: list[Node] = []
+        for query in self.queries:
+            results.extend(evaluate(query, doc.root, doc))
+        return doc.sort_nodes(results)
+
+    def __str__(self) -> str:
+        return " | ".join(str(q) for q in self.queries)
+
+
+class CanonicalInducer:
+    """Induce the canonical wrapper for a target set."""
+
+    def induce(self, doc: Document, targets: Sequence[Node]) -> UnionWrapper:
+        if not targets:
+            raise ValueError("canonical induction needs at least one target")
+        return UnionWrapper(tuple(canonical_path(node) for node in targets))

@@ -1,0 +1,205 @@
+"""A reconstruction of the probabilistic tree-edit baseline [6].
+
+Dalvi, Bohannon, Sha (SIGMOD 2009) rank XPath candidates by survival
+probability under a probabilistic tree-edit model of page change,
+optionally trained on a site's history.  The paper characterizes their
+fragment as strictly weaker than dsXPath: only the child and descendant
+axes, at most one predicate per step, equality predicates only.
+
+This module rebuilds that design:
+
+* :class:`TreeEditModel` — per-feature survival probabilities; priors
+  can be refined by fitting on consecutive snapshot pairs (how often
+  attribute values and positions persisted);
+* :class:`TreeEditInducer` — enumerates anchor subsets of the root→
+  target spine via a beam search, scores each candidate query by the
+  product of its steps' survival probabilities, and returns candidates
+  ranked most-probable-first (only candidates selecting exactly the
+  target on the training page are kept).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.dom.node import Document, ElementNode, Node
+from repro.xpath.ast import (
+    AttrSubject,
+    Axis,
+    PositionalPredicate,
+    Query,
+    Step,
+    StringPredicate,
+    name_test,
+)
+from repro.xpath.evaluator import evaluate
+
+
+@dataclass(frozen=True)
+class TreeEditModel:
+    """Survival probabilities of query features over one page change."""
+
+    tag_survival: float = 0.97
+    id_survival: float = 0.995
+    class_survival: float = 0.96
+    other_attr_survival: float = 0.93
+    position_survival: float = 0.85
+    #: Penalty per step: longer paths touch more volatile structure.
+    step_survival: float = 0.985
+
+    def fit(self, pairs: Sequence[tuple[Document, Document]]) -> "TreeEditModel":
+        """Refine the positional/attribute priors from snapshot pairs.
+
+        For each consecutive pair we measure how often an element's
+        (tag, attr) value and its canonical position persist — a crude
+        but honest estimate of the tree-edit probabilities of [6].
+        """
+        if not pairs:
+            return self
+        id_hits = id_total = class_hits = class_total = 0
+        pos_hits = pos_total = 0
+        for before, after in pairs:
+            index_after: dict[tuple[str, str, str], int] = {}
+            for node in after.root.descendant_elements():
+                for name, value in node.attrs.items():
+                    index_after[(node.tag, name, value)] = (
+                        index_after.get((node.tag, name, value), 0) + 1
+                    )
+            for node in before.root.descendant_elements():
+                for name, value in node.attrs.items():
+                    survived = index_after.get((node.tag, name, value), 0) > 0
+                    if name == "id":
+                        id_total += 1
+                        id_hits += survived
+                    elif name == "class":
+                        class_total += 1
+                        class_hits += survived
+            pos_before = _positional_census(before)
+            pos_after = _positional_census(after)
+            for key, count in pos_before.items():
+                pos_total += count
+                pos_hits += min(count, pos_after.get(key, 0))
+        model = self
+        if id_total:
+            model = replace(model, id_survival=max(0.5, id_hits / id_total))
+        if class_total:
+            model = replace(model, class_survival=max(0.4, class_hits / class_total))
+        if pos_total:
+            model = replace(model, position_survival=max(0.3, pos_hits / pos_total))
+        return model
+
+    def step_probability(self, step: Step) -> float:
+        probability = self.step_survival * self.tag_survival
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionalPredicate):
+                probability *= self.position_survival
+            elif isinstance(predicate, StringPredicate):
+                assert isinstance(predicate.subject, AttrSubject)
+                if predicate.subject.name == "id":
+                    probability *= self.id_survival
+                elif predicate.subject.name == "class":
+                    probability *= self.class_survival
+                else:
+                    probability *= self.other_attr_survival
+        return probability
+
+    def query_probability(self, query: Query) -> float:
+        probability = 1.0
+        for step in query.steps:
+            probability *= self.step_probability(step)
+        return probability
+
+
+def _positional_census(doc: Document) -> dict[tuple[str, int], int]:
+    census: dict[tuple[str, int], int] = {}
+    for node in doc.root.descendant_elements():
+        if node.parent is None:
+            continue
+        same_tag = [
+            c for c in node.parent.children
+            if isinstance(c, ElementNode) and c.tag == node.tag
+        ]
+        position = next(i for i, c in enumerate(same_tag) if c is node)
+        key = (node.tag, position)
+        census[key] = census.get(key, 0) + 1
+    return census
+
+
+@dataclass
+class TreeEditInducer:
+    """Beam-search induction over the [6]-style fragment."""
+
+    model: TreeEditModel = field(default_factory=TreeEditModel)
+    beam_width: int = 20
+    k: int = 10
+
+    def induce(self, doc: Document, target: Node) -> list[Query]:
+        """Ranked queries (most survival-probable first) selecting ``target``."""
+        spine = self._spine(doc, target)
+        if spine is None:
+            return []
+        # Beam over suffixes: partial queries matching `target` from each
+        # spine node, extended upward by choosing each node as an anchor
+        # or skipping it (skips are absorbed into a descendant step).
+        beam: list[tuple[float, Query]] = []
+        for step in self._step_options(spine[-1], first=True):
+            query = Query((step,))
+            beam.append((self.model.query_probability(query), query))
+        for node in reversed(spine[:-1]):
+            extended: list[tuple[float, Query]] = list(beam)  # skip this node
+            for step in self._step_options(node, first=False):
+                for probability, query in beam:
+                    candidate = query.prepend(step)
+                    extended.append(
+                        (self.model.query_probability(candidate), candidate)
+                    )
+            extended.sort(key=lambda item: (-item[0], str(item[1])))
+            beam = extended[: self.beam_width]
+
+        accurate = []
+        for probability, query in sorted(beam, key=lambda i: (-i[0], str(i[1]))):
+            result = evaluate(query, doc.root, doc)
+            if len(result) == 1 and result[0] is target:
+                accurate.append(query)
+            if len(accurate) >= self.k:
+                break
+        return accurate
+
+    def _spine(self, doc: Document, target: Node) -> Optional[list[Node]]:
+        path = [target] + list(target.ancestors())
+        path.reverse()
+        if path[0] is not doc.root:
+            return None
+        return [n for n in path if isinstance(n, ElementNode) and not n.tag.startswith("#")] or None
+
+    def _step_options(self, node: Node, first: bool) -> list[Step]:
+        """[6]-fragment steps matching ``node``: descendant::tag with at
+        most one equality or positional predicate."""
+        if not isinstance(node, ElementNode):
+            return []
+        test = name_test(node.tag)
+        options = [Step(Axis.DESCENDANT, test)]
+        for name in ("id", "class"):
+            value = node.attrs.get(name)
+            if value:
+                options.append(
+                    Step(
+                        Axis.DESCENDANT,
+                        test,
+                        (StringPredicate("equals", AttrSubject(name), value),),
+                    )
+                )
+        if node.parent is not None:
+            same_tag = [
+                c
+                for c in node.parent.children
+                if isinstance(c, ElementNode) and c.tag == node.tag
+            ]
+            if len(same_tag) > 1:
+                position = next(i for i, c in enumerate(same_tag) if c is node) + 1
+                options.append(
+                    Step(Axis.DESCENDANT, test, (PositionalPredicate(index=position),))
+                )
+        return options

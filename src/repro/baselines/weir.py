@@ -1,0 +1,228 @@
+"""A reconstruction of WEIR's wrapper generation [2] (Sec. 6.1).
+
+Bronzi, Crescenzi, Merialdo, Papotti (VLDB 2013) induce wrappers from
+*multiple pages of the same template* by exploiting redundancy.  The
+paper describes the expressions WEIR produces as two types, which this
+module reconstructs:
+
+* **absolute** expressions: canonical-path-like, but rooted at the
+  closest ancestor of the target with a unique ``id``;
+* **relative** expressions: anchored at a close-by *template node* — a
+  node whose text content is identical across the input pages (a static
+  label such as "Country:") — followed by a short canonical hop.
+
+WEIR returns an unranked set (≈30 expressions on average in the
+paper's runs) and each expression matches at most one node per page.
+Multiple pages are required (the paper uses 10) to tell template text
+from data text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dom.node import Document, ElementNode, Node, TextNode
+from repro.util import seeded_rng
+from repro.xpath.ast import (
+    Axis,
+    PositionalPredicate,
+    Query,
+    Step,
+    StringPredicate,
+    AttrSubject,
+    TextSubject,
+    name_test,
+)
+from repro.xpath.evaluator import evaluate
+
+
+def _template_texts(docs: Sequence[Document]) -> set[str]:
+    """Normalized texts appearing identically in every input page."""
+    per_doc: list[set[str]] = []
+    for doc in docs:
+        texts = {
+            doc.normalized_text(node)
+            for node in doc.root.descendants()
+            if isinstance(node, TextNode) and doc.normalized_text(node)
+        }
+        per_doc.append(texts)
+    common = set.intersection(*per_doc) if per_doc else set()
+    return {text for text in common if len(text) <= 60}
+
+
+def _canonical_hop(ancestor: ElementNode, target: Node) -> Optional[Query]:
+    """Child steps with positions from ``ancestor`` down to ``target``."""
+    path: list[Node] = [target]
+    for node in target.ancestors():
+        if node is ancestor:
+            break
+        path.append(node)
+    else:
+        return None
+    path.reverse()
+    steps = []
+    for node in path:
+        parent = node.parent
+        assert parent is not None
+        if isinstance(node, ElementNode):
+            same = [
+                c for c in parent.children
+                if isinstance(c, ElementNode) and c.tag == node.tag
+            ]
+            test = name_test(node.tag)
+        else:
+            from repro.xpath.ast import TEXT
+
+            same = [c for c in parent.children if isinstance(c, TextNode)]
+            test = TEXT
+        position = next(i for i, c in enumerate(same) if c is node) + 1
+        steps.append(Step(Axis.CHILD, test, (PositionalPredicate(index=position),)))
+    return Query(tuple(steps))
+
+
+class WeirInducer:
+    """Generate WEIR-style expressions from same-template pages."""
+
+    def __init__(self, max_expressions: int = 30, seed: int = 0) -> None:
+        self.max_expressions = max_expressions
+        self.seed = seed
+
+    def induce(
+        self, docs: Sequence[Document], targets: Sequence[Node]
+    ) -> list[Query]:
+        """Unranked expressions for the target of the *first* page.
+
+        ``targets[i]`` is the target node on ``docs[i]``; redundancy
+        across pages defines which text is template.  Every returned
+        expression selects exactly one node on the first page.
+        """
+        if len(docs) < 2:
+            raise ValueError("WEIR needs multiple pages of the same template")
+        doc, target = docs[0], targets[0]
+        template = _template_texts(docs)
+        expressions: list[Query] = []
+        expressions.extend(self._absolute_expressions(doc, target))
+        expressions.extend(self._relative_expressions(doc, target, template))
+
+        unique: list[Query] = []
+        seen: set[Query] = set()
+        for query in expressions:
+            if query in seen:
+                continue
+            result = evaluate(query, doc.root, doc)
+            if len(result) == 1 and result[0] is target:
+                seen.add(query)
+                unique.append(query)
+        # WEIR's output is unranked; shuffle deterministically to avoid
+        # accidentally favoring generation order in downstream averages.
+        rng = seeded_rng("weir", self.seed, len(unique))
+        rng.shuffle(unique)
+        return unique[: self.max_expressions]
+
+    def _absolute_expressions(self, doc: Document, target: Node) -> list[Query]:
+        """Expressions from ancestors with a unique id (nearest first)."""
+        expressions: list[Query] = []
+        for ancestor in target.ancestors():
+            if not isinstance(ancestor, ElementNode):
+                continue
+            identifier = ancestor.attrs.get("id")
+            if not identifier:
+                continue
+            matches = [
+                n for n in doc.root.descendant_elements()
+                if n.attrs.get("id") == identifier
+            ]
+            if len(matches) != 1:
+                continue
+            hop = _canonical_hop(ancestor, target)
+            if hop is None:
+                continue
+            anchor = Step(
+                Axis.DESCENDANT,
+                name_test(ancestor.tag),
+                (StringPredicate("equals", AttrSubject("id"), identifier),),
+            )
+            expressions.append(Query((anchor,)).concat(hop))
+            # Variant without tag specialisation (WEIR emits several
+            # syntactic variants per anchor).
+            from repro.xpath.ast import ANY
+
+            anchor_any = Step(
+                Axis.DESCENDANT,
+                ANY,
+                (StringPredicate("equals", AttrSubject("id"), identifier),),
+            )
+            expressions.append(Query((anchor_any,)).concat(hop))
+        return expressions
+
+    def _relative_expressions(
+        self, doc: Document, target: Node, template: set[str]
+    ) -> list[Query]:
+        """Expressions anchored at nearby static-text template nodes."""
+        expressions: list[Query] = []
+        container = target.parent
+        regions: list[ElementNode] = []
+        node = container
+        for _ in range(3):
+            if node is None or not isinstance(node, ElementNode):
+                break
+            regions.append(node)
+            node = node.parent
+        for region in regions:
+            for candidate in region.descendant_elements():
+                text = doc.normalized_text(candidate)
+                if not text or text not in template:
+                    continue
+                hops = self._label_to_target(doc, candidate, target)
+                for hop in hops:
+                    anchor = Step(
+                        Axis.DESCENDANT,
+                        name_test(candidate.tag),
+                        (StringPredicate("equals", TextSubject(), text),),
+                    )
+                    expressions.append(Query((anchor,)).concat(hop))
+        return expressions
+
+    def _label_to_target(
+        self, doc: Document, label: ElementNode, target: Node
+    ) -> list[Query]:
+        """Short relative hops from a label node to the target."""
+        hops: list[Query] = []
+        # Following-sibling hop within the same parent.
+        if label.parent is not None and target.parent is label.parent:
+            if isinstance(target, ElementNode):
+                siblings = [
+                    c for c in label.following_siblings()
+                    if isinstance(c, ElementNode) and c.tag == target.tag
+                ]
+                if target in siblings:
+                    position = next(i for i, c in enumerate(siblings) if c is target) + 1
+                    hops.append(
+                        Query(
+                            (
+                                Step(
+                                    Axis.FOLLOWING_SIBLING,
+                                    name_test(target.tag),
+                                    (PositionalPredicate(index=position),),
+                                ),
+                            )
+                        )
+                    )
+        # Up to the common ancestor, then canonical hop down.
+        ancestors_of_label = [label] + list(label.ancestors())
+        for up_count, ancestor in enumerate(ancestors_of_label[:3]):
+            if not isinstance(ancestor, ElementNode):
+                continue
+            hop = _canonical_hop(ancestor, target)
+            if hop is None:
+                continue
+            up_steps = tuple(
+                Step(Axis.PARENT, name_test(node.tag))
+                for node in ancestors_of_label[1 : up_count + 1]
+                if isinstance(node, ElementNode)
+            )
+            if len(up_steps) != up_count:
+                continue
+            hops.append(Query(up_steps).concat(hop))
+        return hops

@@ -1,0 +1,39 @@
+"""DOM substrate: a minimal, self-contained HTML document tree.
+
+The paper operates on the tree structure of HTML documents: element
+nodes, attribute nodes, and text nodes (Sec. 2).  This package provides
+that tree, an HTML parser built on the standard library, a serializer,
+a programmatic builder for synthetic pages, and subtree signatures used
+by the robustness metric.
+
+Nodes carry an extra ``meta`` dictionary that is invisible to queries
+and serialization.  The evolution simulator uses it to attach *logical
+ids* to data items so that ground truth can be tracked across page
+versions without influencing induction.
+"""
+
+from repro.dom.builder import E, T, document
+from repro.dom.node import (
+    AttributeNode,
+    Document,
+    ElementNode,
+    Node,
+    TextNode,
+)
+from repro.dom.parser import parse_html
+from repro.dom.serialize import to_html
+from repro.dom.signatures import subtree_signature
+
+__all__ = [
+    "AttributeNode",
+    "Document",
+    "E",
+    "ElementNode",
+    "Node",
+    "T",
+    "TextNode",
+    "document",
+    "parse_html",
+    "subtree_signature",
+    "to_html",
+]

@@ -1,0 +1,51 @@
+"""Programmatic construction of document trees.
+
+The evolution simulator renders synthetic pages directly as trees, so a
+compact builder matters.  ``E`` builds elements, ``T`` text nodes, and
+``document`` wraps a root into a :class:`Document`:
+
+>>> page = document(
+...     E("html",
+...       E("body",
+...         E("div", T("Director: "), E("span", T("Martin Scorsese"),
+...                                     itemprop="name"),
+...           class_="credit"))))
+>>> page.find(tag="span").normalized_text()
+'Martin Scorsese'
+
+Keyword attribute names have a single trailing underscore stripped so
+Python keywords work (``class_`` -> ``class``, ``for_`` -> ``for``);
+other underscores map to dashes (``data_id`` -> ``data-id``).
+"""
+
+from __future__ import annotations
+
+from repro.dom.node import Document, ElementNode, Node, TextNode
+
+
+def _attr_name(name: str) -> str:
+    if name.endswith("_"):
+        name = name[:-1]
+    return name.replace("_", "-")
+
+
+def E(tag: str, *children: Node | str | None, **attrs: str) -> ElementNode:
+    """Build an element; string children become text nodes, None is skipped."""
+    element = ElementNode(tag, {_attr_name(k): v for k, v in attrs.items()})
+    for child in children:
+        if child is None:
+            continue
+        if isinstance(child, str):
+            child = TextNode(child)
+        element.append_child(child)
+    return element
+
+
+def T(text: str) -> TextNode:
+    """Build a text node."""
+    return TextNode(text)
+
+
+def document(root: ElementNode, url: str = "") -> Document:
+    """Wrap a root element into a Document."""
+    return Document(root, url=url)

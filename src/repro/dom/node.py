@@ -1,0 +1,362 @@
+"""Document tree nodes.
+
+The tree model follows Sec. 2 of the paper: an HTML document gives rise
+to element nodes, attribute nodes, and text nodes.  Attribute nodes are
+materialized lazily (one per element/attribute-name pair) so that the
+``attribute`` axis can return stable node objects.
+
+Every node exposes the navigation needed by the dsXPath axes (parent,
+children, siblings) plus a ``meta`` dict used by the experiment harness
+for ground-truth bookkeeping; ``meta`` never influences query results.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_space(text: str) -> str:
+    """Collapse runs of whitespace and strip, like XPath normalize-space."""
+    return _WHITESPACE.sub(" ", text).strip()
+
+
+class Node:
+    """Base class for element and text nodes."""
+
+    __slots__ = ("parent", "meta")
+
+    def __init__(self) -> None:
+        self.parent: Optional[ElementNode] = None
+        self.meta: dict = {}
+
+    # -- navigation ------------------------------------------------------
+
+    def ancestors(self) -> Iterator["ElementNode"]:
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the topmost node reachable via parent links."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def index_in_parent(self) -> int:
+        """Position of this node among all siblings (0-based).
+
+        Raises ``ValueError`` for detached nodes.
+        """
+        if self.parent is None:
+            raise ValueError("node has no parent")
+        for i, child in enumerate(self.parent.children):
+            if child is self:
+                return i
+        raise ValueError("node not found among parent's children")
+
+    def following_siblings(self) -> Iterator["Node"]:
+        if self.parent is None:
+            return
+        seen_self = False
+        for child in self.parent.children:
+            if seen_self:
+                yield child
+            elif child is self:
+                seen_self = True
+
+    def preceding_siblings(self) -> Iterator["Node"]:
+        """Yield preceding siblings in *reverse* document order (nearest first)."""
+        if self.parent is None:
+            return
+        before: list[Node] = []
+        for child in self.parent.children:
+            if child is self:
+                break
+            before.append(child)
+        yield from reversed(before)
+
+    def with_meta(self, **meta) -> "Node":
+        """Attach metadata and return self (builder-style chaining)."""
+        self.meta.update(meta)
+        return self
+
+    # -- text ------------------------------------------------------------
+
+    def text_value(self) -> str:
+        """Concatenation of all descendant text (un-normalized)."""
+        raise NotImplementedError
+
+    def normalized_text(self) -> str:
+        """normalize-space(.) of this node."""
+        return normalize_space(self.text_value())
+
+
+class TextNode(Node):
+    """A text node; its string value is the text itself."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def text_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snippet = self.text if len(self.text) <= 30 else self.text[:27] + "..."
+        return f"TextNode({snippet!r})"
+
+
+class AttributeNode(Node):
+    """An attribute node, owned by an element.
+
+    Attribute nodes are created lazily by :meth:`ElementNode.attribute_node`
+    and are stable per (element, name) pair, so they can be returned by the
+    ``attribute`` axis and compared by identity.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, owner: "ElementNode", name: str) -> None:
+        super().__init__()
+        self.parent = owner
+        self.name = name
+
+    @property
+    def value(self) -> str:
+        assert isinstance(self.parent, ElementNode)
+        return self.parent.attrs.get(self.name, "")
+
+    def text_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttributeNode(@{self.name}={self.value!r})"
+
+
+class ElementNode(Node):
+    """An element node with a tag name, attributes, and ordered children."""
+
+    __slots__ = ("tag", "attrs", "children", "_attr_nodes")
+
+    def __init__(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs or {})
+        self.children: list[Node] = []
+        self._attr_nodes: dict[str, AttributeNode] = {}
+
+    # -- structure edits ---------------------------------------------------
+
+    def append_child(self, node: Node) -> Node:
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def insert_child(self, index: int, node: Node) -> Node:
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def remove_child(self, node: Node) -> Node:
+        self.children.remove(node)
+        node.parent = None
+        return node
+
+    def replace_child(self, old: Node, new: Node) -> Node:
+        index = old.index_in_parent()
+        self.children[index] = new
+        new.parent = self
+        old.parent = None
+        return new
+
+    def set_attr(self, name: str, value: str) -> None:
+        self.attrs[name] = value
+
+    def remove_attr(self, name: str) -> None:
+        self.attrs.pop(name, None)
+
+    # -- navigation ----------------------------------------------------------
+
+    def attribute_node(self, name: str) -> Optional[AttributeNode]:
+        """Return the stable attribute node for ``name``, or None if absent."""
+        if name not in self.attrs:
+            return None
+        node = self._attr_nodes.get(name)
+        if node is None:
+            node = AttributeNode(self, name)
+            self._attr_nodes[name] = node
+        return node
+
+    def attribute_nodes(self) -> list[AttributeNode]:
+        nodes = [self.attribute_node(name) for name in sorted(self.attrs)]
+        return [node for node in nodes if node is not None]
+
+    def element_children(self) -> list["ElementNode"]:
+        return [c for c in self.children if isinstance(c, ElementNode)]
+
+    def descendants(self) -> Iterator[Node]:
+        """Yield all descendants (elements and text) in document order."""
+        for child in self.children:
+            yield child
+            if isinstance(child, ElementNode):
+                yield from child.descendants()
+
+    def descendant_elements(self) -> Iterator["ElementNode"]:
+        for node in self.descendants():
+            if isinstance(node, ElementNode):
+                yield node
+
+    def find(self, **criteria) -> Optional["ElementNode"]:
+        """First descendant element matching attribute criteria.
+
+        ``tag`` matches the tag name; other keys match HTML attributes
+        (``class_`` maps to ``class``).  Convenience for tests/examples.
+        """
+        for node in self.iter_find(**criteria):
+            return node
+        return None
+
+    def iter_find(self, **criteria) -> Iterator["ElementNode"]:
+        tag = criteria.pop("tag", None)
+        attrs = {k.rstrip("_"): v for k, v in criteria.items()}
+        for node in self.descendant_elements():
+            if tag is not None and node.tag != tag:
+                continue
+            if all(node.attrs.get(k) == v for k, v in attrs.items()):
+                yield node
+
+    # -- text ----------------------------------------------------------------
+
+    def text_value(self) -> str:
+        parts: list[str] = []
+        for node in self.descendants():
+            if isinstance(node, TextNode):
+                parts.append(node.text)
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        attrs = " ".join(f'{k}="{v}"' for k, v in self.attrs.items())
+        return f"<{self.tag}{' ' + attrs if attrs else ''}> ({len(self.children)} children)"
+
+
+class Document:
+    """A document: a synthetic document node plus per-version caches.
+
+    Following XPath's data model, ``root`` is a synthetic ``#document``
+    node sitting above the top-level element(s); queries are evaluated
+    relative to it, and canonical (absolute) paths start at it.  The
+    constructor wraps whatever element it is given, so callers can pass
+    a plain ``<html>`` element.
+
+    Queries are evaluated against a static document; the document caches
+    the document-order index and normalized text values.  Code that
+    mutates the tree through node methods must call :meth:`invalidate`
+    (the evolution simulator regenerates whole documents instead, so
+    this is mostly for tests).
+    """
+
+    def __init__(self, root: ElementNode, url: str = "") -> None:
+        if root.tag in ("#document", "#fragment"):
+            root.tag = "#document"
+            self.root = root
+        else:
+            doc_node = ElementNode("#document")
+            doc_node.append_child(root)
+            self.root = doc_node
+        self.root.parent = None
+        self.url = url
+        self._version = 0
+        self._order_cache: Optional[dict[int, int]] = None
+        self._text_cache: dict[int, str] = {}
+
+    @property
+    def root_element(self) -> Optional[ElementNode]:
+        """The top-level element (usually ``<html>``), if there is one."""
+        elements = self.root.element_children()
+        return elements[0] if elements else None
+
+    # -- cache management -----------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop caches after direct tree mutation."""
+        self._version += 1
+        self._order_cache = None
+        self._text_cache = {}
+
+    def _order_index(self) -> dict[int, int]:
+        if self._order_cache is None:
+            index: dict[int, int] = {id(self.root): 0}
+            for position, node in enumerate(self.root.descendants(), start=1):
+                index[id(node)] = position
+            self._order_cache = index
+        return self._order_cache
+
+    # -- queries ---------------------------------------------------------------
+
+    def order_key(self, node: Node) -> tuple[int, int]:
+        """Sort key placing nodes in document order.
+
+        Attribute nodes sort just after their owning element, by name, so
+        mixed node-sets have a stable, document-order-compatible order.
+        """
+        index = self._order_index()
+        if isinstance(node, AttributeNode):
+            owner_key = index.get(id(node.parent))
+            if owner_key is None:
+                raise KeyError("attribute owner not in document")
+            return (owner_key, 1 + sum(1 for n in sorted(node.parent.attrs) if n < node.name))
+        key = index.get(id(node))
+        if key is None:
+            raise KeyError("node not in document")
+        return (key, 0)
+
+    def contains(self, node: Node) -> bool:
+        if isinstance(node, AttributeNode):
+            node = node.parent
+        return id(node) in self._order_index()
+
+    def sort_nodes(self, nodes: list[Node]) -> list[Node]:
+        """Sort nodes into document order, removing duplicates."""
+        seen: set[int] = set()
+        unique: list[Node] = []
+        for node in nodes:
+            if id(node) not in seen:
+                seen.add(id(node))
+                unique.append(node)
+        unique.sort(key=self.order_key)
+        return unique
+
+    def normalized_text(self, node: Node) -> str:
+        """Cached normalize-space(.) for nodes of this document."""
+        key = id(node)
+        cached = self._text_cache.get(key)
+        if cached is None:
+            cached = node.normalized_text()
+            self._text_cache[key] = cached
+        return cached
+
+    def all_nodes(self) -> Iterator[Node]:
+        """Root plus all descendants, in document order."""
+        yield self.root
+        yield from self.root.descendants()
+
+    def node_count(self) -> int:
+        return len(self._order_index())
+
+    def find(self, **criteria) -> Optional[ElementNode]:
+        return self.root.find(**criteria)
+
+    def find_by_meta(self, key: str, value) -> list[Node]:
+        """All nodes whose ``meta[key] == value`` (ground-truth lookup)."""
+        return [n for n in self.all_nodes() if n.meta.get(key) == value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(url={self.url!r}, nodes={self.node_count()})"

@@ -1,0 +1,85 @@
+"""HTML parsing into the repro document tree.
+
+Built on :class:`html.parser.HTMLParser` from the standard library (no
+third-party parser is available offline).  The parser is lenient, like
+browsers and like the archived pages the paper evaluates on: unmatched
+end tags are ignored, unclosed tags are closed implicitly at the end,
+and void elements (``<br>``, ``<img>``, ...) never take children.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from repro.dom.node import Document, ElementNode, TextNode
+
+#: Elements that never have content per the HTML standard.
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+#: Elements whose raw text content we keep verbatim but never index as
+#: template text (scripts/styles are noise for wrapper induction).
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class _TreeBuilder(HTMLParser):
+    """Accumulates parse events into an element tree."""
+
+    def __init__(self, keep_whitespace: bool) -> None:
+        super().__init__(convert_charrefs=True)
+        self.keep_whitespace = keep_whitespace
+        self.root = ElementNode("#fragment")
+        self._stack: list[ElementNode] = [self.root]
+
+    # -- handler overrides ---------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        element = ElementNode(tag, {k: (v or "") for k, v in attrs})
+        self._stack[-1].append_child(element)
+        if tag not in VOID_ELEMENTS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        element = ElementNode(tag, {k: (v or "") for k, v in attrs})
+        self._stack[-1].append_child(element)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in VOID_ELEMENTS:
+            return
+        # Pop to the matching open tag if one exists; otherwise ignore the
+        # stray end tag (browser-style error recovery).
+        for depth in range(len(self._stack) - 1, 0, -1):
+            if self._stack[depth].tag == tag:
+                del self._stack[depth:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if not data:
+            return
+        if not self.keep_whitespace and not data.strip():
+            return
+        parent = self._stack[-1]
+        if parent.tag in RAW_TEXT_ELEMENTS:
+            return
+        parent.append_child(TextNode(data))
+
+    def handle_comment(self, data: str) -> None:
+        # Comments are not part of the queryable tree model (Sec. 2).
+        return
+
+
+def parse_html(html: str, url: str = "", keep_whitespace: bool = False) -> Document:
+    """Parse HTML text into a :class:`Document`.
+
+    The parsed top-level nodes (usually a single ``<html>`` element) are
+    placed under the document's synthetic ``#document`` node, so both
+    full pages and fragments parse without boilerplate.
+    """
+    builder = _TreeBuilder(keep_whitespace=keep_whitespace)
+    builder.feed(html)
+    builder.close()
+    return Document(builder.root, url=url)

@@ -1,0 +1,45 @@
+"""Serialization of document trees back to HTML text."""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.dom.node import AttributeNode, Document, ElementNode, Node, TextNode
+from repro.dom.parser import VOID_ELEMENTS
+
+
+def to_html(node: Node | Document, indent: int | None = None) -> str:
+    """Serialize a node or document to HTML.
+
+    With ``indent=None`` the output is compact (no inserted whitespace,
+    so it round-trips through :func:`repro.dom.parse_html`).  With an
+    integer indent, output is pretty-printed for humans; pretty output
+    is *not* guaranteed to round-trip because of inserted whitespace.
+    """
+    if isinstance(node, Document):
+        node = node.root
+    parts: list[str] = []
+    _serialize(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize(node: Node, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else "\n" + " " * (indent * depth)
+    if isinstance(node, TextNode):
+        parts.append(pad + escape(node.text, quote=False) if indent else escape(node.text, quote=False))
+        return
+    if isinstance(node, AttributeNode):
+        parts.append(f'@{node.name}="{escape(node.value)}"')
+        return
+    assert isinstance(node, ElementNode)
+    if node.tag.startswith("#"):
+        for child in node.children:
+            _serialize(child, parts, indent, depth)
+        return
+    attrs = "".join(f' {name}="{escape(value)}"' for name, value in node.attrs.items())
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if node.tag in VOID_ELEMENTS:
+        return
+    for child in node.children:
+        _serialize(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{node.tag}>")

@@ -1,0 +1,42 @@
+"""Abstract subtree signatures.
+
+The paper's robustness definition (Sec. 2) compares wrappers across two
+documents: ``q`` is robust for ``D`` and ``D'`` if a bijection between
+``q(D)`` and ``q(D')`` maps every selected node to one with an equal
+*abstract* (node-id free) subtree.  Equality of abstract subtrees is
+exactly equality of the signatures computed here, so the bijection
+exists iff the two result multisets of signatures coincide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.dom.node import AttributeNode, ElementNode, Node, TextNode
+
+
+def subtree_signature(node: Node) -> tuple:
+    """A hashable value equal for nodes with equal abstract subtrees."""
+    if isinstance(node, TextNode):
+        return ("#text", node.text)
+    if isinstance(node, AttributeNode):
+        return ("#attr", node.name, node.value)
+    assert isinstance(node, ElementNode)
+    attrs = tuple(sorted(node.attrs.items()))
+    children = tuple(subtree_signature(child) for child in node.children)
+    return ("#elem", node.tag, attrs, children)
+
+
+def signature_multiset(nodes: Iterable[Node]) -> Counter:
+    """Multiset of subtree signatures of a node-set."""
+    return Counter(subtree_signature(node) for node in nodes)
+
+
+def subtree_bijection_exists(nodes_a: Iterable[Node], nodes_b: Iterable[Node]) -> bool:
+    """True iff a subtree-preserving bijection exists between the node sets.
+
+    This is the paper's robustness condition for a query evaluated on two
+    documents (order independent, since wrappers return node *sets*).
+    """
+    return signature_multiset(nodes_a) == signature_multiset(nodes_b)

@@ -1,0 +1,32 @@
+"""Page-evolution simulator: the offline stand-in for the Internet Archive.
+
+The paper tracks >100 pages over six years of Internet Archive
+snapshots at 20-day intervals.  Offline, each site is a parameterized
+template whose *state* performs a seeded random walk over exactly the
+change classes the paper observes on real pages (Sec. 6.2):
+
+* positional changes of ``div``s on the canonical path (blocks inserted
+  or removed before the content);
+* class-attribute renames (``hp-content-block`` →
+  ``homepage-content-block``-style) and rarer id renames;
+* data churn on every snapshot (headlines, names, prices);
+* site-wide redesigns that restructure the template;
+* permanent removal of the target data (the paper's break group f);
+* occasional empty/structurally-broken archive snapshots (group e).
+
+States evolve deterministically from a seed, so every experiment is
+reproducible; snapshots are rendered on demand.
+"""
+
+from repro.evolution.archive import SyntheticArchive
+from repro.evolution.changes import ChangeModel, evolve_state, initial_state
+from repro.evolution.state import SiteProfile, SiteState
+
+__all__ = [
+    "ChangeModel",
+    "SiteProfile",
+    "SiteState",
+    "SyntheticArchive",
+    "evolve_state",
+    "initial_state",
+]

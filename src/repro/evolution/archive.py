@@ -1,0 +1,103 @@
+"""Synthetic archive: deterministic snapshot sequences for one site.
+
+Mirrors how the paper consumes the Internet Archive: snapshots at
+20-day intervals over up to six years.  States evolve deterministically
+from the site seed; documents are rendered lazily and cached with a
+small LRU so long studies stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.dom.node import Document, Node
+from repro.evolution.changes import evolve_state, initial_state
+from repro.evolution.state import RenderContext
+from repro.util import seeded_rng
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sites.spec
+    from repro.sites.spec import SiteSpec
+
+
+class SyntheticArchive:
+    """Snapshot access for one site (20-day cadence by default)."""
+
+    def __init__(
+        self,
+        spec: "SiteSpec",
+        n_snapshots: int = 110,
+        interval_days: int = 20,
+        cache_size: int = 8,
+    ) -> None:
+        if n_snapshots < 1:
+            raise ValueError("an archive needs at least one snapshot")
+        self.spec = spec
+        self.n_snapshots = n_snapshots
+        self.interval_days = interval_days
+        self._states = [initial_state(spec.profile, spec.initial_rng())]
+        self._doc_cache: OrderedDict[int, Document] = OrderedDict()
+        self._cache_size = cache_size
+
+    # -- state / snapshot access ------------------------------------------
+
+    def state(self, index: int):
+        if not 0 <= index < self.n_snapshots:
+            raise IndexError(f"snapshot {index} out of range")
+        while len(self._states) <= index:
+            step = len(self._states)
+            rng = seeded_rng(self.spec.seed, self.spec.site_id, step)
+            self._states.append(
+                evolve_state(
+                    self.spec.profile,
+                    self._states[-1],
+                    self.spec.change_model,
+                    rng,
+                    self.interval_days,
+                )
+            )
+        return self._states[index]
+
+    def day(self, index: int) -> int:
+        return index * self.interval_days
+
+    def is_broken(self, index: int) -> bool:
+        return self.state(index).broken
+
+    def snapshot(self, index: int) -> Document:
+        """Render (cached) the document of snapshot ``index``."""
+        cached = self._doc_cache.get(index)
+        if cached is not None:
+            self._doc_cache.move_to_end(index)
+            return cached
+        state = self.state(index)
+        if state.broken:
+            doc = _broken_page(self.spec.url)
+        else:
+            rng = seeded_rng(self.spec.seed, self.spec.site_id, "render", index)
+            doc = self.spec.build(RenderContext(state, rng, site=self.spec.site_id))
+            doc.url = self.spec.url
+        self._doc_cache[index] = doc
+        if len(self._doc_cache) > self._cache_size:
+            self._doc_cache.popitem(last=False)
+        return doc
+
+    # -- ground truth --------------------------------------------------------
+
+    def targets(self, doc: Document, role: str) -> list[Node]:
+        """Ground-truth target nodes for a role in a rendered snapshot."""
+        return doc.find_by_meta("role", role)
+
+    def targets_at(self, index: int, role: str) -> list[Node]:
+        return self.targets(self.snapshot(index), role)
+
+
+def _broken_page(url: str) -> Document:
+    """An erroneous archive capture: structurally broken, no content."""
+    from repro.dom.builder import E, document
+
+    return document(
+        E("html", E("body", E("div", "Wayback Machine: snapshot unavailable", class_="error"))),
+        url=url,
+    )

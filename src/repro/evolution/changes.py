@@ -1,0 +1,165 @@
+"""The change process: one random-walk step per archive snapshot.
+
+Per-snapshot probabilities are calibrated against the paper's
+observations: canonical paths change a handful of times over a
+wrapper's life (avg ≈ 4.1 c-changes, Sec. 6.2), class values get
+renamed at redesigns and occasionally in between, ids are markedly more
+stable than classes, data text churns on essentially every snapshot,
+and a small fraction of snapshots are broken archive captures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.evolution.state import SiteProfile, SiteState
+
+
+def _datagen():
+    # Imported lazily: repro.sites imports this module for ChangeModel,
+    # and a top-level import back into repro.sites would be circular.
+    from repro.sites import datagen
+
+    return datagen
+
+
+@dataclass(frozen=True)
+class ChangeModel:
+    """Per-snapshot (≈20 days) change probabilities."""
+
+    p_class_rename: float = 0.035
+    p_id_rename: float = 0.008
+    p_count_change: float = 0.08
+    p_list_resize: float = 0.30
+    p_flag_toggle: float = 0.035
+    p_redesign: float = 0.004
+    #: Fraction of class tokens renamed during a redesign.
+    redesign_class_churn: float = 0.6
+    #: Fraction of id tokens renamed during a redesign.
+    redesign_id_churn: float = 0.25
+    p_target_removal: float = 0.004
+    p_broken_snapshot: float = 0.0015
+    data_churn_rate: float = 0.9
+
+    def scaled(self, factor: float) -> "ChangeModel":
+        """A model with all structural-change rates scaled by ``factor``
+        (used to give sites different volatility)."""
+        return ChangeModel(
+            p_class_rename=self.p_class_rename * factor,
+            p_id_rename=self.p_id_rename * factor,
+            p_count_change=self.p_count_change * factor,
+            p_list_resize=self.p_list_resize,
+            p_flag_toggle=self.p_flag_toggle * factor,
+            p_redesign=self.p_redesign * factor,
+            redesign_class_churn=self.redesign_class_churn,
+            redesign_id_churn=self.redesign_id_churn,
+            p_target_removal=self.p_target_removal * factor,
+            p_broken_snapshot=self.p_broken_snapshot,
+            data_churn_rate=self.data_churn_rate,
+        )
+
+
+def rename_attribute_value(value: str, rng: random.Random) -> str:
+    """Mutate an attribute value the way real sites do.
+
+    Styles observed in the paper: numeric-suffix change
+    (``headline20`` → ``headline16``), wording expansion
+    (``hp-content-block`` → ``homepage-content-block``), truncation
+    (``searchInputArea`` → ``searchArea``), and versioning.
+    """
+    style = rng.randrange(4)
+    if style == 0:  # numeric suffix change
+        stripped = value.rstrip("0123456789")
+        return f"{stripped}{rng.randrange(2, 99)}"
+    if style == 1:  # wording expansion
+        prefix = rng.choice(["main", "page", "site", "new", "home"])
+        return f"{prefix}-{value}" if "-" in value or value.islower() else f"{prefix}{value.capitalize()}"
+    if style == 2:  # truncation / simplification
+        for sep in ("-", "_"):
+            if sep in value:
+                parts = value.split(sep)
+                if len(parts) > 1:
+                    return sep.join(parts[:-1])
+        return value[: max(3, len(value) - rng.randrange(2, 5))]
+    return f"{value}-v{rng.randrange(2, 9)}"  # versioning
+
+
+def initial_state(profile: SiteProfile, rng: random.Random) -> SiteState:
+    """Snapshot-0 state: profile values with per-site jitter on knobs."""
+    counts = {
+        name: min(knob.maximum, max(knob.minimum, knob.initial + rng.randint(-1, 1)))
+        for name, knob in profile.counts.items()
+    }
+    lists = {
+        name: min(knob.maximum, max(knob.minimum, knob.initial + rng.randint(-1, 2)))
+        for name, knob in profile.lists.items()
+    }
+    texts = {
+        key: _datagen().generate(kind, rng) for key, kind in profile.texts.items()
+    }
+    return SiteState(
+        snapshot_index=0,
+        day=0,
+        class_map=dict(profile.class_tokens),
+        id_map=dict(profile.id_tokens),
+        counts=counts,
+        lists=lists,
+        flags=dict(profile.flags),
+        texts=texts,
+    )
+
+
+def evolve_state(
+    profile: SiteProfile,
+    state: SiteState,
+    model: ChangeModel,
+    rng: random.Random,
+    interval_days: int = 20,
+) -> SiteState:
+    """One random-walk step: the state of the next archive snapshot."""
+    new = state.clone()
+    new.snapshot_index += 1
+    new.day += interval_days
+    new.broken = rng.random() < model.p_broken_snapshot
+
+    # Data churn: most data slots change between snapshots.
+    datagen = _datagen()
+    for key, kind in profile.texts.items():
+        if rng.random() < model.data_churn_rate:
+            new.texts[key] = datagen.generate(kind, rng)
+
+    for token in profile.class_tokens:
+        if rng.random() < model.p_class_rename:
+            new.class_map[token] = rename_attribute_value(new.class_map[token], rng)
+    for token in profile.id_tokens:
+        if rng.random() < model.p_id_rename:
+            new.id_map[token] = rename_attribute_value(new.id_map[token], rng)
+
+    for name, knob in profile.counts.items():
+        if rng.random() < model.p_count_change:
+            delta = rng.choice([-1, 1])
+            new.counts[name] = min(knob.maximum, max(knob.minimum, new.counts[name] + delta))
+    for name, knob in profile.lists.items():
+        if rng.random() < model.p_list_resize:
+            delta = rng.choice([-2, -1, 1, 2])
+            new.lists[name] = min(knob.maximum, max(knob.minimum, new.lists[name] + delta))
+    for name in profile.flags:
+        if rng.random() < model.p_flag_toggle:
+            new.flags[name] = not new.flags[name]
+
+    if rng.random() < model.p_redesign:
+        new.redesign_level += 1
+        for token in profile.class_tokens:
+            if rng.random() < model.redesign_class_churn:
+                new.class_map[token] = rename_attribute_value(new.class_map[token], rng)
+        for token in profile.id_tokens:
+            if rng.random() < model.redesign_id_churn:
+                new.id_map[token] = rename_attribute_value(new.id_map[token], rng)
+
+    if profile.removable_roles and rng.random() < model.p_target_removal:
+        candidates = [r for r in profile.removable_roles if r not in new.removed_roles]
+        if candidates:
+            new.removed_roles = new.removed_roles | {rng.choice(candidates)}
+
+    return new

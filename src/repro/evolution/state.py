@@ -1,0 +1,157 @@
+"""Site state: everything a template needs to render one snapshot.
+
+``SiteProfile`` is the static registry of a site's evolvable knobs;
+``SiteState`` is one point of the random walk over them.  Builders
+(see :mod:`repro.sites.verticals`) read the state through a
+:class:`RenderContext` and never see the change process itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.dom.node import TextNode
+
+
+@dataclass(frozen=True)
+class Knob:
+    """An integer knob with bounds (list sizes, repeated-block counts)."""
+
+    initial: int
+    minimum: int
+    maximum: int
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Static description of a site's evolvable surface.
+
+    * ``class_tokens`` / ``id_tokens``: logical names resolved to actual
+      attribute values per state (renames change the resolution);
+    * ``counts``: block-repetition knobs (promos before the content, …);
+    * ``lists``: data-list length knobs;
+    * ``flags``: toggleable optional blocks;
+    * ``texts``: volatile data slots, mapping key → generator kind
+      (see :mod:`repro.sites.datagen`);
+    * ``removable_roles``: target roles the site may eventually drop
+      (break group f).
+    """
+
+    class_tokens: Mapping[str, str] = field(default_factory=dict)  # token -> initial name
+    id_tokens: Mapping[str, str] = field(default_factory=dict)
+    counts: Mapping[str, Knob] = field(default_factory=dict)
+    lists: Mapping[str, Knob] = field(default_factory=dict)
+    flags: Mapping[str, bool] = field(default_factory=dict)
+    texts: Mapping[str, str] = field(default_factory=dict)  # key -> generator kind
+    removable_roles: tuple[str, ...] = ()
+
+
+@dataclass
+class SiteState:
+    """One snapshot's rendering parameters."""
+
+    snapshot_index: int
+    day: int
+    class_map: dict[str, str]
+    id_map: dict[str, str]
+    counts: dict[str, int]
+    lists: dict[str, int]
+    flags: dict[str, bool]
+    texts: dict[str, str]
+    redesign_level: int = 0
+    removed_roles: frozenset[str] = frozenset()
+    broken: bool = False
+
+    def clone(self) -> "SiteState":
+        return SiteState(
+            snapshot_index=self.snapshot_index,
+            day=self.day,
+            class_map=dict(self.class_map),
+            id_map=dict(self.id_map),
+            counts=dict(self.counts),
+            lists=dict(self.lists),
+            flags=dict(self.flags),
+            texts=dict(self.texts),
+            redesign_level=self.redesign_level,
+            removed_roles=self.removed_roles,
+            broken=self.broken,
+        )
+
+
+class RenderContext:
+    """What a template builder sees: resolved names, values, and helpers.
+
+    ``rng`` is seeded per snapshot, so rendering is deterministic while
+    list contents still churn between snapshots like real page data.
+    """
+
+    def __init__(self, state: SiteState, rng=None, site: str = "") -> None:
+        self.state = state
+        self.site = site
+        from repro.util import seeded_rng
+
+        self.rng = rng if rng is not None else seeded_rng("render", state.snapshot_index)
+
+    def cls(self, token: str) -> str:
+        """Current class-attribute value for a logical token."""
+        return self.state.class_map[token]
+
+    def ident(self, token: str) -> str:
+        """Current id-attribute value for a logical token."""
+        return self.state.id_map[token]
+
+    def text(self, key: str) -> str:
+        """Current (volatile) data value for a slot."""
+        return self.state.texts[key]
+
+    def count(self, knob: str) -> int:
+        return self.state.counts[knob]
+
+    def list_size(self, knob: str) -> int:
+        return self.state.lists[knob]
+
+    def flag(self, knob: str) -> bool:
+        return self.state.flags[knob]
+
+    def removed(self, role: str) -> bool:
+        return role in self.state.removed_roles
+
+    @property
+    def redesign(self) -> int:
+        return self.state.redesign_level
+
+    def data(self, key: str) -> TextNode:
+        """A text node holding volatile data (never used in predicates)."""
+        node = TextNode(self.text(key))
+        node.meta["volatile"] = True
+        return node
+
+    def volatile(self, text: str) -> TextNode:
+        """Mark arbitrary text as volatile data."""
+        node = TextNode(text)
+        node.meta["volatile"] = True
+        return node
+
+    def gen_str(self, kind: str) -> str:
+        """A fresh data value of the given kind (churns per snapshot)."""
+        from repro.sites import datagen
+
+        return datagen.generate(kind, self.rng)
+
+    def gen(self, kind: str) -> TextNode:
+        """A fresh volatile data text node of the given kind."""
+        return self.volatile(self.gen_str(kind))
+
+    def stable_str(self, kind: str, *key) -> str:
+        """A data value that stays the same across snapshots of one site
+        (a movie's cast, a hotel's name) — still treated as volatile for
+        induction, since it is page data, not template."""
+        from repro.sites import datagen
+        from repro.util import seeded_rng
+
+        return datagen.generate(kind, seeded_rng(self.site, "stable", kind, *key))
+
+    def stable(self, kind: str, *key) -> TextNode:
+        """A stable (per-site) volatile data text node."""
+        return self.volatile(self.stable_str(kind, *key))

@@ -1,0 +1,31 @@
+"""Experiment harnesses reproducing every table and figure of Sec. 6.
+
+Each module is a thin, deterministic driver over the library; the
+``benchmarks/`` directory calls these and prints paper-style rows, so
+the same code paths are unit-tested and benchmarked.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+* :mod:`robustness_study` — Figs. 3 & 4, Tables 1 & 2, break groups
+* :mod:`characteristics` — Figs. 5 & 6
+* :mod:`noise_study` — Fig. 7 and the Sec. 6.4 NER experiment
+* :mod:`sota` — Sec. 6.1 comparisons ([6] and WEIR [2])
+* :mod:`change_rate` — Sec. 6.2 c-change statistics
+* :mod:`runtime` — induction running-time distribution
+"""
+
+from repro.experiments.robustness_study import (
+    StudyResult,
+    SurvivalRecord,
+    TaskOutcome,
+    run_study,
+    run_task,
+)
+
+__all__ = [
+    "StudyResult",
+    "SurvivalRecord",
+    "TaskOutcome",
+    "run_study",
+    "run_task",
+]

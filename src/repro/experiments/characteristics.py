@@ -1,0 +1,103 @@
+"""Expression characteristics (Sec. 6.3 — Figures 5 and 6).
+
+Given a set of induced queries, tabulate step counts, node tests per
+step position, and predicate kinds per step position — the bar charts
+of Figs. 5/6 ("26 of the 72 steps check for div elements…").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.xpath.ast import (
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    PositionalPredicate,
+    Query,
+    StringPredicate,
+    TextSubject,
+)
+
+
+@dataclass
+class Characteristics:
+    """Aggregated expression characteristics."""
+
+    n_queries: int = 0
+    step_count_distribution: Counter = field(default_factory=Counter)
+    axis_usage: Counter = field(default_factory=Counter)
+    #: (step position, node test label) -> count
+    nodetests_by_step: Counter = field(default_factory=Counter)
+    #: (step position, predicate label) -> count
+    predicates_by_step: Counter = field(default_factory=Counter)
+    steps_with_one_predicate: int = 0
+    steps_with_two_predicates: int = 0
+    total_steps: int = 0
+    total_predicates: int = 0
+
+    def nodetest_totals(self) -> Counter:
+        totals: Counter = Counter()
+        for (_, label), count in self.nodetests_by_step.items():
+            totals[label] += count
+        return totals
+
+    def predicate_totals(self) -> Counter:
+        totals: Counter = Counter()
+        for (_, label), count in self.predicates_by_step.items():
+            totals[label] += count
+        return totals
+
+
+def _nodetest_label(query: Query, step_index: int) -> str:
+    nodetest = query.steps[step_index].nodetest
+    if nodetest.kind == "name":
+        return nodetest.name
+    return {"any": "*", "node": "node()", "text": "text()"}[nodetest.kind]
+
+
+def _predicate_label(predicate) -> str:
+    if isinstance(predicate, PositionalPredicate):
+        return "positional"
+    if isinstance(predicate, AttributePredicate):
+        return predicate.name
+    if isinstance(predicate, StringPredicate):
+        if isinstance(predicate.subject, TextSubject):
+            return "text"
+        assert isinstance(predicate.subject, AttrSubject)
+        return predicate.subject.name
+    return "other"
+
+
+def analyze_queries(queries: Iterable[Query]) -> Characteristics:
+    """Tabulate the Figs. 5/6 characteristics for a query collection."""
+    stats = Characteristics()
+    for query in queries:
+        stats.n_queries += 1
+        stats.step_count_distribution[len(query.steps)] += 1
+        for index, step in enumerate(query.steps):
+            stats.total_steps += 1
+            stats.axis_usage[step.axis.value] += 1
+            stats.nodetests_by_step[(index + 1, _nodetest_label(query, index))] += 1
+            non_positional_then_positional = len(step.predicates)
+            if non_positional_then_positional == 1:
+                stats.steps_with_one_predicate += 1
+            elif non_positional_then_positional >= 2:
+                stats.steps_with_two_predicates += 1
+            for predicate in step.predicates:
+                stats.total_predicates += 1
+                stats.predicates_by_step[(index + 1, _predicate_label(predicate))] += 1
+    return stats
+
+
+def top_labels(counter: Counter, limit: int = 10) -> list[tuple[str, int]]:
+    """Most common labels, with the tail folded into ``other``."""
+    common = counter.most_common(limit)
+    shown = {label for label, _ in common}
+    other = sum(count for label, count in counter.items() if label not in shown)
+    rows = list(common)
+    if other:
+        rows.append(("other", other))
+    return rows

@@ -1,0 +1,36 @@
+"""Plain-text table/series rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned fixed-width table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], precision: int = 4
+) -> str:
+    """Render an (x, y) series as one row per point."""
+    lines = [f"# {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>10.2f}  {y:.{precision}f}")
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(8, len(title))
+    return f"{bar}\n{title}\n{bar}"

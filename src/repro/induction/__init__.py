@@ -1,0 +1,38 @@
+"""Wrapper induction (Secs. 4–5): the paper's primary contribution.
+
+Entry point: :class:`repro.induction.induce.WrapperInducer` (also
+re-exported at the package root).  Internals follow the paper's
+structure:
+
+* :mod:`repro.induction.node_pattern` — candidate node tests + predicates
+* :mod:`repro.induction.step_pattern` — Algorithm 1 (spine step induction
+  with sideways checks)
+* :mod:`repro.induction.induce_path` — Algorithm 2 (axis path induction,
+  a K-best dynamic program along the spine)
+* :mod:`repro.induction.induce` — Algorithm 3 (two-directional paths via
+  the LCA and multi-sample aggregation)
+"""
+
+from repro.induction.config import InductionConfig
+from repro.induction.ensemble import EnsembleWrapper, build_ensemble, select_diverse
+from repro.induction.induce import InductionResult, WrapperInducer, induce
+from repro.induction.relative import (
+    RecordExample,
+    RecordWrapper,
+    RelativeWrapperInducer,
+)
+from repro.induction.samples import QuerySample
+
+__all__ = [
+    "EnsembleWrapper",
+    "InductionConfig",
+    "InductionResult",
+    "QuerySample",
+    "RecordExample",
+    "RecordWrapper",
+    "RelativeWrapperInducer",
+    "WrapperInducer",
+    "build_ensemble",
+    "induce",
+    "select_diverse",
+]

@@ -1,0 +1,54 @@
+"""Induction configuration.
+
+Most fields bound the candidate-generation combinatorics (the paper
+caps the search through K-best tables; the pattern-generation caps here
+keep the polynomial's constants small).  ``allow_text_predicates`` and
+the volatility marking implement the evaluation protocol of Sec. 6.2:
+"the induction is restricted to expressions which do not refer to
+textual data contents" — text nodes carrying page *data* (as opposed to
+template labels) are marked ``meta['volatile'] = True`` by the page
+generators and are then never used in string predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InductionConfig:
+    k: int = 10
+    beta: float = 0.5
+
+    #: Use text-content predicates at all (contains/starts-with/... on ".").
+    allow_text_predicates: bool = True
+    #: Meta key marking volatile (data, non-template) text nodes.
+    volatile_meta_key: str = "volatile"
+
+    #: Per-value caps on generated string predicates.
+    max_words_per_value: int = 4
+    max_text_length: int = 60
+    max_attr_value_length: int = 80
+
+    #: Cap on node patterns per node (cheapest kept first).
+    max_node_patterns: int = 48
+
+    #: Sideways checks (Algorithm 1, child axis only).
+    enable_sideways: bool = True
+    #: Siblings of the spine node considered on each side, nearest first.
+    max_sideways_each_side: int = 4
+    #: Anchor/sibling-step patterns combined per sibling.
+    max_sideways_patterns: int = 6
+
+    #: Generate positional refinements ([k] / [last()-m]).
+    enable_positional: bool = True
+
+    #: Engineering bound: at most this many target spines are walked by
+    #: the multi-target DP (first, last, and an even spread in between).
+    #: Accuracy is always evaluated against *all* targets, so on regular
+    #: lists the result is unchanged while cost stops growing linearly
+    #: in |V|; raise it for highly irregular target sets.
+    max_target_spines: int = 12
+
+    #: Attributes never used in predicates (too volatile / non-semantic).
+    skipped_attributes: frozenset[str] = frozenset({"style"})

@@ -1,0 +1,132 @@
+"""Wrapper ensembles (the paper's future-work item 4).
+
+Sec. 7: "no matter how sophisticated the wrapper language or scoring,
+... the robustness of a single wrapper will always be limited.
+Therefore, we are investigating techniques for inducing multiple
+wrappers that use a variety of independent means for selecting a target
+node."
+
+This module selects a small committee of induced queries that rely on
+*different features* (different anchor attributes, text labels, or
+positional structure) and combines them by majority vote at extraction
+time.  A class rename then breaks only the members anchored on that
+class; the vote survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.dom.node import Document, Node
+from repro.induction.induce import InductionResult
+from repro.xpath.ast import (
+    AttrSubject,
+    AttributePredicate,
+    PositionalPredicate,
+    Query,
+    StringPredicate,
+    TextSubject,
+)
+from repro.xpath.evaluator import evaluate
+
+
+def feature_signature(query: Query) -> frozenset[str]:
+    """The selection features a query depends on.
+
+    Two queries with disjoint signatures break independently: one names
+    the attributes/text constants/positional structure used.
+    """
+    features: set[str] = set()
+    for step in query.steps:
+        if step.nodetest.kind == "name":
+            features.add(f"tag:{step.nodetest.name}")
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionalPredicate):
+                features.add("positional")
+            elif isinstance(predicate, AttributePredicate):
+                features.add(f"attr:{predicate.name}")
+            elif isinstance(predicate, StringPredicate):
+                if isinstance(predicate.subject, TextSubject):
+                    features.add(f"text:{predicate.value}")
+                else:
+                    assert isinstance(predicate.subject, AttrSubject)
+                    features.add(f"attr:{predicate.subject.name}={predicate.value}")
+    return frozenset(features)
+
+
+def select_diverse(
+    result: InductionResult | Sequence, size: int = 3, min_f_beta: float = 1.0
+) -> list[Query]:
+    """Pick up to ``size`` accurate queries with maximally disjoint features.
+
+    Greedy: walk the ranking, keep a query if it shares as few features
+    as possible with the committee so far (prefer fully disjoint ones).
+    """
+    instances = list(result)
+    committee: list[Query] = []
+    used: set[str] = set()
+    # First pass: fully feature-disjoint queries in rank order.
+    for instance in instances:
+        if len(committee) >= size:
+            return committee
+        if instance.f_beta() < min_f_beta:
+            continue
+        signature = feature_signature(instance.query)
+        if signature and not (signature & used):
+            committee.append(instance.query)
+            used |= signature
+    # Second pass: fill remaining slots with least-overlapping queries.
+    for instance in instances:
+        if len(committee) >= size:
+            break
+        if instance.f_beta() < min_f_beta:
+            continue
+        if instance.query in committee:
+            continue
+        committee.append(instance.query)
+        used |= feature_signature(instance.query)
+    return committee
+
+
+@dataclass
+class EnsembleWrapper:
+    """Majority vote over member queries.
+
+    A node is selected if at least ``quorum`` members select it; with
+    the default quorum of ⌈n/2⌉ a single broken member cannot flip the
+    result.
+    """
+
+    members: tuple[Query, ...]
+    quorum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("an ensemble needs at least one member")
+        if self.quorum is None:
+            self.quorum = len(self.members) // 2 + 1
+
+    def select(self, doc: Document) -> list[Node]:
+        votes: dict[int, int] = {}
+        nodes: dict[int, Node] = {}
+        for member in self.members:
+            for node in evaluate(member, doc.root, doc):
+                votes[id(node)] = votes.get(id(node), 0) + 1
+                nodes[id(node)] = node
+        selected = [nodes[key] for key, count in votes.items() if count >= self.quorum]
+        return doc.sort_nodes(selected)
+
+    def __str__(self) -> str:
+        return " ⊕ ".join(str(member) for member in self.members)
+
+
+def build_ensemble(result: InductionResult, size: int = 3) -> EnsembleWrapper:
+    """Select a feature-diverse committee from an induction result."""
+    members = select_diverse(result, size=size)
+    if not members:
+        best = result.best
+        if best is None:
+            raise ValueError("no queries available for an ensemble")
+        members = [best.query]
+    return EnsembleWrapper(tuple(members))

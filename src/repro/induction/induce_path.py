@@ -1,0 +1,154 @@
+"""Axis path induction — Algorithm 2 (``inducePath``).
+
+A K-best dynamic program along the spine: for every target v and every
+anchor t on the spine between v and the context u (v first), candidate
+instances ``stepPattern(n, t, axis) × best(t)`` are evaluated against
+the reachable targets ``tar(n)`` and inserted into ``best(n)`` when they
+beat the current K-th entry.  Anchors are visited bottom-up so ``best(t)``
+is final before it is read (the paper's DP invariant); the ``best`` and
+``tar`` tables are passed in so Algorithm 3 can reuse this procedure for
+the two-directional case with a pre-seeded LCA entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dom.node import Document, Node
+from repro.induction.config import InductionConfig
+from repro.induction.samples import QuerySample
+from repro.induction.spine import spine, targets_reachable
+from repro.induction.step_pattern import StepCandidate, step_patterns
+from repro.scoring.params import ScoringParams
+from repro.scoring.ranking import KBestTable, QueryInstance
+from repro.scoring.score import Scorer
+from repro.xpath.ast import Axis, EMPTY_QUERY, Query
+from repro.xpath.cache import CachedEvaluator
+
+#: Tables are keyed by node identity (nodes are unhashable by value).
+BestTables = dict[int, KBestTable]
+TargetTable = dict[int, frozenset[int]]
+
+
+@dataclass
+class PathInductionContext:
+    """Shared state for one document's induction run."""
+
+    doc: Document
+    config: InductionConfig
+    params: ScoringParams
+    scorer: Scorer
+    evaluator: CachedEvaluator
+    step_cache: dict[tuple[int, int, Axis], list[StepCandidate]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def for_doc(
+        cls, doc: Document, config: InductionConfig, params: ScoringParams
+    ) -> "PathInductionContext":
+        return cls(
+            doc=doc,
+            config=config,
+            params=params,
+            scorer=Scorer(params),
+            evaluator=CachedEvaluator(doc),
+        )
+
+    def step_patterns(self, n: Node, t: Node, axis: Axis) -> list[StepCandidate]:
+        key = (id(n), id(t), axis)
+        cached = self.step_cache.get(key)
+        if cached is None:
+            cached = step_patterns(
+                n, t, axis, self.config.k, self.doc, self.config, self.params, self.scorer
+            )
+            self.step_cache[key] = cached
+        return cached
+
+
+def init_tables(
+    targets: list[Node], k: int, beta: float
+) -> BestTables:
+    """Initial ``best`` tables: ε with ⟨ε,1,0,0⟩ at every target (Sec. 5)."""
+    best: BestTables = {}
+    for v in targets:
+        table = KBestTable(k, beta)
+        table.insert(QueryInstance(EMPTY_QUERY, tp=1, fp=0, fn=0, score=0.0))
+        best[id(v)] = table
+    return best
+
+
+def induce_path(
+    ctx: PathInductionContext,
+    u: Node,
+    targets: list[Node],
+    axis: Axis,
+    best: BestTables,
+    tar: TargetTable,
+) -> KBestTable:
+    """Algorithm 2; returns ``best(u)`` (possibly empty when nothing matched)."""
+    k = ctx.config.k
+    beta = ctx.config.beta
+
+    for v in _spine_targets(targets, ctx.config.max_target_spines):
+        path = spine(u, v, axis)  # u .. v
+        # Anchors t ∈ spine(v, u) − {u}, i.e. from v up/back towards u.
+        for t_index in range(len(path) - 1, 0, -1):
+            t = path[t_index]
+            tails = best.get(id(t))
+            if tails is None or len(tails) == 0:
+                continue  # the fail query ⊥: nothing to extend
+            tail_items = tails.items
+            # Contexts n ∈ spine(u, t) − {t}.
+            for n_index in range(t_index):
+                n = path[n_index]
+                table = best.get(id(n))
+                if table is None:
+                    table = KBestTable(k, beta)
+                    best[id(n)] = table
+                reachable = tar.get(id(n))
+                if reachable is None:
+                    reachable = targets_reachable(n, targets, axis)
+                    tar[id(n)] = reachable
+                for candidate in ctx.step_patterns(n, t, axis):
+                    for tail in tail_items:
+                        _try_candidate(ctx, table, candidate, tail, reachable)
+
+    result = best.get(id(u))
+    if result is None:
+        result = KBestTable(k, beta)
+        best[id(u)] = result
+    return result
+
+
+def _spine_targets(targets: list[Node], limit: int) -> list[Node]:
+    """The targets whose spines the DP walks: all of them when few,
+    otherwise the first, the last, and an even spread in between (head
+    and tail matter most — they delimit list selections)."""
+    if limit <= 0 or len(targets) <= limit:
+        return targets
+    step = (len(targets) - 1) / (limit - 1)
+    indices = sorted({round(i * step) for i in range(limit)})
+    return [targets[i] for i in indices]
+
+
+def _try_candidate(
+    ctx: PathInductionContext,
+    table: KBestTable,
+    candidate: StepCandidate,
+    tail: QueryInstance,
+    reachable: frozenset[int],
+) -> None:
+    """Score/evaluate ``candidate.query / tail.query`` and insert if it beats
+    the table's K-th entry (Alg. 2, L5–9)."""
+    query = candidate.query.concat(tail.query)
+    score = ctx.scorer.score(query)
+    # Prune without evaluating: even with a perfect F-score the candidate
+    # could not enter the table.
+    if not table.would_accept((-1.0, score, len(query), "")):
+        return
+    match_ids = ctx.evaluator.evaluate_concat_ids(candidate.matches, tail.query)
+    tp = len(match_ids & reachable)
+    fp = len(match_ids) - tp
+    fn = len(reachable) - tp
+    table.insert(QueryInstance(query, tp=tp, fp=fp, fn=fn, score=score))

@@ -1,0 +1,46 @@
+"""Query samples: the induction input (Sec. 4).
+
+A query sample is a pair ⟨u, V⟩ of a context node and a non-empty set
+of target nodes of one document.  The induction consumes a sequence of
+samples, possibly over different documents (multiple page versions or
+multiple pages of the same template).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dom.node import Document, Node
+
+
+@dataclass
+class QuerySample:
+    """⟨u, V⟩ over a document; ``context=None`` means the document node."""
+
+    doc: Document
+    targets: Sequence[Node]
+    context: Optional[Node] = None
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("a query sample needs at least one target node")
+        if self.context is None:
+            self.context = self.doc.root
+        # Dedupe targets while preserving order.
+        seen: set[int] = set()
+        unique: list[Node] = []
+        for node in self.targets:
+            if id(node) not in seen:
+                seen.add(id(node))
+                unique.append(node)
+        self.targets = unique
+        for node in self.targets:
+            if not self.doc.contains(node):
+                raise ValueError("target node is not part of the sample document")
+        if not self.doc.contains(self.context):
+            raise ValueError("context node is not part of the sample document")
+
+    @property
+    def target_ids(self) -> frozenset[int]:
+        return frozenset(id(node) for node in self.targets)

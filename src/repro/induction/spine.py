@@ -1,0 +1,124 @@
+"""Spines, base axes, and reachability (Sec. 5).
+
+The base axes are B = {child, parent, following-sibling,
+preceding-sibling}; ``axis.transitive`` maps child→descendant and
+parent→ancestor.  The *spine* from u to v along a base axis is the node
+sequence connecting them; its inner nodes are the possible anchors of
+the induced query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.dom.node import AttributeNode, ElementNode, Node
+from repro.xpath.ast import Axis, BASE_AXES
+
+
+def is_ancestor_of(ancestor: Node, node: Node) -> bool:
+    """Strict ancestorship."""
+    return any(a is ancestor for a in node.ancestors())
+
+
+def base_axis_between(u: Node, v: Node) -> Optional[Axis]:
+    """The unique base axis a such that v is a.transitive-reachable from u."""
+    if v is u:
+        return None
+    if isinstance(v, AttributeNode):
+        v = v.parent
+        if v is u:
+            return None  # attribute of the context itself: no base axis needed
+    if is_ancestor_of(u, v):
+        return Axis.CHILD
+    if is_ancestor_of(v, u):
+        return Axis.PARENT
+    if u.parent is not None and v.parent is u.parent:
+        if u.index_in_parent() < v.index_in_parent():
+            return Axis.FOLLOWING_SIBLING
+        return Axis.PRECEDING_SIBLING
+    return None
+
+
+def common_base_axis(u: Node, targets: Iterable[Node]) -> Optional[Axis]:
+    """The base axis reaching *all* targets from u, if one exists (Alg. 3, L2)."""
+    axes = {base_axis_between(u, v) for v in targets}
+    if len(axes) == 1:
+        axis = axes.pop()
+        if axis in BASE_AXES:
+            return axis
+    return None
+
+
+def spine(u: Node, v: Node, axis: Axis) -> list[Node]:
+    """Nodes from u to v inclusive, along ``axis`` (u first, v last)."""
+    if isinstance(v, AttributeNode):
+        v = v.parent
+    if axis is Axis.CHILD:
+        path = [v]
+        for ancestor in v.ancestors():
+            path.append(ancestor)
+            if ancestor is u:
+                path.reverse()
+                return path
+        raise ValueError("v is not a descendant of u")
+    if axis is Axis.PARENT:
+        path = [u]
+        for ancestor in u.ancestors():
+            path.append(ancestor)
+            if ancestor is v:
+                return path
+        raise ValueError("v is not an ancestor of u")
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        if u.parent is None or v.parent is not u.parent:
+            raise ValueError("u and v are not siblings")
+        siblings = u.parent.children
+        i, j = u.index_in_parent(), v.index_in_parent()
+        if axis is Axis.FOLLOWING_SIBLING:
+            if j < i:
+                raise ValueError("v does not follow u")
+            return siblings[i : j + 1]
+        if j > i:
+            raise ValueError("v does not precede u")
+        return list(reversed(siblings[j : i + 1]))
+    raise ValueError(f"not a base axis: {axis}")
+
+
+def lca(nodes: Sequence[Node]) -> Node:
+    """Least common ancestor of a non-empty node set.
+
+    A node that is itself an ancestor of the others is their LCA
+    (matching the paper's ``lca(V ∪ {u})`` usage).
+    """
+    if not nodes:
+        raise ValueError("lca of empty node set")
+    paths: list[list[Node]] = []
+    for node in nodes:
+        if isinstance(node, AttributeNode):
+            node = node.parent
+        path = [node] + list(node.ancestors())
+        path.reverse()  # root first
+        paths.append(path)
+    depth = min(len(p) for p in paths)
+    ancestor: Optional[Node] = None
+    for level in range(depth):
+        candidate = paths[0][level]
+        if all(p[level] is candidate for p in paths):
+            ancestor = candidate
+        else:
+            break
+    if ancestor is None:
+        raise ValueError("nodes share no common ancestor (different documents?)")
+    return ancestor
+
+
+def targets_reachable(node: Node, targets: Sequence[Node], axis: Axis) -> frozenset[int]:
+    """ids of targets reachable from ``node`` via ``axis.transitive``.
+
+    This is the ``tar`` table of Algorithm 2: tar(n) = V ∩ axis.transitive(n).
+    """
+    reachable: set[int] = set()
+    for v in targets:
+        between = base_axis_between(node, v)
+        if between is not None and between.transitive is axis.transitive:
+            reachable.add(id(v))
+    return frozenset(reachable)

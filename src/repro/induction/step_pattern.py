@@ -1,0 +1,303 @@
+"""Spine step induction — Algorithm 1 (``stepPattern``).
+
+Generates the K-best one-anchor query pieces matching a spine node ``t``
+from a context ``n`` along a base axis:
+
+* *direct* patterns: ``axis.transitive::pattern`` always, plus
+  ``axis::pattern`` when ``t`` is one plain step away;
+* *sideways* patterns (child axis only, as in the paper): an anchor
+  pattern for a sibling ``s`` of ``t`` followed by one
+  following-/preceding-sibling step reaching ``t`` — the construction
+  that makes robust list selection possible (Sec. 6.3);
+* positional refinements ``[k]`` / ``[last()-m]`` appended when a
+  pattern does not uniquely match ``t`` — the *unrefined* pattern is
+  kept too, since over-matching patterns are exactly what multi-target
+  induction needs (they are rescored against the real target set by
+  Algorithm 2).
+
+Every returned candidate satisfies the algorithm's contract
+``{t} ⊆ p(n)`` and carries its match set, so Algorithm 2 can evaluate
+concatenations incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dom.node import Document, Node
+from repro.induction.config import InductionConfig
+from repro.induction.node_pattern import NodePattern, node_patterns
+from repro.scoring.params import ScoringParams
+from repro.scoring.ranking import KBestTable, QueryInstance, rank_key
+from repro.scoring.score import Scorer
+from repro.xpath.ast import Axis, PositionalPredicate, Query, Step
+from repro.xpath.axes import axis_candidates
+from repro.xpath.evaluator import nodetest_matches, predicate_holds
+
+
+@dataclass(frozen=True)
+class StepCandidate:
+    """A candidate query piece with its (rescored) instance and matches."""
+
+    instance: QueryInstance
+    matches: tuple[Node, ...]
+
+    @property
+    def query(self) -> Query:
+        return self.instance.query
+
+
+#: Per-document memo of axis candidate lists: (doc id, node id, axis) ->
+#: tuple of nodes.  Axis scans dominate pattern generation; one (node,
+#: axis) pair is scanned for every pattern variant without this.
+_AXIS_CACHE: dict[tuple[int, int, Axis], tuple[Node, ...]] = {}
+_AXIS_CACHE_LIMIT = 200_000
+
+
+def _cached_axis_candidates(context: Node, axis: Axis, doc: Document) -> tuple[Node, ...]:
+    key = (id(doc), id(context), axis)
+    cached = _AXIS_CACHE.get(key)
+    if cached is None:
+        if len(_AXIS_CACHE) > _AXIS_CACHE_LIMIT:
+            _AXIS_CACHE.clear()
+        cached = tuple(axis_candidates(context, axis, doc))
+        _AXIS_CACHE[key] = cached
+    return cached
+
+
+def _axis_matches(
+    context: Node, step: Step, doc: Document
+) -> list[Node]:
+    """Matches of a positional-free step from ``context``, in axis order."""
+    matched = []
+    for candidate in _cached_axis_candidates(context, step.axis, doc):
+        if not nodetest_matches(step.nodetest, candidate, step.axis):
+            continue
+        if all(predicate_holds(p, candidate, doc) for p in step.predicates):
+            matched.append(candidate)
+    return matched
+
+
+def _step_variants(
+    context: Node,
+    target: Node,
+    axis: Axis,
+    pattern: NodePattern,
+    doc: Document,
+    config: InductionConfig,
+) -> list[tuple[Step, list[Node]]]:
+    """Steps built from one node pattern along one axis, with positional
+    refinements; every variant matches ``target`` from ``context``."""
+    base = Step(axis, pattern.nodetest, pattern.predicates)
+    ordered = _axis_matches(context, base, doc)
+    try:
+        position = next(i for i, node in enumerate(ordered) if node is target)
+    except StopIteration:
+        return []  # pattern does not reach the target at all
+    variants: list[tuple[Step, list[Node]]] = [(base, ordered)]
+    if len(ordered) > 1 and config.enable_positional:
+        index_pred = PositionalPredicate(index=position + 1)
+        variants.append((base.with_predicates(index_pred), [target]))
+        from_last = len(ordered) - 1 - position
+        last_pred = PositionalPredicate(from_last=from_last)
+        variants.append((base.with_predicates(last_pred), [target]))
+    return variants
+
+
+def _vertical_axes(context: Node, target: Node, axis: Axis) -> list[Axis]:
+    """Axis forms for a direct step: the transitive form always, the plain
+    base form when one step suffices."""
+    axes = [axis.transitive]
+    if axis in (Axis.CHILD, Axis.PARENT):
+        direct = (
+            target.parent is context if axis is Axis.CHILD else context.parent is target
+        )
+        if direct:
+            axes.append(axis)
+    return axes
+
+
+def _nearby_siblings(target: Node, limit: int) -> list[Node]:
+    """Up to ``limit`` siblings on each side of ``target``, nearest first."""
+    preceding = list(target.preceding_siblings())[:limit]
+    following = list(target.following_siblings())[:limit]
+    return preceding + following
+
+
+def step_patterns(
+    context: Node,
+    target: Node,
+    axis: Axis,
+    k: int,
+    doc: Document,
+    config: InductionConfig,
+    params: ScoringParams,
+    scorer: Scorer,
+) -> list[StepCandidate]:
+    """Algorithm 1: the best query pieces matching ``target`` from ``context``.
+
+    Returns the union of the top-K by the paper's ranking (F0.5 against
+    {t}, then score) and the top-K by score alone.  The second group
+    keeps cheap over-matching patterns (``descendant::li``) alive for
+    multi-target induction, where Algorithm 2 rescored them against the
+    full target set.
+    """
+    beta = config.beta
+    candidates: list[tuple[Query, list[Node]]] = []
+    core: list[tuple[Query, list[Node]]] = []  # bare tag/text tests, always kept
+
+    for vertical_axis in _vertical_axes(context, target, axis):
+        for pattern in node_patterns(target, doc, config, params):
+            is_core = not pattern.predicates and pattern.nodetest.kind in ("name", "text")
+            for step, matches in _step_variants(
+                context, target, vertical_axis, pattern, doc, config
+            ):
+                candidates.append((Query((step,)), matches))
+                if is_core:
+                    core.append(candidates[-1])
+
+    sideways: list[tuple[Query, list[Node]]] = []
+    if axis is Axis.CHILD and config.enable_sideways:
+        sideways = _sideways_candidates(context, target, doc, config, params)
+        candidates.extend(sideways)
+
+    # Pieces are scored WITHOUT the no-predicate penalty: that penalty is a
+    # property of the final composed query (Sec. 4 adds it to score(q)),
+    # and a bare piece like ``descendant::li`` composes into penalty-free
+    # queries such as ``descendant::div[@id="x"]/descendant::li``.  Using
+    # the penalized score here would starve multi-target induction of its
+    # list patterns.
+    piece_params = replace(params, no_predicate_penalty=0.0)
+    piece_scorer = Scorer(piece_params)
+
+    ranked = KBestTable(k, beta)
+    instances: list[StepCandidate] = []
+    for query, matches in candidates:
+        tp = 1
+        fp = len(matches) - 1
+        instance = QueryInstance(
+            query, tp=tp, fp=fp, fn=0, score=piece_scorer.score(query)
+        )
+        instances.append(StepCandidate(instance, tuple(matches)))
+
+    for candidate in instances:
+        ranked.insert(candidate.instance)
+    by_rank = {inst.query for inst in ranked}
+    by_score = sorted(instances, key=lambda c: (c.instance.score, str(c.query)))
+
+    # Sideways candidates get a quota of their own: list selection needs
+    # sibling anchors (Sec. 6.3) even when cheap one-step anchors exist.
+    sideways_queries = {query for query, _ in sideways}
+    sideways_ranked = KBestTable(max(1, config.max_sideways_patterns), beta)
+    core_queries = {query for query, _ in core}
+
+    chosen: dict[Query, StepCandidate] = {}
+    for candidate in instances:
+        if candidate.query in sideways_queries:
+            sideways_ranked.insert(candidate.instance)
+        keep = candidate.query in by_rank or candidate.query in core_queries
+        if keep and candidate.query not in chosen:
+            chosen[candidate.query] = candidate
+    for candidate in by_score[:k]:
+        if candidate.query not in chosen:
+            chosen[candidate.query] = candidate
+    sideways_kept = {inst.query for inst in sideways_ranked}
+    for candidate in instances:
+        if candidate.query in sideways_kept and candidate.query not in chosen:
+            chosen[candidate.query] = candidate
+    return list(chosen.values())
+
+
+#: Sideways anchors matching more nodes than this are dropped before the
+#: cross product: an anchor that matches a large slice of the page is
+#: useless for selection and only inflates the candidate space.
+_MAX_ANCHOR_MATCHES = 24
+
+
+def _sideways_candidates(
+    context: Node,
+    target: Node,
+    doc: Document,
+    config: InductionConfig,
+    params: ScoringParams,
+) -> list[tuple[Query, list[Node]]]:
+    """Anchor-on-sibling patterns: vertical step to a sibling ``s`` of the
+    spine node, then one sibling step to the spine node (Alg. 1, L2–5)."""
+    results: list[tuple[Query, list[Node]]] = []
+    hop_cache: dict[tuple[int, Step], tuple[Node, ...]] = {}
+    for sibling in _nearby_siblings(target, config.max_sideways_each_side):
+        if sibling.index_in_parent() < target.index_in_parent():
+            sibling_axis = Axis.FOLLOWING_SIBLING
+        else:
+            sibling_axis = Axis.PRECEDING_SIBLING
+
+        sibling_steps: list[tuple[Step, list[Node]]] = []
+        for pattern in node_patterns(sibling, doc, config, params)[
+            : config.max_sideways_patterns
+        ]:
+            for step, matches in _step_variants(
+                context, sibling, Axis.DESCENDANT, pattern, doc, config
+            ):
+                if len(matches) <= _MAX_ANCHOR_MATCHES:
+                    sibling_steps.append((step, matches))
+
+        target_steps: list[Step] = []
+        for pattern in node_patterns(target, doc, config, params)[
+            : config.max_sideways_patterns
+        ]:
+            target_steps.extend(
+                step
+                for step, _ in _step_variants(
+                    sibling, target, sibling_axis, pattern, doc, config
+                )
+            )
+
+        for anchor_step, anchor_matches in sibling_steps:
+            if not any(node is sibling for node in anchor_matches):
+                continue
+            for hop_step in target_steps:
+                query = Query((anchor_step, hop_step))
+                matches = evaluate_two_step(anchor_matches, hop_step, doc, hop_cache)
+                if any(node is target for node in matches):
+                    results.append((query, matches))
+    return results
+
+
+def evaluate_two_step(
+    anchor_matches: list[Node],
+    hop_step: Step,
+    doc: Document,
+    hop_cache: dict[tuple[int, Step], tuple[Node, ...]] | None = None,
+) -> list[Node]:
+    """Matches of ``hop_step`` applied to every anchor match (doc order).
+
+    ``hop_cache`` memoizes per (anchor node, step): the same hops are
+    evaluated for many anchor-pattern variants sharing match sets.
+    """
+    out: list[Node] = []
+    for node in anchor_matches:
+        if hop_cache is None:
+            out.extend(_axis_matches_with_positional(node, hop_step, doc))
+            continue
+        key = (id(node), hop_step)
+        cached = hop_cache.get(key)
+        if cached is None:
+            cached = tuple(_axis_matches_with_positional(node, hop_step, doc))
+            hop_cache[key] = cached
+        out.extend(cached)
+    return doc.sort_nodes(out)
+
+
+def _axis_matches_with_positional(context: Node, step: Step, doc: Document) -> list[Node]:
+    """Full single-step evaluation from one context, honoring positional
+    predicates (axis-order counting)."""
+    positional = [p for p in step.predicates if isinstance(p, PositionalPredicate)]
+    plain = tuple(p for p in step.predicates if not isinstance(p, PositionalPredicate))
+    matched = _axis_matches(context, Step(step.axis, step.nodetest, plain), doc)
+    for predicate in positional:
+        size = len(matched)
+        position = (
+            predicate.index if predicate.index is not None else size - predicate.from_last
+        )
+        matched = [matched[position - 1]] if 1 <= position <= size else []
+    return matched

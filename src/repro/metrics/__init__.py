@@ -1,0 +1,16 @@
+"""Evaluation metrics: precision/recall/F-score, robustness, noise resistance."""
+
+from repro.metrics.prf import prf_counts, PRF
+from repro.metrics.robustness import (
+    query_robust_between,
+    same_result_set,
+    wrapper_matches_targets,
+)
+
+__all__ = [
+    "PRF",
+    "prf_counts",
+    "query_robust_between",
+    "same_result_set",
+    "wrapper_matches_targets",
+]

@@ -1,0 +1,39 @@
+"""Precision, recall, and F-score between node sets (Sec. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dom.node import Node
+from repro.scoring.ranking import fbeta, precision, recall
+
+
+@dataclass(frozen=True)
+class PRF:
+    tp: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        return precision(self.tp, self.fp)
+
+    @property
+    def recall(self) -> float:
+        return recall(self.tp, self.fn)
+
+    def f_beta(self, beta: float = 0.5) -> float:
+        return fbeta(self.tp, self.fp, self.fn, beta)
+
+    @property
+    def exact(self) -> bool:
+        return self.fp == 0 and self.fn == 0
+
+
+def prf_counts(predicted: Iterable[Node], expected: Iterable[Node]) -> PRF:
+    """Counts of ``predicted`` approximating ``expected`` (node identity)."""
+    predicted_ids = {id(node) for node in predicted}
+    expected_ids = {id(node) for node in expected}
+    tp = len(predicted_ids & expected_ids)
+    return PRF(tp=tp, fp=len(predicted_ids) - tp, fn=len(expected_ids) - tp)

@@ -1,0 +1,44 @@
+"""Robustness checks (Sec. 2).
+
+Two notions are used by the evaluation:
+
+* the *definition* of robustness for a query across two documents — a
+  subtree-preserving bijection between the result sets
+  (:func:`query_robust_between`);
+* the *operational* check used in the archive studies — the wrapper
+  still selects exactly the logically-same target set in a later
+  snapshot (:func:`wrapper_matches_targets`), which is how the paper
+  decides when a wrapper "breaks".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dom.node import Document, Node
+from repro.dom.signatures import subtree_bijection_exists
+from repro.xpath.ast import Query
+from repro.xpath.evaluator import evaluate
+
+
+def query_robust_between(query: Query, doc_a: Document, doc_b: Document) -> bool:
+    """Paper's robustness: a subtree-preserving bijection exists between
+    q(D) and q(D')."""
+    result_a = evaluate(query, doc_a.root, doc_a)
+    result_b = evaluate(query, doc_b.root, doc_b)
+    if len(result_a) != len(result_b):
+        return False
+    return subtree_bijection_exists(result_a, result_b)
+
+
+def same_result_set(result: Iterable[Node], expected: Iterable[Node]) -> bool:
+    """Identity-based node-set equality."""
+    return {id(n) for n in result} == {id(n) for n in expected}
+
+
+def wrapper_matches_targets(
+    query: Query, doc: Document, targets: Sequence[Node]
+) -> bool:
+    """Does the wrapper select exactly the expected target set in ``doc``?"""
+    result = evaluate(query, doc.root, doc)
+    return same_result_set(result, targets)

@@ -1,0 +1,23 @@
+"""Noise models: synthetic annotation noise (Sec. 6.4) and a simulated NER."""
+
+from repro.noise.ner import NERAnnotation, NERProfile, SimulatedNER
+from repro.noise.synthetic import (
+    NOISE_TYPES,
+    apply_noise,
+    negative_mid_random,
+    negative_random,
+    positive_random,
+    positive_structural,
+)
+
+__all__ = [
+    "NERAnnotation",
+    "NERProfile",
+    "NOISE_TYPES",
+    "SimulatedNER",
+    "apply_noise",
+    "negative_mid_random",
+    "negative_random",
+    "positive_random",
+    "positive_structural",
+]

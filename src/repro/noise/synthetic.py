@@ -1,0 +1,146 @@
+"""Synthetic annotation noise — the four types of Sec. 6.4.
+
+* **N1 negative random** — remove a fraction of the targets at random.
+* **N2 negative mid-random** — like N1 but the first and last target (in
+  document order) are kept; the paper introduces this because removed
+  head/tail nodes are what actually hurts list induction.
+* **N3 positive structural** — add nodes *structurally related* to the
+  targets: nodes selected by generalizing the targets' canonical
+  location (same tag, nearby container), e.g. other list entries or
+  entries of a parallel list.
+* **N4 positive random** — add random leaf nodes from anywhere in the
+  page.
+
+Noise intensity is the fraction of the original target count that is
+removed (negative) or added (positive); e.g. intensity 3.0 for N4 is
+the paper's 300 % spot check.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.dom.node import Document, ElementNode, Node, TextNode
+
+
+def _ordered(doc: Document, nodes: Sequence[Node]) -> list[Node]:
+    return doc.sort_nodes(list(nodes))
+
+
+def _removal_count(targets: Sequence[Node], intensity: float) -> int:
+    return min(len(targets) - 1, round(len(targets) * intensity))
+
+
+def negative_random(
+    doc: Document, targets: Sequence[Node], intensity: float, rng: random.Random
+) -> list[Node]:
+    """N1: drop ``intensity``·|V| random targets (at least one survives)."""
+    targets = _ordered(doc, targets)
+    drop = _removal_count(targets, intensity)
+    if drop <= 0:
+        return targets
+    removed = set(rng.sample(range(len(targets)), drop))
+    return [node for i, node in enumerate(targets) if i not in removed]
+
+
+def negative_mid_random(
+    doc: Document, targets: Sequence[Node], intensity: float, rng: random.Random
+) -> list[Node]:
+    """N2: like N1 but never drop the first or last target (doc order)."""
+    targets = _ordered(doc, targets)
+    if len(targets) <= 2:
+        return targets
+    drop = min(len(targets) - 2, round(len(targets) * intensity))
+    if drop <= 0:
+        return targets
+    middle = range(1, len(targets) - 1)
+    removed = set(rng.sample(list(middle), min(drop, len(targets) - 2)))
+    return [node for i, node in enumerate(targets) if i not in removed]
+
+
+def _structural_relatives(doc: Document, targets: Sequence[Node]) -> list[Node]:
+    """Nodes structurally related to the targets: same tag under the
+    grandparent region of the target container (other entries of the
+    same or a parallel list)."""
+    tags = {t.tag for t in targets if isinstance(t, ElementNode)}
+    target_ids = {id(t) for t in targets}
+    regions: list[ElementNode] = []
+    for target in targets:
+        container = target.parent
+        if container is not None and container.parent is not None:
+            region = container.parent
+        else:
+            region = container
+        if isinstance(region, ElementNode) and all(r is not region for r in regions):
+            regions.append(region)
+    related: list[Node] = []
+    seen: set[int] = set()
+    for region in regions:
+        scope = region.parent if isinstance(region.parent, ElementNode) else region
+        for node in scope.descendant_elements():
+            if node.tag in tags and id(node) not in target_ids and id(node) not in seen:
+                seen.add(id(node))
+                related.append(node)
+    return related
+
+
+def positive_structural(
+    doc: Document, targets: Sequence[Node], intensity: float, rng: random.Random
+) -> list[Node]:
+    """N3: add ``intensity``·|V| nodes drawn from structural relatives."""
+    targets = _ordered(doc, targets)
+    pool = _structural_relatives(doc, targets)
+    add = min(len(pool), round(len(targets) * intensity))
+    if add <= 0:
+        return targets
+    return targets + rng.sample(pool, add)
+
+
+def _leaf_nodes(doc: Document, excluded: set[int]) -> list[Node]:
+    leaves: list[Node] = []
+    for node in doc.root.descendants():
+        if id(node) in excluded:
+            continue
+        if isinstance(node, TextNode):
+            leaves.append(node)
+        elif isinstance(node, ElementNode) and not node.children:
+            leaves.append(node)
+    return leaves
+
+
+def positive_random(
+    doc: Document, targets: Sequence[Node], intensity: float, rng: random.Random
+) -> list[Node]:
+    """N4: add ``intensity``·|V| random leaf nodes of the page."""
+    targets = _ordered(doc, targets)
+    pool = _leaf_nodes(doc, {id(t) for t in targets})
+    add = min(len(pool), round(len(targets) * intensity))
+    if add <= 0:
+        return targets
+    return targets + rng.sample(pool, add)
+
+
+NoiseFunction = Callable[[Document, Sequence[Node], float, random.Random], list[Node]]
+
+NOISE_TYPES: dict[str, NoiseFunction] = {
+    "negative_random": negative_random,
+    "negative_mid_random": negative_mid_random,
+    "positive_structural": positive_structural,
+    "positive_random": positive_random,
+}
+
+
+def apply_noise(
+    kind: str,
+    doc: Document,
+    targets: Sequence[Node],
+    intensity: float,
+    rng: random.Random,
+) -> list[Node]:
+    """Apply one of the four noise types by name."""
+    try:
+        noise = NOISE_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown noise type {kind!r}") from None
+    return noise(doc, targets, intensity, rng)

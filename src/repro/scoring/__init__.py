@@ -1,0 +1,22 @@
+"""Robustness scoring and ranking of query instances (Sec. 4).
+
+Queries are ranked first by F0.5 accuracy against the samples, then by
+a plus-composable robustness score: lower score = more robust.  The
+score of a query is the decay-weighted sum of its step scores; step
+scores sum axis, node test, and predicate scores from the constant
+tables published in Sec. 6.3 of the paper.
+"""
+
+from repro.scoring.params import ScoringParams
+from repro.scoring.ranking import KBestTable, QueryInstance, fbeta, rank_key
+from repro.scoring.score import Scorer, score_query
+
+__all__ = [
+    "KBestTable",
+    "QueryInstance",
+    "Scorer",
+    "ScoringParams",
+    "fbeta",
+    "rank_key",
+    "score_query",
+]

@@ -1,0 +1,100 @@
+"""The recursive robustness score (Sec. 4).
+
+score(a₁::t₁P₁/…/aₙ::tₙPₙ) = Σᵢ score(aᵢ::tᵢPᵢ)·δ^(i-1)
+
+* step:        score(a::t p₁…pₘ) = s_a + s_t + Σⱼ score(pⱼ)
+* positional:  score([n]) = c_pos·n + s_position;
+               score([last()-n]) = c_pos·n + s_last
+* attribute:   score([f(@a,w)]) = s_f + y + s_a + c_f·|w|  with y ≠ 0
+               only for the bare existence test [@a]
+* text:        score([f(.,w)]) = s_f + s_text + c_f·|w|
+               (s_text is the normalize-space function score)
+* a query without any predicate receives the no-predicate penalty
+
+Plus-composability (the property Theorem 1 relies on):
+score(q₁/q₂) = score(q₁) + δ^len(q₁)·score(q₂) — verified by property
+tests.  Note the paper's single worked example (score 40 for
+``descendant::img[@class="adv"][1]``) drops the s_f term of the equals
+predicate; we implement the formula as written, which yields 41.
+"""
+
+from __future__ import annotations
+
+from repro.scoring.params import ScoringParams
+from repro.xpath.ast import (
+    AttributePredicate,
+    NodeTest,
+    PositionalPredicate,
+    Predicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    TextSubject,
+)
+
+
+def score_nodetest(nodetest: NodeTest, params: ScoringParams) -> float:
+    if nodetest.kind == "name":
+        return params.tag_score(nodetest.name)  # c_default unless overridden
+    return params.generic_nodetest_score  # node(), *, text()
+
+
+def score_predicate(predicate: Predicate, params: ScoringParams) -> float:
+    if isinstance(predicate, PositionalPredicate):
+        if predicate.index is not None:
+            return params.positional_factor * predicate.index + params.function_score(
+                "position"
+            )
+        return params.positional_factor * predicate.from_last + params.function_score(
+            "last"
+        )
+    if isinstance(predicate, AttributePredicate):
+        # Bare [@a]: no function, zero-length string, non-zero y penalty.
+        return params.no_function_penalty + params.attribute_score(predicate.name)
+    if isinstance(predicate, StringPredicate):
+        base = params.function_score(predicate.function)
+        length = params.length_factor * len(predicate.value)
+        if isinstance(predicate.subject, TextSubject):
+            return base + params.function_score("normalize-space") + length
+        return base + params.attribute_score(predicate.subject.name) + length
+    if isinstance(predicate, RelativePredicate):
+        # Human-wrapper extension: score the nested path as a query.
+        return score_query(predicate.query, params)
+    raise TypeError(f"unexpected predicate: {predicate!r}")
+
+
+def score_step(step: Step, params: ScoringParams) -> float:
+    total = params.axis_score(step.axis) + score_nodetest(step.nodetest, params)
+    for predicate in step.predicates:
+        total += score_predicate(predicate, params)
+    if params.no_predicate_penalty_scope == "step" and not step.predicates:
+        total += params.no_predicate_penalty
+    return total
+
+
+def score_query(query: Query, params: ScoringParams) -> float:
+    """Decay-weighted sum of step scores, plus the no-predicate penalty."""
+    total = 0.0
+    for i, step in enumerate(query.steps):
+        total += score_step(step, params) * params.decay**i
+    if params.no_predicate_penalty_scope == "query" and not any(
+        step.predicates for step in query.steps
+    ):
+        total += params.no_predicate_penalty
+    return total
+
+
+class Scorer:
+    """Caching wrapper around :func:`score_query` for one parameter set."""
+
+    def __init__(self, params: ScoringParams | None = None) -> None:
+        self.params = params or ScoringParams()
+        self._cache: dict[Query, float] = {}
+
+    def score(self, query: Query) -> float:
+        cached = self._cache.get(query)
+        if cached is None:
+            cached = score_query(query, self.params)
+            self._cache[query] = cached
+        return cached

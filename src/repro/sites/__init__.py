@@ -1,0 +1,22 @@
+"""Synthetic site corpus: 50+ evolving sites across 12 verticals.
+
+Each :class:`repro.sites.spec.SiteSpec` bundles a template builder, a
+change profile, and extraction tasks (single- and multi-target) with an
+expert-written ("human") wrapper — mirroring the paper's corpus of 100+
+popular pages from 50+ sites over 20+ verticals.
+"""
+
+from repro.sites.spec import SiteSpec, TaskSpec
+from repro.sites.corpus import (
+    build_corpus,
+    multi_node_tasks,
+    single_node_tasks,
+)
+
+__all__ = [
+    "SiteSpec",
+    "TaskSpec",
+    "build_corpus",
+    "multi_node_tasks",
+    "single_node_tasks",
+]

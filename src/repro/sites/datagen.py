@@ -1,0 +1,147 @@
+"""Seeded generators for volatile page data.
+
+Every value a real page would fill from a database — names, titles,
+prices, dates — comes from here.  Values churn between snapshots
+(they are *data*, not template), which is why the induction protocol
+marks them volatile and never uses them in predicates.
+"""
+
+from __future__ import annotations
+
+import random
+
+_FIRST_NAMES = [
+    "Martin", "Sofia", "James", "Ava", "Liam", "Noah", "Emma", "Olivia",
+    "Mason", "Lucas", "Mia", "Ethan", "Amelia", "Harper", "Elijah", "Isla",
+    "Greta", "Henrik", "Yuki", "Ravi", "Chen", "Fatima", "Diego", "Nadia",
+]
+
+_LAST_NAMES = [
+    "Scorsese", "Coppola", "Nolan", "Bigelow", "Kurosawa", "Varda",
+    "Anderson", "Lee", "Khan", "Svensson", "Okafor", "Petrov", "Garcia",
+    "Tanaka", "Moreau", "Rossi", "Jansen", "Novak", "Silva", "Haddad",
+]
+
+_NOUNS = [
+    "market", "city", "river", "garden", "engine", "harbor", "signal",
+    "bridge", "forest", "island", "summit", "canyon", "meadow", "tower",
+    "archive", "compass", "lantern", "voyage", "horizon", "quarry",
+]
+
+_ADJECTIVES = [
+    "silent", "golden", "hidden", "broken", "rapid", "ancient", "electric",
+    "crimson", "northern", "savage", "gentle", "twisted", "frozen", "lucky",
+]
+
+_CITIES = [
+    "San Francisco", "Edinburgh", "Oxford", "Kyoto", "Lisbon", "Nairobi",
+    "Valparaiso", "Tallinn", "Montreal", "Auckland", "Sevilla", "Bergen",
+]
+
+_ORGS = [
+    "Acme Group", "Northwind Labs", "Bluepeak Media", "Helios Partners",
+    "Quarry & Sons", "Meridian Trust", "Copperfield Inc", "Atlas Guild",
+]
+
+_TEAMS = [
+    "Rovers", "Falcons", "Mariners", "Comets", "Wolves", "Pioneers",
+    "Harriers", "Titans", "Cyclones", "Rangers",
+]
+
+_MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def movie_title(rng: random.Random) -> str:
+    return f"The {rng.choice(_ADJECTIVES).capitalize()} {rng.choice(_NOUNS).capitalize()}"
+
+
+def headline(rng: random.Random) -> str:
+    return (
+        f"{rng.choice(_ORGS)} announces {rng.choice(_ADJECTIVES)} "
+        f"{rng.choice(_NOUNS)} in {rng.choice(_CITIES)}"
+    )
+
+
+def sentence(rng: random.Random) -> str:
+    return (
+        f"A {rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} met a "
+        f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} near {rng.choice(_CITIES)}."
+    )
+
+
+def price(rng: random.Random) -> str:
+    return f"${rng.randrange(5, 2500)}.{rng.randrange(0, 100):02d}"
+
+
+def date(rng: random.Random) -> str:
+    return f"{rng.choice(_MONTHS)} {rng.randrange(1, 29)}, {rng.randrange(2007, 2017)}"
+
+
+def city(rng: random.Random) -> str:
+    return rng.choice(_CITIES)
+
+
+def organization(rng: random.Random) -> str:
+    return rng.choice(_ORGS)
+
+
+def team(rng: random.Random) -> str:
+    return rng.choice(_TEAMS)
+
+
+def score_line(rng: random.Random) -> str:
+    return f"{rng.choice(_TEAMS)} {rng.randrange(0, 8)} - {rng.randrange(0, 8)} {rng.choice(_TEAMS)}"
+
+
+def product_name(rng: random.Random) -> str:
+    return f"{rng.choice(_ADJECTIVES).capitalize()} {rng.choice(_NOUNS).capitalize()} {rng.randrange(2, 12)}00"
+
+
+def hotel_name(rng: random.Random) -> str:
+    return f"Hotel {rng.choice(_NOUNS).capitalize()} {rng.choice(_CITIES)}"
+
+
+def percentage(rng: random.Random) -> str:
+    return f"{rng.randrange(-5, 6)}.{rng.randrange(0, 100):02d}%"
+
+
+def word(rng: random.Random) -> str:
+    return rng.choice(_NOUNS)
+
+
+_GENERATORS = {
+    "person": person_name,
+    "movie": movie_title,
+    "headline": headline,
+    "sentence": sentence,
+    "price": price,
+    "date": date,
+    "city": city,
+    "organization": organization,
+    "team": team,
+    "score": score_line,
+    "product": product_name,
+    "hotel": hotel_name,
+    "percentage": percentage,
+    "word": word,
+}
+
+
+def generate(kind: str, rng: random.Random) -> str:
+    """Generate a data value of the given kind."""
+    try:
+        generator = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown data kind {kind!r}") from None
+    return generator(rng)
+
+
+def kinds() -> list[str]:
+    return sorted(_GENERATORS)

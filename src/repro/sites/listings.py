@@ -1,0 +1,133 @@
+"""Product-listing pages with entity-typed slots (Sec. 6.4's dataset).
+
+The real-life-noise experiment samples 10 pages from product-listing
+websites, each containing at least one list of entities the NER
+supports (date, person, location, organization, money), with list sizes
+between 8 and 77.  These builders generate such pages: a *main* entity
+list (the intended extraction target), on some pages a *sidebar* list
+of the same entity type (the structural-noise trap the paper hits on
+waterstones.com), plus unrelated text the NER can misfire on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dom.builder import E, T, document
+from repro.dom.node import Document, ElementNode
+from repro.sites import datagen
+from repro.util import seeded_rng
+
+#: Entity types the simulated NER supports (mirrors the Stanford NER's).
+ENTITY_TYPES = ("date", "person", "location", "organization", "money")
+
+_ENTITY_DATA_KIND = {
+    "date": "date",
+    "person": "person",
+    "location": "city",
+    "organization": "organization",
+    "money": "price",
+}
+
+
+@dataclass(frozen=True)
+class ListingPageSpec:
+    """Parameters of one listing page."""
+
+    page_id: str
+    entity_type: str
+    list_size: int
+    with_sidebar: bool
+    seed: int
+
+
+def _entity_span(
+    kind: str, entity_type: str, region: str, rng: random.Random
+) -> ElementNode:
+    """A DOM node hosting one entity mention."""
+    node = E("span", datagen.generate(kind, rng), class_=f"val-{entity_type}")
+    node.meta["entity_type"] = entity_type
+    node.meta["region"] = region
+    for child in node.children:
+        child.meta["volatile"] = True
+    return node
+
+
+def build_listing_page(spec: ListingPageSpec) -> Document:
+    """Render one product-listing page."""
+    rng = seeded_rng(spec.page_id, spec.seed)
+    kind = _ENTITY_DATA_KIND[spec.entity_type]
+
+    items = []
+    for i in range(spec.list_size):
+        entity = _entity_span(kind, spec.entity_type, "main", rng)
+        entity.meta["role"] = "entities"
+        items.append(
+            E(
+                "li",
+                E("a", datagen.generate("product", rng), href=f"/item/{i}"),
+                E("div", T(f"{spec.entity_type.capitalize()}: "), entity, class_="meta-line"),
+                E("span", datagen.generate("price", rng), class_="price"),
+                class_="result-item",
+            )
+        )
+
+    sidebar = None
+    if spec.with_sidebar:
+        side_items = [
+            E("li", _entity_span(kind, spec.entity_type, "sidebar", rng))
+            for _ in range(max(3, spec.list_size // 4))
+        ]
+        sidebar = E(
+            "div",
+            E("h4", f"Refine by {spec.entity_type}"),
+            E("ul", *side_items),
+            class_="refinements",
+        )
+
+    chatter = [
+        E("p", datagen.generate("sentence", rng), class_="blurb")
+        for _ in range(rng.randrange(2, 6))
+    ]
+
+    body = E(
+        "body",
+        E("div", E("input", type="text", name="search"), class_="searchbar"),
+        E(
+            "div",
+            E("div", E("h1", "Search results"), E("ul", *items, class_="results"), class_="main-col"),
+            sidebar,
+            class_="columns",
+        ),
+        *chatter,
+        E("div", "footer", class_="footer"),
+    )
+    return document(E("html", E("head", E("title", "Listing")), body), url=f"http://{spec.page_id}.example.com/")
+
+
+#: The paper's list-size range: "between 8 and 77 elements".
+DEFAULT_LIST_SIZES = (8, 12, 15, 20, 24, 31, 40, 52, 64, 77)
+
+
+def listing_pages(
+    n_pages: int = 10,
+    seed: int = 0,
+    sizes: tuple[int, ...] = DEFAULT_LIST_SIZES,
+) -> list[tuple[ListingPageSpec, Document]]:
+    """The Sec. 6.4 dataset: ``n_pages`` listing pages, sizes 8–77,
+    cycling through the five entity types, sidebar traps on some pages.
+    ``sizes`` can be narrowed for fast test runs."""
+    rng = seeded_rng("listings", seed)
+    pages = []
+    for i in range(n_pages):
+        entity_type = ENTITY_TYPES[i % len(ENTITY_TYPES)]
+        spec = ListingPageSpec(
+            page_id=f"listing-{i}",
+            entity_type=entity_type,
+            list_size=rng.choice(list(sizes)),
+            with_sidebar=(i % 3 == 1),
+            seed=seed,
+        )
+        pages.append((spec, build_listing_page(spec)))
+    return pages

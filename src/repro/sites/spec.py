@@ -1,0 +1,56 @@
+"""Site and task specifications."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dom.node import Document
+from repro.util import seeded_rng
+from repro.evolution.changes import ChangeModel
+from repro.evolution.state import RenderContext, SiteProfile, SiteState
+
+#: A template builder renders a document from a state.
+Builder = Callable[[RenderContext], Document]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One extraction task on a site.
+
+    ``role`` is the meta marker the builder puts on target nodes;
+    ``human_wrapper`` is the expert-written XPath (written against the
+    site's *initial* state, as a human would); ``multi`` distinguishes
+    the single-node (Fig. 3) and multi-node (Fig. 4) datasets.
+    """
+
+    task_id: str
+    site_id: str
+    role: str
+    multi: bool
+    human_wrapper: str
+    description: str = ""
+
+
+@dataclass
+class SiteSpec:
+    """A synthetic site: template + change profile + tasks."""
+
+    site_id: str
+    vertical: str
+    url: str
+    profile: SiteProfile
+    build: Builder
+    change_model: ChangeModel
+    tasks: list[TaskSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def initial_rng(self) -> random.Random:
+        return seeded_rng(self.seed, self.site_id)
+
+    def single_tasks(self) -> list[TaskSpec]:
+        return [t for t in self.tasks if not t.multi]
+
+    def multi_tasks(self) -> list[TaskSpec]:
+        return [t for t in self.tasks if t.multi]

@@ -1,0 +1,1316 @@
+"""Vertical template builders: the core 13 site families (of 21 total;
+see :mod:`repro.sites.verticals_extra` for the rest).
+
+Each ``make_<vertical>_site(variant, seed)`` factory returns a
+:class:`SiteSpec` whose builder renders an evolving page, marks target
+nodes with ``meta['role']`` (ground truth, invisible to queries), and
+marks data text volatile.  Variants differ in attribute naming, layout
+knobs, and change-rate scaling, so a corpus of many sites per vertical
+shows realistic diversity.
+
+The verticals deliberately cover the paper's task variety: data
+attributes (director names, prices, scores), form elements (search
+inputs), menu entries, next links, and dispersed lists needing sibling
+anchors (Sec. 6.2: "form elements, menu entries, next links, and data
+attributes").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dom.builder import E, T, document
+from repro.dom.node import Document, ElementNode
+from repro.evolution.changes import ChangeModel
+from repro.evolution.state import Knob, RenderContext, SiteProfile
+from repro.sites.spec import SiteSpec, TaskSpec
+from repro.util import seeded_rng
+
+# --------------------------------------------------------------------------
+# shared pieces
+# --------------------------------------------------------------------------
+
+
+def _mark(node: ElementNode, role: str) -> ElementNode:
+    node.meta["role"] = role
+    return node
+
+
+_NAV_EXTRAS = ["More", "Video", "Live", "Local", "Apps", "Shop"]
+
+
+def _nav(ctx: RenderContext, items: list[str], cls: str) -> ElementNode:
+    """Top navigation; menus gain/lose entries over time when the site
+    registers a ``nav`` count knob (0 = no extras)."""
+    labels = list(items)
+    extras = ctx.state.counts.get("nav", 0)
+    labels.extend(_NAV_EXTRAS[:extras])
+    return E(
+        "div",
+        E("ul", *[E("li", E("a", label, href=f"/{label.lower()}")) for label in labels]),
+        class_=cls,
+    )
+
+
+def _promos(ctx: RenderContext, knob: str, cls: str) -> list[ElementNode]:
+    """Repeated promo/banner blocks before the content — the main source
+    of canonical-path positional churn."""
+    blocks = []
+    for i in range(ctx.count(knob)):
+        blocks.append(
+            E(
+                "div",
+                E("p", ctx.gen("sentence")),
+                class_=cls,
+            )
+        )
+    return blocks
+
+
+def _footer(ctx: RenderContext) -> ElementNode:
+    return E(
+        "div",
+        E("p", "Terms of use"),
+        E("p", "Privacy"),
+        class_="footer",
+    )
+
+
+def _wrap_redesign(ctx: RenderContext, node: ElementNode, levels: int = 1) -> ElementNode:
+    """Each redesign generation nests the content one level deeper
+    (layout frameworks love wrapper divs)."""
+    for generation in range(min(ctx.redesign, levels + 2)):
+        node = E("div", node, class_=f"layout-g{generation + 1}")
+    return node
+
+
+def _variant_rng(vertical: str, variant: int, seed: int) -> random.Random:
+    return seeded_rng(vertical, variant, seed)
+
+
+def _site_change_model(rng: random.Random) -> ChangeModel:
+    """Per-site volatility: most sites are calm, some are churny."""
+    return ChangeModel().scaled(rng.uniform(0.5, 2.2))
+
+
+# --------------------------------------------------------------------------
+# movies (IMDB-like)
+# --------------------------------------------------------------------------
+
+
+def make_movies_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("movies", variant, seed)
+    site_id = f"movies-{variant}"
+    content_cls = rng.choice(["article", "pagecontent", "title-overview", "main-wrap"])
+    block_cls = rng.choice(["txt-block", "credit-block", "info-row"])
+    cast_cls = rng.choice(["cast_list", "castTable", "credits"])
+    search_id = rng.choice(["suggestion-search", "nav-search", "q-input"])
+
+    profile = SiteProfile(
+        class_tokens={
+            "content": content_cls,
+            "block": block_cls,
+            "cast": cast_cls,
+            "castname": "name",
+            "promo": "promo-banner",
+            "name": "itemprop",
+        },
+        id_tokens={"main": "main", "search": search_id},
+        counts={"top_promos": Knob(2, 0, 5), "nav": Knob(1, 0, 4)},
+        lists={"cast": Knob(8, 4, 14), "writers": Knob(2, 1, 4)},
+        flags={"sidebar": True, "quote": True},
+        texts={"title": "movie", "director": "person", "quote": "sentence"},
+        removable_roles=("quote",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        # A movie's own data is stable across snapshots (the director and
+        # cast of one film do not churn like headlines do); only the page
+        # around it evolves.  The values are still volatile for induction.
+        director = _mark(
+            E("span", ctx.stable("person", "director"), itemprop="name", class_=ctx.cls("name")),
+            "director",
+        )
+        cast_rows = []
+        for i in range(ctx.list_size("cast")):
+            cast_rows.append(
+                E(
+                    "tr",
+                    E("td", E("img", src=f"/photo/{i}.jpg")),
+                    _mark(
+                        E("td", E("a", ctx.stable("person", "cast", i)), class_=ctx.cls("castname")),
+                        "cast",
+                    ),
+                    E("td", ctx.stable("movie", "role", i), class_="character"),
+                    class_="odd" if i % 2 else "even",
+                )
+            )
+        writers = [
+            E("span", ctx.stable("person", "writer", j), itemprop="name", class_=ctx.cls("name"))
+            for j in range(ctx.list_size("writers"))
+        ]
+        content = E(
+            "div",
+            E("h1", ctx.stable("movie", "title"), itemprop="name"),
+            E(
+                "div",
+                E("h4", "Director:", class_="inline"),
+                E("a", director, href="/name/nm0000217"),
+                class_=ctx.cls("block"),
+            ),
+            E(
+                "div",
+                E("h4", "Writers:", class_="inline"),
+                *writers,
+                class_=ctx.cls("block"),
+            ),
+            (
+                E("div", E("p", ctx.data("quote"), class_="quote-text"), class_="quote-bar")
+                if ctx.flag("quote") and not ctx.removed("quote")
+                else None
+            ),
+            E("table", *cast_rows, class_=ctx.cls("cast")),
+            class_=ctx.cls("content"),
+            id=ctx.ident("main"),
+        )
+        content = _wrap_redesign(ctx, content)
+        body = E(
+            "body",
+            E(
+                "div",
+                _nav(ctx, ["Movies", "TV", "News"], "navbar"),
+                _mark(
+                    E("input", type="text", name="q", id=ctx.ident("search")),
+                    "search",
+                ),
+                class_="header",
+            ),
+            *_promos(ctx, "top_promos", ctx.cls("promo")),
+            content,
+            (E("div", E("p", ctx.gen("sentence")), class_="sidebar") if ctx.flag("sidebar") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", ctx.text("title"))), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="movies",
+        url=f"http://www.{site_id}.example.com/title/tt{variant:07d}/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/director",
+            site_id=site_id,
+            role="director",
+            multi=False,
+            human_wrapper=(
+                'descendant::div[starts-with(.,"Director:")]'
+                '/descendant::span[@itemprop="name"]'
+            ),
+            description="director name on a movie page",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/cast",
+            site_id=site_id,
+            role="cast",
+            multi=True,
+            human_wrapper=(
+                f'descendant::table[@class="{cast_cls}"]'
+                '/descendant::td[@class="name"]'
+            ),
+            description="cast member names",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/search",
+            site_id=site_id,
+            role="search",
+            multi=False,
+            human_wrapper='descendant::input[@name="q"]',
+            description="the site search field",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# news (foxnews/cnn-like)
+# --------------------------------------------------------------------------
+
+
+def make_news_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("news", variant, seed)
+    site_id = f"news-{variant}"
+    console_id = rng.choice(["console", "big-top", "t1-zone"])
+    headline_cls = rng.choice(["hp-content-block", "headline20", "cnnT1Txt"])
+    latest_cls = rng.choice(["latest-news", "river", "newsfeed"])
+
+    profile = SiteProfile(
+        class_tokens={
+            "headline": headline_cls,
+            "latest": latest_cls,
+            "promo": "ad-slot",
+            "story": "story-block",
+        },
+        id_tokens={"console": console_id, "nav": "top-nav"},
+        counts={"top_promos": Knob(1, 0, 4), "mid_promos": Knob(1, 0, 3), "nav": Knob(2, 0, 5)},
+        lists={"latest": Knob(7, 3, 12), "secondary": Knob(4, 2, 8)},
+        flags={"breaking": False, "video_box": True},
+        texts={"headline": "headline", "dek": "sentence"},
+        removable_roles=("video_box",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        latest_items = [
+            _mark(E("li", E("a", ctx.gen("headline"), href=f"/story/{i}")), "latest")
+            for i in range(ctx.list_size("latest"))
+        ]
+        headline = _mark(E("h1", ctx.data("headline")), "headline")
+        console = E(
+            "div",
+            (E("div", "BREAKING", class_="breaking") if ctx.flag("breaking") else None),
+            E("div", headline, E("p", ctx.data("dek")), class_=ctx.cls("headline")),
+            *_promos(ctx, "mid_promos", ctx.cls("promo")),
+            (
+                _mark(E("div", E("p", "Top videos"), class_="video-box"), "video_box")
+                if ctx.flag("video_box") and not ctx.removed("video_box")
+                else None
+            ),
+            id=ctx.ident("console"),
+        )
+        secondary = [
+            E("div", E("h3", ctx.gen("headline")), E("p", ctx.gen("sentence")), class_=ctx.cls("story"))
+            for _ in range(ctx.list_size("secondary"))
+        ]
+        latest = E(
+            "div",
+            E("h3", "Latest News"),
+            E("ul", *latest_items),
+            class_=ctx.cls("latest"),
+        )
+        content = _wrap_redesign(ctx, E("div", console, *secondary, latest, class_="page"))
+        body = E(
+            "body",
+            _nav(ctx, ["US", "World", "Politics", "Tech"], "navbar"),
+            *_promos(ctx, "top_promos", ctx.cls("promo")),
+            content,
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "News")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="news",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/headline",
+            site_id=site_id,
+            role="headline",
+            multi=False,
+            human_wrapper=f'descendant::div[@id="{console_id}"]/descendant::h1',
+            description="main headline",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/latest",
+            site_id=site_id,
+            role="latest",
+            multi=True,
+            human_wrapper='descendant::div[starts-with(.,"Latest News")]/descendant::li',
+            description="latest-news items",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# sports (espn-like)
+# --------------------------------------------------------------------------
+
+
+def make_sports_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("sports", variant, seed)
+    site_id = f"sports-{variant}"
+    quote_cls = rng.choice(["f-quote", "pull-quote", "hero-quote"])
+    channel_id = rng.choice(["channel0", "scoreboard", "main-col"])
+
+    profile = SiteProfile(
+        class_tokens={"quote": quote_cls, "scores": "score-table", "score_hdr": "head", "promo": "sponsor"},
+        id_tokens={"channel": channel_id},
+        counts={"top_promos": Knob(1, 0, 3), "nav": Knob(1, 0, 4)},
+        lists={"scores": Knob(6, 3, 10), "headlines": Knob(5, 3, 9)},
+        flags={"ticker": True},
+        texts={"quote": "sentence"},
+        removable_roles=("quote",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        score_rows = [E("tr", E("td", "Scores"), class_=ctx.cls("score_hdr"))]
+        for i in range(ctx.list_size("scores")):
+            score_rows.append(_mark(E("tr", E("td", ctx.gen("score"))), "scores"))
+        quote = (
+            _mark(E("h3", ctx.data("quote"), class_=ctx.cls("quote")), "quote")
+            if not ctx.removed("quote")
+            else None
+        )
+        channel = E(
+            "div",
+            quote,
+            E("ul", *[E("li", E("a", ctx.gen("headline"))) for _ in range(ctx.list_size("headlines"))]),
+            E("table", *score_rows, class_=ctx.cls("scores")),
+            id=ctx.ident("channel"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["NFL", "NBA", "Soccer"], "navbar"),
+            (E("div", ctx.gen("score"), class_="ticker") if ctx.flag("ticker") else None),
+            *_promos(ctx, "top_promos", ctx.cls("promo")),
+            _wrap_redesign(ctx, channel),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Sports")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="sports",
+        url=f"http://{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/quote",
+            site_id=site_id,
+            role="quote",
+            multi=False,
+            human_wrapper=f'descendant::div[@id="{channel_id}"]/child::h3',
+            description="the top quote (paper Table 1, S2)",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/scores",
+            site_id=site_id,
+            role="scores",
+            multi=True,
+            human_wrapper='descendant::tr[contains(.,"Scores")]/following-sibling::tr',
+            description="score rows after the header row",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# finance (wellsfargo-like)
+# --------------------------------------------------------------------------
+
+
+def make_finance_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("finance", variant, seed)
+    site_id = f"finance-{variant}"
+    left_cls = rng.choice(["contentSmLeft", "col-left", "rail-a"])
+    adv_cls = rng.choice(["adv", "promo-img", "feature-img"])
+
+    profile = SiteProfile(
+        class_tokens={"left": left_cls, "adv": adv_cls, "rates": "rate-grid", "rate_hdr": "hdr"},
+        id_tokens={"login": "signon", "main": "page-main"},
+        counts={"notices": Knob(1, 0, 4)},
+        lists={"rates": Knob(5, 3, 9), "products": Knob(4, 2, 7)},
+        flags={"alert": False},
+        texts={"rate_headline": "headline"},
+        removable_roles=("adv",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        adv = (
+            _mark(
+                E("img", src="/img/offer.png", class_=ctx.cls("adv"), alt="offer"),
+                "adv",
+            )
+            if not ctx.removed("adv")
+            else None
+        )
+        rate_rows = [E("tr", E("th", "Product"), E("th", "Rate"), class_=ctx.cls("rate_hdr"))]
+        for i in range(ctx.list_size("rates")):
+            rate_rows.append(
+                _mark(
+                    E("tr", E("td", ctx.gen("product")), E("td", ctx.gen("percentage"))),
+                    "rates",
+                )
+            )
+        left = E(
+            "div",
+            E("h2", "Today's offers"),
+            adv,
+            E("p", ctx.gen("sentence")),
+            class_=ctx.cls("left"),
+        )
+        main = E(
+            "div",
+            left,
+            E(
+                "div",
+                E("h2", ctx.data("rate_headline")),
+                E("table", *rate_rows, class_=ctx.cls("rates")),
+                class_="contentMain",
+            ),
+            id=ctx.ident("main"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Banking", "Loans", "Investing"], "navbar"),
+            E("div", E("input", type="text", name="userid", id=ctx.ident("login")), class_="signon-box"),
+            (E("div", "Service alert", class_="alert") if ctx.flag("alert") else None),
+            *_promos(ctx, "notices", "notice"),
+            _wrap_redesign(ctx, main),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Bank")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="finance",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/adv",
+            site_id=site_id,
+            role="adv",
+            multi=False,
+            human_wrapper=f'descendant::img[ancestor::div[1][@class="{left_cls}"]]',
+            description="advert image (paper Table 1, S3 — hard case)",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/rates",
+            site_id=site_id,
+            role="rates",
+            multi=True,
+            human_wrapper='descendant::tr[contains(.,"Product")]/following-sibling::tr',
+            description="rate table rows",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# travel (tripadvisor-like)
+# --------------------------------------------------------------------------
+
+
+def make_travel_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("travel", variant, seed)
+    site_id = f"travel-{variant}"
+    hotel_cls = rng.choice(["heading_name", "hotel-title", "prop-name"])
+    review_cls = rng.choice(["review-container", "review-card"])
+
+    profile = SiteProfile(
+        class_tokens={"hotel": hotel_cls, "review": review_cls, "amenity": "amenity-list"},
+        id_tokens={"overview": "overview", "rating": "rating-box"},
+        counts={"banners": Knob(1, 0, 3)},
+        lists={"reviews": Knob(5, 2, 9), "amenities": Knob(6, 3, 10)},
+        flags={"map": True},
+        texts={"hotel": "hotel", "location": "city", "price": "price"},
+        removable_roles=("price",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        reviews = [
+            _mark(
+                E(
+                    "div",
+                    E("span", ctx.gen("person"), class_="reviewer"),
+                    E("p", ctx.gen("sentence")),
+                    class_=ctx.cls("review"),
+                ),
+                "reviews",
+            )
+            for _ in range(ctx.list_size("reviews"))
+        ]
+        price = (
+            _mark(E("span", ctx.data("price"), class_="price"), "price")
+            if not ctx.removed("price")
+            else None
+        )
+        overview = E(
+            "div",
+            _mark(E("h1", ctx.data("hotel"), class_=ctx.cls("hotel"), itemprop="name"), "hotel"),
+            E("span", "Country: ", ctx.data("location"), class_="locality"),
+            E("div", T("Price from: "), price, class_="price-box"),
+            E(
+                "ul",
+                *[
+                    E("li", ctx.gen("word"), class_="amenity")
+                    for _ in range(ctx.list_size("amenities"))
+                ],
+                class_=ctx.cls("amenity"),
+            ),
+            id=ctx.ident("overview"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Hotels", "Flights", "Restaurants"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            _wrap_redesign(ctx, E("div", overview, *reviews, class_="page")),
+            (E("div", "Map", class_="map-box") if ctx.flag("map") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", ctx.text("hotel"))), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="travel",
+        url=f"http://www.{site_id}.example.com/hotel/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/hotel",
+            site_id=site_id,
+            role="hotel",
+            multi=False,
+            human_wrapper=f'descendant::h1[@class="{hotel_cls}"]',
+            description="hotel name",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/reviews",
+            site_id=site_id,
+            role="reviews",
+            multi=True,
+            human_wrapper=f'descendant::div[@class="{review_cls}"]',
+            description="review cards",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# shopping (amazon-like)
+# --------------------------------------------------------------------------
+
+
+def make_shopping_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("shopping", variant, seed)
+    site_id = f"shopping-{variant}"
+    result_cls = rng.choice(["s-result-item", "product-tile", "item-cell"])
+    price_cls = rng.choice(["price", "a-price", "sale-price"])
+
+    profile = SiteProfile(
+        class_tokens={"result": result_cls, "price": price_cls, "grid": "result-grid"},
+        id_tokens={"results": "search-results", "cart": "nav-cart"},
+        counts={"sponsored": Knob(1, 0, 4)},
+        lists={"results": Knob(8, 4, 16)},
+        flags={"filters": True},
+        texts={"featured": "product", "featured_price": "price"},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        items = []
+        for i in range(ctx.list_size("results")):
+            items.append(
+                E(
+                    "div",
+                    _mark(E("h2", E("a", ctx.gen("product"), href=f"/dp/{i}")), "titles"),
+                    E("span", ctx.gen("price"), class_=ctx.cls("price")),
+                    class_=ctx.cls("result"),
+                )
+            )
+        featured = E(
+            "div",
+            E("h2", ctx.data("featured")),
+            _mark(E("span", ctx.data("featured_price"), class_=ctx.cls("price"), itemprop="price"), "price"),
+            class_="featured-deal",
+        )
+        body = E(
+            "body",
+            E(
+                "div",
+                E("input", type="text", name="field-keywords"),
+                E("a", "Cart", id=ctx.ident("cart")),
+                class_="nav-belt",
+            ),
+            *_promos(ctx, "sponsored", "sponsored"),
+            featured,
+            (E("div", "Filters", class_="refinements") if ctx.flag("filters") else None),
+            _wrap_redesign(ctx, E("div", *items, id=ctx.ident("results"), class_=ctx.cls("grid"))),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Shop")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="shopping",
+        url=f"http://www.{site_id}.example.com/s?k=widgets",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/price",
+            site_id=site_id,
+            role="price",
+            multi=False,
+            human_wrapper='descendant::span[@itemprop="price"]',
+            description="featured-deal price",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/titles",
+            site_id=site_id,
+            role="titles",
+            multi=True,
+            human_wrapper=f'descendant::div[@id="search-results"]/descendant::h2',
+            description="result titles",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# tech reviews (mobiletechreview-like)
+# --------------------------------------------------------------------------
+
+
+def make_techreview_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("techreview", variant, seed)
+    site_id = f"techreview-{variant}"
+    table_cls = rng.choice(["news-table", "frontgrid", "layout-tbl"])
+
+    profile = SiteProfile(
+        class_tokens={"table": table_cls, "review": "review-body"},
+        id_tokens={"lead": "lead-review"},
+        counts={"banners": Knob(1, 0, 3)},
+        lists={"news": Knob(7, 3, 12)},
+        flags={"poll": False},
+        texts={"lead_title": "product"},
+        removable_roles=("news",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        rows = [E("tr", E("td", E("b", "News and Latest Reviews")), class_="head")]
+        if not ctx.removed("news"):
+            for i in range(ctx.list_size("news")):
+                rows.append(
+                    _mark(E("tr", E("td", E("a", ctx.gen("product"), href=f"/r/{i}"))), "news")
+                )
+        lead = E(
+            "div",
+            _mark(E("h2", ctx.data("lead_title")), "lead"),
+            E("p", ctx.gen("sentence")),
+            id=ctx.ident("lead"),
+            class_=ctx.cls("review"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Phones", "Tablets", "Laptops"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            _wrap_redesign(ctx, E("div", lead, E("table", *rows, class_=ctx.cls("table")), class_="page")),
+            (E("div", "Poll", class_="poll") if ctx.flag("poll") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Reviews")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="techreview",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/lead",
+            site_id=site_id,
+            role="lead",
+            multi=False,
+            human_wrapper='descendant::div[@id="lead-review"]/descendant::h2',
+            description="lead review title",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/news",
+            site_id=site_id,
+            role="news",
+            multi=True,
+            human_wrapper=(
+                'descendant::tr[contains(.,"News and Latest Reviews")]'
+                "/following-sibling::tr"
+            ),
+            description="news rows (paper Table 2, S2 verbatim)",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# reference portal (about.com-like)
+# --------------------------------------------------------------------------
+
+
+def make_reference_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("reference", variant, seed)
+    site_id = f"reference-{variant}"
+    channel_cls = rng.choice(["hpCH", "topic-link", "cat-link"])
+
+    profile = SiteProfile(
+        class_tokens={"channel": channel_cls, "panel": "widePanel"},
+        id_tokens={"channels": "channels-box"},
+        counts={"banners": Knob(1, 0, 3)},
+        lists={"channels": Knob(9, 4, 16), "articles": Knob(4, 2, 8)},
+        flags={"newsletter": True},
+        texts={"lead_article": "headline"},
+        removable_roles=("channels",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        channels = [
+            _mark(
+                E("a", ctx.gen("word"), class_=ctx.cls("channel"), href=f"/topic/{i}"),
+                "channels",
+            )
+            for i in range(ctx.list_size("channels"))
+        ]
+        channel_box = (
+            E(
+                "div",
+                E("h3", "Channels"),
+                *channels,
+                id=ctx.ident("channels"),
+                class_=ctx.cls("panel"),
+            )
+            if not ctx.removed("channels")
+            else None
+        )
+        articles = [
+            E("div", E("h3", E("a", ctx.gen("headline"))), class_="article-teaser")
+            for _ in range(ctx.list_size("articles"))
+        ]
+        lead = _mark(E("h1", ctx.data("lead_article")), "lead")
+        body = E(
+            "body",
+            _nav(ctx, ["Topics", "Experts"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            _wrap_redesign(ctx, E("div", lead, channel_box, *articles, class_="page")),
+            (E("div", "Newsletter", class_="newsletter") if ctx.flag("newsletter") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Reference")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="reference",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/lead",
+            site_id=site_id,
+            role="lead",
+            multi=False,
+            human_wrapper="descendant::h1",
+            description="lead article heading",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/channels",
+            site_id=site_id,
+            role="channels",
+            multi=True,
+            human_wrapper=(
+                'descendant::div[contains(.,"Channels")]'
+                f'/descendant::a[@class="{channel_cls}"]'
+            ),
+            description="channel links (paper Table 2, S1)",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# jobs (nih-like)
+# --------------------------------------------------------------------------
+
+
+def make_jobs_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("jobs", variant, seed)
+    site_id = f"jobs-{variant}"
+    listing_cls = rng.choice(["job-row", "vacancy", "posting"])
+
+    profile = SiteProfile(
+        class_tokens={"listing": listing_cls, "badge": "jobs-badge"},
+        id_tokens={"jobs_link": "jobs"},
+        counts={"notices": Knob(1, 0, 3), "nav": Knob(1, 0, 3)},
+        lists={"jobs": Knob(6, 3, 11)},
+        flags={"alert": False},
+        texts={"agency": "organization"},
+        removable_roles=("jobs_link",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        jobs_link = (
+            _mark(
+                E(
+                    "a",
+                    E("img", id=ctx.ident("jobs_link"), src="/img/jobs.gif", alt="Jobs"),
+                    href="http://www.jobs.example.gov/",
+                ),
+                "jobs_link",
+            )
+            if not ctx.removed("jobs_link")
+            else None
+        )
+        listings = [
+            _mark(
+                E(
+                    "div",
+                    E("h3", E("a", ctx.gen("product"), href=f"/vacancy/{i}")),
+                    E("span", ctx.gen("city"), class_="location"),
+                    class_=ctx.cls("listing"),
+                ),
+                "listings",
+            )
+            for i in range(ctx.list_size("jobs"))
+        ]
+        body = E(
+            "body",
+            _nav(ctx, ["About", "Careers"], "navbar"),
+            *_promos(ctx, "notices", "notice"),
+            E("div", E("h1", ctx.data("agency")), jobs_link, class_="masthead"),
+            _wrap_redesign(ctx, E("div", E("h2", "Open positions"), *listings, class_="page")),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Jobs")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="jobs",
+        url=f"http://www.{site_id}.example.gov/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/jobs_link",
+            site_id=site_id,
+            role="jobs_link",
+            multi=False,
+            human_wrapper='descendant::img[@id="jobs"]/ancestor::a[1]',
+            description="jobs link via badge image (paper break case d)",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/listings",
+            site_id=site_id,
+            role="listings",
+            multi=True,
+            human_wrapper=(
+                'descendant::h2[contains(.,"Open positions")]'
+                "/following-sibling::div"
+            ),
+            description="job listing blocks",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# video (youtube-like)
+# --------------------------------------------------------------------------
+
+
+def make_video_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("video", variant, seed)
+    site_id = f"video-{variant}"
+    related_cls = rng.choice(["related-item", "up-next", "rec-tile"])
+
+    profile = SiteProfile(
+        class_tokens={"related": related_cls, "player": "player-shell"},
+        id_tokens={"watch_title": "watch-title"},
+        counts={"overlays": Knob(0, 0, 3)},
+        lists={"related": Knob(8, 4, 14), "comments": Knob(4, 2, 9)},
+        flags={"comments": True},
+        texts={"title": "headline", "channel": "organization"},
+        removable_roles=("comments_list",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        related = [
+            _mark(
+                E("li", E("a", ctx.gen("headline"), href=f"/watch?v={i}"), class_=ctx.cls("related")),
+                "related",
+            )
+            for i in range(ctx.list_size("related"))
+        ]
+        comments = (
+            E(
+                "div",
+                E("h3", "Comments"),
+                *[
+                    _mark(E("p", ctx.gen("sentence"), class_="comment"), "comments_list")
+                    for _ in range(ctx.list_size("comments"))
+                ],
+                class_="comments",
+            )
+            if ctx.flag("comments") and not ctx.removed("comments_list")
+            else None
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Home", "Trending", "Subscriptions"], "navbar"),
+            *_promos(ctx, "overlays", "overlay"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    E("div", "[player]", class_=ctx.cls("player")),
+                    _mark(E("h1", ctx.data("title"), id=ctx.ident("watch_title")), "title"),
+                    E("span", ctx.data("channel"), class_="channel-name"),
+                    comments,
+                    class_="watch-page",
+                ),
+            ),
+            E("ul", *related, class_="related-list"),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Video")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="video",
+        url=f"http://www.{site_id}.example.com/watch?v={variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/title",
+            site_id=site_id,
+            role="title",
+            multi=False,
+            human_wrapper='descendant::h1[@id="watch-title"]',
+            description="video title",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/related",
+            site_id=site_id,
+            role="related",
+            multi=True,
+            human_wrapper=f'descendant::li[@class="{related_cls}"]',
+            description="related videos",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# SaaS portal (salesforce-like)
+# --------------------------------------------------------------------------
+
+
+def make_portal_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("portal", variant, seed)
+    site_id = f"portal-{variant}"
+    search_id = rng.choice(["search_box_hm", "global-search", "hero-search"])
+
+    profile = SiteProfile(
+        class_tokens={"hero": "hero-banner", "menu": "prod-menu"},
+        id_tokens={"search": search_id},
+        counts={"banners": Knob(1, 0, 4), "nav": Knob(1, 0, 4)},
+        lists={"menu": Knob(6, 3, 10), "logos": Knob(5, 3, 8)},
+        flags={"chat": True},
+        texts={"tagline": "headline"},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        # The paper's case (c): the *last* text input on the page is the
+        # search box; a newsletter input precedes it.
+        newsletter = E("input", type="email", name="newsletter")
+        search = _mark(
+            E("input", type="text", name="q"),
+            "search",
+        )
+        menu_items = [
+            _mark(E("li", E("a", ctx.gen("product"), href=f"/products/{i}")), "menu")
+            for i in range(ctx.list_size("menu"))
+        ]
+        body = E(
+            "body",
+            _nav(ctx, ["Products", "Industries", "Customers"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    E("h1", ctx.data("tagline")),
+                    E("div", newsletter, class_="newsletter-box"),
+                    E("div", search, id=ctx.ident("search")),
+                    class_=ctx.cls("hero"),
+                ),
+            ),
+            E("ul", *menu_items, class_=ctx.cls("menu")),
+            (E("div", "Chat", class_="chat-bubble") if ctx.flag("chat") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Portal")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="portal",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/search",
+            site_id=site_id,
+            role="search",
+            multi=False,
+            human_wrapper=f'descendant::*[@id="{search_id}"]/descendant::input[@type="text"][last()]',
+            description="search box (paper break case c)",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/menu",
+            site_id=site_id,
+            role="menu",
+            multi=True,
+            human_wrapper='descendant::ul[@class="prod-menu"]/descendant::li',
+            description="product menu entries",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# forum/social
+# --------------------------------------------------------------------------
+
+
+def make_forum_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("forum", variant, seed)
+    site_id = f"forum-{variant}"
+    thread_cls = rng.choice(["thread-row", "topic-line", "post-item"])
+
+    profile = SiteProfile(
+        class_tokens={"thread": thread_cls, "trending": "trend-box"},
+        id_tokens={"compose": "new-post"},
+        counts={"pinned": Knob(1, 0, 4), "nav": Knob(1, 0, 3)},
+        lists={"threads": Knob(9, 4, 15), "trending": Knob(5, 3, 8)},
+        flags={"online_box": True},
+        texts={"motd": "sentence"},
+        removable_roles=("trending",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        pinned = [
+            E("div", E("a", "Pinned: ", ctx.gen("headline")), class_="pinned")
+            for _ in range(ctx.count("pinned"))
+        ]
+        threads = [
+            _mark(
+                E(
+                    "div",
+                    E("a", ctx.gen("headline"), href=f"/t/{i}"),
+                    E("span", ctx.gen("person"), class_="author"),
+                    class_=ctx.cls("thread"),
+                ),
+                "threads",
+            )
+            for i in range(ctx.list_size("threads"))
+        ]
+        trending = (
+            E(
+                "div",
+                E("h4", "Trending:"),
+                E(
+                    "ul",
+                    *[
+                        _mark(E("li", ctx.gen("word")), "trending")
+                        for _ in range(ctx.list_size("trending"))
+                    ],
+                ),
+                class_=ctx.cls("trending"),
+            )
+            if not ctx.removed("trending")
+            else None
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Forums", "Members"], "navbar"),
+            E("div", ctx.data("motd"), class_="motd"),
+            *pinned,
+            _mark(E("a", "New post", id=ctx.ident("compose")), "compose"),
+            _wrap_redesign(ctx, E("div", *threads, class_="thread-list")),
+            trending,
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Forum")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="forum",
+        url=f"http://{site_id}.example.org/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/compose",
+            site_id=site_id,
+            role="compose",
+            multi=False,
+            human_wrapper='descendant::a[@id="new-post"]',
+            description="new-post link",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/trending",
+            site_id=site_id,
+            role="trending",
+            multi=True,
+            human_wrapper='descendant::h4[starts-with(.,"Trending")]/following-sibling::ul/descendant::li',
+            description="trending topics after their label",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# weather
+# --------------------------------------------------------------------------
+
+
+def make_weather_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("weather", variant, seed)
+    site_id = f"weather-{variant}"
+    temp_cls = rng.choice(["temp-now", "current-temp", "obs-temp"])
+
+    profile = SiteProfile(
+        class_tokens={"temp": temp_cls, "forecast": "forecast-strip"},
+        id_tokens={"current": "current-conditions"},
+        counts={"alerts": Knob(0, 0, 3)},
+        lists={"days": Knob(7, 5, 10)},
+        flags={"radar": True},
+        texts={"city": "city"},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        days = [
+            _mark(
+                E(
+                    "li",
+                    E("span", f"Day {i + 1}", class_="day-name"),
+                    ctx.volatile(f"{ctx.rng.randrange(-5, 35)}°"),
+                    class_="day-cell",
+                ),
+                "days",
+            )
+            for i in range(ctx.list_size("days"))
+        ]
+        current = E(
+            "div",
+            E("h1", ctx.data("city")),
+            _mark(
+                E("span", ctx.volatile(f"{ctx.rng.randrange(-10, 40)}°"), class_=ctx.cls("temp")),
+                "temp",
+            ),
+            id=ctx.ident("current"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Today", "Radar", "Maps"], "navbar"),
+            *_promos(ctx, "alerts", "wx-alert"),
+            _wrap_redesign(ctx, current),
+            E("ul", *days, class_=ctx.cls("forecast")),
+            (E("div", "Radar", class_="radar") if ctx.flag("radar") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Weather")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="weather",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/temp",
+            site_id=site_id,
+            role="temp",
+            multi=False,
+            human_wrapper=f'descendant::div[@id="current-conditions"]/descendant::span[@class="{temp_cls}"]',
+            description="current temperature",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/days",
+            site_id=site_id,
+            role="days",
+            multi=True,
+            human_wrapper='descendant::ul[@class="forecast-strip"]/child::li',
+            description="forecast day cells",
+        ),
+    ]
+    return spec
+
+
+#: All vertical factories, in a stable order (extended at the bottom of
+#: this module by the families in :mod:`repro.sites.verticals_extra`).
+VERTICAL_FACTORIES = {
+    "movies": make_movies_site,
+    "news": make_news_site,
+    "sports": make_sports_site,
+    "finance": make_finance_site,
+    "travel": make_travel_site,
+    "shopping": make_shopping_site,
+    "techreview": make_techreview_site,
+    "reference": make_reference_site,
+    "jobs": make_jobs_site,
+    "video": make_video_site,
+    "portal": make_portal_site,
+    "forum": make_forum_site,
+    "weather": make_weather_site,
+}
+
+
+def _register_extra_verticals() -> None:
+    """Merge the additional families (import deferred: the extra module
+    reuses this module's layout helpers)."""
+    from repro.sites.verticals_extra import EXTRA_VERTICAL_FACTORIES
+
+    VERTICAL_FACTORIES.update(EXTRA_VERTICAL_FACTORIES)
+
+
+_register_extra_verticals()

@@ -1,0 +1,735 @@
+"""Additional vertical template builders.
+
+The paper's corpus spans more than 20 verticals; together with
+:mod:`repro.sites.verticals` this module brings the simulator to 21
+site families.  Same conventions: targets carry ``meta['role']``,
+data text is volatile, human wrappers are written against the initial
+template state.
+"""
+
+from __future__ import annotations
+
+from repro.dom.builder import E, T, document
+from repro.dom.node import Document
+from repro.evolution.state import Knob, RenderContext, SiteProfile
+from repro.sites.spec import SiteSpec, TaskSpec
+from repro.sites.verticals import (
+    _footer,
+    _mark,
+    _nav,
+    _promos,
+    _site_change_model,
+    _variant_rng,
+    _wrap_redesign,
+)
+
+# --------------------------------------------------------------------------
+# recipes
+# --------------------------------------------------------------------------
+
+
+def make_recipes_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("recipes", variant, seed)
+    site_id = f"recipes-{variant}"
+    ingredient_cls = rng.choice(["ingredient", "recipe-ingred", "ing-item"])
+
+    profile = SiteProfile(
+        class_tokens={"ingredient": ingredient_cls, "card": "recipe-card"},
+        id_tokens={"recipe": "recipe-main"},
+        counts={"banners": Knob(1, 0, 3)},
+        lists={"ingredients": Knob(7, 4, 12), "steps": Knob(5, 3, 9)},
+        flags={"nutrition": True},
+        texts={"dish": "product"},
+        removable_roles=("nutrition",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        ingredients = [
+            _mark(
+                E("li", ctx.gen("word"), T(" — "), ctx.volatile(f"{ctx.rng.randrange(1, 500)}g"),
+                  class_=ctx.cls("ingredient")),
+                "ingredients",
+            )
+            for _ in range(ctx.list_size("ingredients"))
+        ]
+        steps = [
+            E("li", ctx.gen("sentence")) for _ in range(ctx.list_size("steps"))
+        ]
+        nutrition = (
+            _mark(E("div", E("span", "Calories: ", ctx.volatile(str(ctx.rng.randrange(80, 900)))),
+                    class_="nutrition"), "nutrition")
+            if ctx.flag("nutrition") and not ctx.removed("nutrition")
+            else None
+        )
+        main = E(
+            "div",
+            _mark(E("h1", ctx.data("dish"), itemprop="name"), "dish"),
+            E("h3", "Ingredients"),
+            E("ul", *ingredients, class_="ingredient-list"),
+            E("h3", "Method"),
+            E("ol", *steps),
+            nutrition,
+            id=ctx.ident("recipe"),
+            class_=ctx.cls("card"),
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Recipes", "Chefs", "Seasonal"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            _wrap_redesign(ctx, main),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", ctx.text("dish"))), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="recipes",
+        url=f"http://www.{site_id}.example.com/recipe/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/dish",
+            site_id=site_id,
+            role="dish",
+            multi=False,
+            human_wrapper='descendant::h1[@itemprop="name"]',
+            description="dish name",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/ingredients",
+            site_id=site_id,
+            role="ingredients",
+            multi=True,
+            human_wrapper=(
+                'descendant::h3[.="Ingredients"]/following-sibling::ul/descendant::li'
+            ),
+            description="ingredient list after its header",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# real estate
+# --------------------------------------------------------------------------
+
+
+def make_realestate_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("realestate", variant, seed)
+    site_id = f"realestate-{variant}"
+    listing_cls = rng.choice(["listing-card", "property-tile", "home-card"])
+
+    profile = SiteProfile(
+        class_tokens={"listing": listing_cls, "price": "asking-price"},
+        id_tokens={"results": "search-results"},
+        counts={"featured": Knob(1, 0, 3)},
+        lists={"listings": Knob(8, 4, 14)},
+        flags={"map": True},
+        texts={"headline_price": "price"},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        listings = [
+            E(
+                "div",
+                E("h3", E("a", ctx.gen("city"), T(" — "), ctx.gen("word"))),
+                _mark(E("span", ctx.gen("price"), class_=ctx.cls("price")), "prices"),
+                E("span", ctx.volatile(f"{ctx.rng.randrange(1, 7)} bd"), class_="beds"),
+                class_=ctx.cls("listing"),
+            )
+            for _ in range(ctx.list_size("listings"))
+        ]
+        hero = E(
+            "div",
+            _mark(E("span", ctx.data("headline_price"), class_=ctx.cls("price"), itemprop="price"), "hero_price"),
+            E("p", ctx.gen("sentence")),
+            class_="hero-listing",
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Buy", "Rent", "Agents"], "navbar"),
+            *_promos(ctx, "featured", "featured"),
+            hero,
+            _wrap_redesign(ctx, E("div", *listings, id=ctx.ident("results"))),
+            (E("div", "Map", class_="map") if ctx.flag("map") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Homes")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="realestate",
+        url=f"http://www.{site_id}.example.com/search",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/hero_price",
+            site_id=site_id,
+            role="hero_price",
+            multi=False,
+            human_wrapper='descendant::span[@itemprop="price"]',
+            description="hero asking price",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/prices",
+            site_id=site_id,
+            role="prices",
+            multi=True,
+            human_wrapper=(
+                f'descendant::div[@id="search-results"]'
+                f'/descendant::span[@class="asking-price"]'
+            ),
+            description="listing prices",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# events
+# --------------------------------------------------------------------------
+
+
+def make_events_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("events", variant, seed)
+    site_id = f"events-{variant}"
+    event_cls = rng.choice(["event-row", "gig-item", "happening"])
+
+    profile = SiteProfile(
+        class_tokens={"event": event_cls, "venue": "venue-name"},
+        id_tokens={"calendar": "calendar"},
+        counts={"promos": Knob(1, 0, 4)},
+        lists={"events": Knob(9, 4, 16)},
+        flags={"filters": True},
+        texts={"city": "city"},
+        removable_roles=("events",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        events = []
+        if not ctx.removed("events"):
+            for i in range(ctx.list_size("events")):
+                events.append(
+                    _mark(
+                        E(
+                            "div",
+                            E("span", ctx.gen("date"), class_="event-date"),
+                            E("a", ctx.gen("headline"), href=f"/event/{i}"),
+                            E("span", ctx.gen("organization"), class_=ctx.cls("venue")),
+                            class_=ctx.cls("event"),
+                        ),
+                        "events",
+                    )
+                )
+        body = E(
+            "body",
+            _nav(ctx, ["Tonight", "Weekend", "Venues"], "navbar"),
+            *_promos(ctx, "promos", "promo"),
+            _mark(E("h1", T("Events in "), ctx.data("city")), "heading"),
+            _wrap_redesign(
+                ctx,
+                E("div", E("h3", "Upcoming events"), *events, id=ctx.ident("calendar")),
+            ),
+            (E("div", "Filters", class_="filters") if ctx.flag("filters") else None),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Events")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="events",
+        url=f"http://www.{site_id}.example.com/",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/heading",
+            site_id=site_id,
+            role="heading",
+            multi=False,
+            human_wrapper='descendant::h1[starts-with(.,"Events in")]',
+            description="city heading",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/events",
+            site_id=site_id,
+            role="events",
+            multi=True,
+            human_wrapper=(
+                'descendant::h3[.="Upcoming events"]/following-sibling::div'
+            ),
+            description="event rows after their header",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# music (artist page)
+# --------------------------------------------------------------------------
+
+
+def make_music_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("music", variant, seed)
+    site_id = f"music-{variant}"
+    track_cls = rng.choice(["tracklist-row", "song-row", "track-item"])
+
+    profile = SiteProfile(
+        class_tokens={"track": track_cls, "artist": "artist-header"},
+        id_tokens={"discography": "discography"},
+        counts={"banners": Knob(0, 0, 3)},
+        lists={"tracks": Knob(10, 5, 16), "similar": Knob(4, 2, 8)},
+        flags={"tour": True},
+        texts={},
+        removable_roles=("tour_dates",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        tracks = [
+            _mark(
+                E(
+                    "li",
+                    E("span", str(i + 1), class_="track-no"),
+                    E("a", ctx.stable("movie", "track", i), href=f"/track/{i}"),
+                    class_=ctx.cls("track"),
+                ),
+                "tracks",
+            )
+            for i in range(ctx.list_size("tracks"))
+        ]
+        tour = (
+            _mark(
+                E("div", E("h4", "Tour dates"), E("p", ctx.gen("date")), class_="tour-box"),
+                "tour_dates",
+            )
+            if ctx.flag("tour") and not ctx.removed("tour_dates")
+            else None
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Artists", "Charts", "Radio"], "navbar"),
+            *_promos(ctx, "banners", "banner"),
+            E(
+                "div",
+                _mark(E("h1", ctx.stable("person", "artist"), itemprop="name"), "artist"),
+                class_=ctx.cls("artist"),
+            ),
+            _wrap_redesign(
+                ctx,
+                E("div", E("h3", "Top tracks"), E("ol", *tracks), id=ctx.ident("discography")),
+            ),
+            tour,
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Artist")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="music",
+        url=f"http://www.{site_id}.example.com/artist/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/artist",
+            site_id=site_id,
+            role="artist",
+            multi=False,
+            human_wrapper='descendant::h1[@itemprop="name"]',
+            description="artist name",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/tracks",
+            site_id=site_id,
+            role="tracks",
+            multi=True,
+            human_wrapper='descendant::div[@id="discography"]/descendant::li',
+            description="top tracks",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# Q&A
+# --------------------------------------------------------------------------
+
+
+def make_qa_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("qa", variant, seed)
+    site_id = f"qa-{variant}"
+    answer_cls = rng.choice(["answer", "reply-post", "answer-cell"])
+
+    profile = SiteProfile(
+        class_tokens={"answer": answer_cls, "question": "question-body"},
+        id_tokens={"question": "question"},
+        counts={"ads": Knob(1, 0, 3)},
+        lists={"answers": Knob(5, 2, 10), "related": Knob(5, 3, 9)},
+        flags={"accepted": True},
+        texts={"question": "sentence"},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        answers = [
+            _mark(
+                E(
+                    "div",
+                    E("div", ctx.gen("sentence"), class_="answer-text"),
+                    E("span", ctx.gen("person"), class_="answer-author"),
+                    class_=ctx.cls("answer"),
+                ),
+                "answers",
+            )
+            for _ in range(ctx.list_size("answers"))
+        ]
+        related = [
+            E("li", E("a", ctx.gen("headline"))) for _ in range(ctx.list_size("related"))
+        ]
+        body = E(
+            "body",
+            _nav(ctx, ["Questions", "Tags", "Users"], "navbar"),
+            *_promos(ctx, "ads", "ad"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    _mark(E("h1", ctx.data("question")), "question"),
+                    E("div", ctx.gen("sentence"), class_=ctx.cls("question")),
+                    E("h3", f"Answers"),
+                    *answers,
+                    id=ctx.ident("question"),
+                ),
+            ),
+            E("div", E("h4", "Related"), E("ul", *related), class_="related"),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Q&A")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="qa",
+        url=f"http://{site_id}.example.com/q/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/question",
+            site_id=site_id,
+            role="question",
+            multi=False,
+            human_wrapper='descendant::div[@id="question"]/descendant::h1',
+            description="question title",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/answers",
+            site_id=site_id,
+            role="answers",
+            multi=True,
+            human_wrapper=(
+                'descendant::h3[.="Answers"]/following-sibling::div'
+            ),
+            description="answer blocks after their header",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# wiki / encyclopedia
+# --------------------------------------------------------------------------
+
+
+def make_wiki_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("wiki", variant, seed)
+    site_id = f"wiki-{variant}"
+    infobox_cls = rng.choice(["infobox", "fact-box", "side-summary"])
+
+    profile = SiteProfile(
+        class_tokens={"infobox": infobox_cls, "toc": "table-of-contents"},
+        id_tokens={"content": "mw-content"},
+        counts={"notices": Knob(0, 0, 3)},
+        lists={"toc": Knob(6, 3, 10), "references": Knob(8, 4, 14)},
+        flags={"toc_shown": True},
+        texts={},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        toc = (
+            E(
+                "ul",
+                *[
+                    _mark(E("li", E("a", ctx.gen("word"))), "toc_items")
+                    for _ in range(ctx.list_size("toc"))
+                ],
+                class_=ctx.cls("toc"),
+            )
+            if ctx.flag("toc_shown")
+            else None
+        )
+        infobox = E(
+            "table",
+            E("tr", E("th", "Born"), _mark(E("td", ctx.stable("date", "born")), "born")),
+            E("tr", E("th", "Occupation"), E("td", ctx.gen("word"))),
+            class_=ctx.cls("infobox"),
+        )
+        references = [
+            E("li", ctx.gen("sentence")) for _ in range(ctx.list_size("references"))
+        ]
+        body = E(
+            "body",
+            _nav(ctx, ["Article", "Talk", "History"], "navbar"),
+            *_promos(ctx, "notices", "site-notice"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    _mark(E("h1", ctx.stable("person", "subject")), "title"),
+                    infobox,
+                    toc,
+                    E("p", ctx.gen("sentence")),
+                    E("h2", "References"),
+                    E("ol", *references),
+                    id=ctx.ident("content"),
+                ),
+            ),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Wiki")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="wiki",
+        url=f"http://{site_id}.example.org/wiki/Subject_{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/born",
+            site_id=site_id,
+            role="born",
+            multi=False,
+            human_wrapper='descendant::th[.="Born"]/following-sibling::td',
+            description="birth date cell next to its label",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/toc_items",
+            site_id=site_id,
+            role="toc_items",
+            multi=True,
+            human_wrapper='descendant::ul[@class="table-of-contents"]/descendant::li',
+            description="table-of-contents entries",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# auctions
+# --------------------------------------------------------------------------
+
+
+def make_auctions_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("auctions", variant, seed)
+    site_id = f"auctions-{variant}"
+    bid_cls = rng.choice(["current-bid", "bid-now", "price-bid"])
+
+    profile = SiteProfile(
+        class_tokens={"bid": bid_cls, "lot": "lot-card"},
+        id_tokens={"lot_main": "lot"},
+        counts={"promos": Knob(1, 0, 3)},
+        lists={"bids": Knob(6, 3, 10), "lots": Knob(7, 4, 12)},
+        flags={"countdown": True},
+        texts={"lot_title": "product"},
+        removable_roles=("bid_history",),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        bid_rows = []
+        if not ctx.removed("bid_history"):
+            bid_rows = [
+                _mark(
+                    E("tr", E("td", ctx.gen("person")), E("td", ctx.gen("price"))),
+                    "bid_history",
+                )
+                for _ in range(ctx.list_size("bids"))
+            ]
+        lots = [
+            E(
+                "div",
+                E("a", ctx.gen("product"), href=f"/lot/{i}"),
+                E("span", ctx.gen("price"), class_=ctx.cls("bid")),
+                class_=ctx.cls("lot"),
+            )
+            for i in range(ctx.list_size("lots"))
+        ]
+        body = E(
+            "body",
+            _nav(ctx, ["Auctions", "Sell", "Watchlist"], "navbar"),
+            *_promos(ctx, "promos", "promo"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    E("h1", ctx.data("lot_title")),
+                    _mark(E("span", ctx.gen("price"), class_=ctx.cls("bid"), itemprop="price"), "current_bid"),
+                    (E("span", "2h 14m left", class_="countdown") if ctx.flag("countdown") else None),
+                    E("table", E("tr", E("th", "Bidder"), E("th", "Amount"), class_="hdr"), *bid_rows),
+                    id=ctx.ident("lot_main"),
+                ),
+            ),
+            E("div", E("h3", "More lots"), *lots, class_="more-lots"),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Auction")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="auctions",
+        url=f"http://www.{site_id}.example.com/lot/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/current_bid",
+            site_id=site_id,
+            role="current_bid",
+            multi=False,
+            human_wrapper='descendant::span[@itemprop="price"]',
+            description="current bid amount",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/bid_history",
+            site_id=site_id,
+            role="bid_history",
+            multi=True,
+            human_wrapper='descendant::tr[contains(.,"Bidder")]/following-sibling::tr',
+            description="bid-history rows",
+        ),
+    ]
+    return spec
+
+
+# --------------------------------------------------------------------------
+# academic (publication listing)
+# --------------------------------------------------------------------------
+
+
+def make_academic_site(variant: int, seed: int = 0) -> SiteSpec:
+    rng = _variant_rng("academic", variant, seed)
+    site_id = f"academic-{variant}"
+    paper_cls = rng.choice(["pub-entry", "paper-row", "citation"])
+
+    profile = SiteProfile(
+        class_tokens={"paper": paper_cls, "profile": "scholar-profile"},
+        id_tokens={"publications": "publications"},
+        counts={"notices": Knob(0, 0, 2)},
+        lists={"papers": Knob(8, 4, 15)},
+        flags={"metrics": True},
+        texts={},
+        removable_roles=(),
+    )
+
+    def build(ctx: RenderContext) -> Document:
+        papers = [
+            _mark(
+                E(
+                    "div",
+                    E("a", ctx.stable("headline", "paper", i), href=f"/paper/{i}"),
+                    E("span", ctx.stable("date", "year", i), class_="pub-year"),
+                    class_=ctx.cls("paper"),
+                ),
+                "papers",
+            )
+            for i in range(ctx.list_size("papers"))
+        ]
+        metrics = (
+            E("div", E("span", "h-index: ", ctx.volatile(str(ctx.rng.randrange(3, 80)))), class_="metrics")
+            if ctx.flag("metrics")
+            else None
+        )
+        body = E(
+            "body",
+            _nav(ctx, ["Profiles", "Venues", "Search"], "navbar"),
+            *_promos(ctx, "notices", "notice"),
+            _wrap_redesign(
+                ctx,
+                E(
+                    "div",
+                    _mark(E("h1", ctx.stable("person", "scholar"), itemprop="name"), "scholar"),
+                    metrics,
+                    E("h3", "Publications"),
+                    E("div", *papers, id=ctx.ident("publications")),
+                    class_=ctx.cls("profile"),
+                ),
+            ),
+            _footer(ctx),
+        )
+        return document(E("html", E("head", E("title", "Scholar")), body))
+
+    spec = SiteSpec(
+        site_id=site_id,
+        vertical="academic",
+        url=f"http://{site_id}.example.edu/profile/{variant}",
+        profile=profile,
+        build=build,
+        change_model=_site_change_model(rng),
+        seed=seed,
+    )
+    spec.tasks = [
+        TaskSpec(
+            task_id=f"{site_id}/scholar",
+            site_id=site_id,
+            role="scholar",
+            multi=False,
+            human_wrapper='descendant::h1[@itemprop="name"]',
+            description="scholar name",
+        ),
+        TaskSpec(
+            task_id=f"{site_id}/papers",
+            site_id=site_id,
+            role="papers",
+            multi=True,
+            human_wrapper='descendant::div[@id="publications"]/child::div',
+            description="publication entries",
+        ),
+    ]
+    return spec
+
+
+#: Factories contributed by this module.
+EXTRA_VERTICAL_FACTORIES = {
+    "recipes": make_recipes_site,
+    "realestate": make_realestate_site,
+    "events": make_events_site,
+    "music": make_music_site,
+    "qa": make_qa_site,
+    "wiki": make_wiki_site,
+    "auctions": make_auctions_site,
+    "academic": make_academic_site,
+}

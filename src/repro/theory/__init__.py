@@ -1,0 +1,15 @@
+"""Complexity results: the NP-hardness reduction behind Theorem 1."""
+
+from repro.theory.setcover import (
+    SetCoverInstance,
+    encode_as_document,
+    min_accurate_predicate_count,
+    min_cover_size,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "encode_as_document",
+    "min_accurate_predicate_count",
+    "min_cover_size",
+]

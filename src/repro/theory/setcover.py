@@ -1,0 +1,108 @@
+"""The Minimum-Set-Cover correspondence behind Theorem 1.
+
+Theorem 1 states that the query induction problem is NP-hard, "proved
+by a reduction to Minimum Set Cover", already for single-target samples,
+child-axis-only expressions, and a plus-compositional scoring with all
+scores 1.  This module makes the reduction concrete and executable:
+
+Given a set-cover instance (U, F):
+
+* the document has one *target* ``item`` node carrying a marker
+  attribute ``s<j>`` for every set Sⱼ ∈ F, and
+* one *decoy* ``item`` node per universe element e, carrying ``s<j>``
+  exactly for the sets that do **not** contain e.
+
+A query ``descendant::item[@s_a][@s_b]…`` selects exactly the target
+iff the chosen sets {S_a, S_b, …} cover U: decoy(e) survives predicate
+``[@s_j]`` iff e ∉ Sⱼ, so excluding every decoy requires covering every
+element.  With unit predicate scores, the cheapest accurate query has
+exactly ``min-cover`` predicates — finding the best-ranked query is as
+hard as set cover.  :func:`min_accurate_predicate_count` brute-forces
+the query side so tests can verify the correspondence on small
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Sequence
+
+from repro.dom.builder import E, document
+from repro.dom.node import Document, ElementNode
+from repro.xpath.ast import (
+    AttributePredicate,
+    Axis,
+    Query,
+    Step,
+    name_test,
+)
+from repro.xpath.evaluator import evaluate
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A universe (ints) and a family of subsets."""
+
+    universe: frozenset[int]
+    sets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        covered = frozenset().union(*self.sets) if self.sets else frozenset()
+        if not self.universe <= covered:
+            raise ValueError("the family does not cover the universe")
+
+    @classmethod
+    def of(cls, universe: Sequence[int], sets: Sequence[Sequence[int]]) -> "SetCoverInstance":
+        return cls(frozenset(universe), tuple(frozenset(s) for s in sets))
+
+
+def encode_as_document(instance: SetCoverInstance) -> tuple[Document, ElementNode]:
+    """Build the reduction document; returns (document, target node)."""
+    target = E("item", "target", **{f"s{j}": "1" for j in range(len(instance.sets))})
+    decoys = []
+    for element in sorted(instance.universe):
+        attrs = {
+            f"s{j}": "1"
+            for j, s in enumerate(instance.sets)
+            if element not in s
+        }
+        decoys.append(E("item", f"decoy-{element}", **attrs))
+    root = E("html", E("body", target, *decoys))
+    return document(root), target
+
+
+def _cover_query(set_indices: Sequence[int]) -> Query:
+    predicates = tuple(AttributePredicate(f"s{j}") for j in set_indices)
+    return Query((Step(Axis.DESCENDANT, name_test("item"), predicates),))
+
+
+def query_is_accurate(
+    doc: Document, target: ElementNode, set_indices: Sequence[int]
+) -> bool:
+    """Does the query for the chosen sets select exactly the target?"""
+    result = evaluate(_cover_query(set_indices), doc.root, doc)
+    return len(result) == 1 and result[0] is target
+
+
+def min_cover_size(instance: SetCoverInstance) -> Optional[int]:
+    """Brute-force minimum set cover size (small instances only)."""
+    indices = range(len(instance.sets))
+    for size in range(0, len(instance.sets) + 1):
+        for chosen in combinations(indices, size):
+            covered = frozenset().union(*(instance.sets[j] for j in chosen)) if chosen else frozenset()
+            if instance.universe <= covered:
+                return size
+    return None
+
+
+def min_accurate_predicate_count(
+    doc: Document, target: ElementNode, n_sets: int
+) -> Optional[int]:
+    """Brute-force the cheapest accurate predicate query on the encoding."""
+    indices = range(n_sets)
+    for size in range(0, n_sets + 1):
+        for chosen in combinations(indices, size):
+            if query_is_accurate(doc, target, chosen):
+                return size
+    return None

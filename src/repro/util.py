@@ -1,0 +1,16 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import random
+
+
+def seeded_rng(*parts) -> random.Random:
+    """A deterministic RNG seeded from arbitrary hashable parts.
+
+    ``random.Random`` only accepts scalar seeds; experiments need
+    hierarchical seeds like (site, snapshot, purpose), so we join the
+    parts into a string (stable across runs and processes, unlike
+    ``hash``).
+    """
+    return random.Random("\x1f".join(str(part) for part in parts))

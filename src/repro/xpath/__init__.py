@@ -1,0 +1,65 @@
+"""dsXPath: the paper's XPath fragment — AST, parser, evaluator.
+
+``directed XPath with sideways checks`` (dsXPath, Sec. 3) is the query
+language wrappers are induced in.  This package provides:
+
+* an AST (:mod:`repro.xpath.ast`) covering the fragment of Fig. 2 plus
+  the small extensions needed to *execute* the corpus's human wrappers
+  (``following``/``preceding`` axes, nested relative predicates);
+* a parser (:mod:`repro.xpath.parser`);
+* an evaluator with XPath 1.0 positional-predicate semantics
+  (:mod:`repro.xpath.evaluator`);
+* canonical paths and the c-change measure (:mod:`repro.xpath.canonical`);
+* fragment membership checks: one-/two-directionality and plausibility
+  (:mod:`repro.xpath.fragment`).
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    AttributePredicate,
+    NodeTest,
+    PositionalPredicate,
+    Predicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    TextSubject,
+    AttrSubject,
+)
+from repro.xpath.canonical import c_changes, canonical_path
+from repro.xpath.errors import XPathError, XPathParseError
+from repro.xpath.evaluator import evaluate
+from repro.xpath.fragment import (
+    axes_signature,
+    is_ds_query,
+    is_one_directional,
+    is_plausible,
+    is_two_directional,
+)
+from repro.xpath.parser import parse_query
+
+__all__ = [
+    "AttrSubject",
+    "AttributePredicate",
+    "Axis",
+    "NodeTest",
+    "PositionalPredicate",
+    "Predicate",
+    "Query",
+    "RelativePredicate",
+    "Step",
+    "StringPredicate",
+    "TextSubject",
+    "XPathError",
+    "XPathParseError",
+    "axes_signature",
+    "c_changes",
+    "canonical_path",
+    "evaluate",
+    "is_ds_query",
+    "is_one_directional",
+    "is_plausible",
+    "is_two_directional",
+    "parse_query",
+]

@@ -1,0 +1,105 @@
+"""Axis navigation.
+
+Each axis function returns candidate nodes *in axis order*: document
+order for forward axes, reverse document order for reverse axes
+(parent, ancestor, preceding-sibling, preceding).  Positional
+predicates count within this order, per XPath 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dom.node import AttributeNode, Document, ElementNode, Node
+from repro.xpath.ast import Axis
+
+
+def _child(node: Node, doc: Document) -> list[Node]:
+    if isinstance(node, ElementNode):
+        return list(node.children)
+    return []
+
+
+def _descendant(node: Node, doc: Document) -> list[Node]:
+    if isinstance(node, ElementNode):
+        return list(node.descendants())
+    return []
+
+
+def _parent(node: Node, doc: Document) -> list[Node]:
+    return [node.parent] if node.parent is not None else []
+
+
+def _ancestor(node: Node, doc: Document) -> list[Node]:
+    return list(node.ancestors())
+
+
+def _following_sibling(node: Node, doc: Document) -> list[Node]:
+    if isinstance(node, AttributeNode):
+        return []
+    return list(node.following_siblings())
+
+
+def _preceding_sibling(node: Node, doc: Document) -> list[Node]:
+    if isinstance(node, AttributeNode):
+        return []
+    return list(node.preceding_siblings())
+
+
+def _attribute(node: Node, doc: Document) -> list[Node]:
+    if isinstance(node, ElementNode):
+        return list(node.attribute_nodes())
+    return []
+
+
+def _self(node: Node, doc: Document) -> list[Node]:
+    return [node]
+
+
+def _following(node: Node, doc: Document) -> list[Node]:
+    """All nodes after ``node`` in document order, minus its descendants."""
+    if isinstance(node, AttributeNode):
+        node = node.parent
+    all_nodes = list(doc.all_nodes())
+    try:
+        start = next(i for i, n in enumerate(all_nodes) if n is node)
+    except StopIteration:
+        return []
+    descendants = (
+        {id(d) for d in node.descendants()} if isinstance(node, ElementNode) else set()
+    )
+    return [n for n in all_nodes[start + 1 :] if id(n) not in descendants]
+
+
+def _preceding(node: Node, doc: Document) -> list[Node]:
+    """All nodes before ``node`` in document order, minus its ancestors,
+    in reverse document order."""
+    if isinstance(node, AttributeNode):
+        node = node.parent
+    all_nodes = list(doc.all_nodes())
+    try:
+        start = next(i for i, n in enumerate(all_nodes) if n is node)
+    except StopIteration:
+        return []
+    ancestors = {id(a) for a in node.ancestors()}
+    before = [n for n in all_nodes[:start] if id(n) not in ancestors]
+    return list(reversed(before))
+
+
+_AXIS_FUNCTIONS: dict[Axis, Callable[[Node, Document], list[Node]]] = {
+    Axis.CHILD: _child,
+    Axis.DESCENDANT: _descendant,
+    Axis.PARENT: _parent,
+    Axis.ANCESTOR: _ancestor,
+    Axis.FOLLOWING_SIBLING: _following_sibling,
+    Axis.PRECEDING_SIBLING: _preceding_sibling,
+    Axis.ATTRIBUTE: _attribute,
+    Axis.FOLLOWING: _following,
+    Axis.PRECEDING: _preceding,
+    Axis.SELF: _self,
+}
+
+
+def axis_candidates(node: Node, axis: Axis, doc: Document) -> list[Node]:
+    """Nodes reachable from ``node`` along ``axis``, in axis order."""
+    return _AXIS_FUNCTIONS[axis](node, doc)

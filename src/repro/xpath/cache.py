@@ -1,0 +1,58 @@
+"""Memoized query evaluation.
+
+The induction algorithm evaluates the same (query, context) pairs many
+times: tails from ``best(t)`` are re-evaluated from every node matched
+by every step pattern.  Queries are immutable and hashable, so a
+per-document memo table turns the dynamic program's evaluation cost
+from quadratic blow-up into table lookups.
+"""
+
+from __future__ import annotations
+
+from repro.dom.node import Document, Node
+from repro.xpath.ast import Query
+from repro.xpath.evaluator import evaluate
+
+
+class CachedEvaluator:
+    """Evaluate queries against one static document, memoized."""
+
+    def __init__(self, doc: Document) -> None:
+        self.doc = doc
+        self._cache: dict[tuple[Query, int], tuple[Node, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, query: Query, context: Node) -> tuple[Node, ...]:
+        key = (query, id(context))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = tuple(evaluate(query, context, self.doc))
+        self._cache[key] = result
+        return result
+
+    def evaluate_concat(self, head_matches: tuple[Node, ...], tail: Query) -> list[Node]:
+        """Evaluate ``tail`` from every node in ``head_matches`` (deduped,
+        doc order) — equivalent to evaluating ``head/tail`` when
+        ``head_matches`` is the head's result set."""
+        if tail.is_empty:
+            return list(head_matches)
+        results: list[Node] = []
+        for node in head_matches:
+            results.extend(self.evaluate(tail, node))
+        return self.doc.sort_nodes(results)
+
+    def evaluate_concat_ids(
+        self, head_matches: tuple[Node, ...], tail: Query
+    ) -> frozenset[int]:
+        """Node ids of ``evaluate_concat`` without materializing the sorted
+        node list — the induction hot loop only needs set counts."""
+        if tail.is_empty:
+            return frozenset(id(node) for node in head_matches)
+        ids: set[int] = set()
+        for node in head_matches:
+            ids.update(id(result) for result in self.evaluate(tail, node))
+        return frozenset(ids)

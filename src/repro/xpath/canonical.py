@@ -1,0 +1,95 @@
+"""Canonical paths and the c-change measure (Sec. 2).
+
+The canonical path of a node is the absolute path of tag-and-position
+steps from the document node down to it: ``/html[1]/body[1]/div[4]/...``.
+Positions count siblings passing the same node test, so evaluating the
+canonical path with standard XPath semantics selects exactly the node.
+
+A *c-change* occurs between two page versions when the canonical path
+leading to the (logically same) target changes.  The paper uses the
+number of c-changes as a rough indicator of how much structural change
+a surviving wrapper has absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.dom.node import Document, ElementNode, Node, TextNode
+from repro.xpath.ast import (
+    Axis,
+    NodeTest,
+    PositionalPredicate,
+    Query,
+    Step,
+    TEXT,
+    name_test,
+)
+
+
+def _nodetest_for(node: Node) -> NodeTest:
+    if isinstance(node, TextNode):
+        return TEXT
+    assert isinstance(node, ElementNode)
+    return name_test(node.tag)
+
+
+def _position_among_matching(node: Node) -> int:
+    """1-based position of ``node`` among siblings passing its node test."""
+    assert node.parent is not None
+    position = 0
+    for sibling in node.parent.children:
+        if isinstance(node, TextNode):
+            matches = isinstance(sibling, TextNode)
+        else:
+            matches = isinstance(sibling, ElementNode) and sibling.tag == node.tag  # type: ignore[union-attr]
+        if matches:
+            position += 1
+        if sibling is node:
+            return position
+    raise ValueError("node not found among parent's children")
+
+
+def canonical_path(node: Node, doc: Optional[Document] = None) -> Query:
+    """The canonical path ``canon(node)`` as an absolute query.
+
+    ``canon(root) = /``; otherwise ``canon(parent)/t[k]`` where ``t`` is
+    the node test for the node and ``k`` its position among same-test
+    siblings.
+    """
+    steps: list[Step] = []
+    current: Node = node
+    while current.parent is not None:
+        steps.append(
+            Step(
+                Axis.CHILD,
+                _nodetest_for(current),
+                (PositionalPredicate(index=_position_among_matching(current)),),
+            )
+        )
+        current = current.parent
+    steps.reverse()
+    return Query(tuple(steps), absolute=True)
+
+
+def canonical_key(nodes: Iterable[Node]) -> tuple[str, ...]:
+    """Sorted canonical-path strings of a node set (c-change fingerprint)."""
+    return tuple(sorted(str(canonical_path(node)) for node in nodes))
+
+
+def c_changes(keys: Sequence[Optional[tuple[str, ...]]]) -> int:
+    """Count c-changes across a sequence of canonical fingerprints.
+
+    ``keys[i]`` is the canonical fingerprint of the tracked target set in
+    snapshot ``i`` (None when the snapshot is missing/broken; such gaps
+    neither count as changes nor reset the tracked path).
+    """
+    changes = 0
+    previous: Optional[tuple[str, ...]] = None
+    for key in keys:
+        if key is None:
+            continue
+        if previous is not None and key != previous:
+            changes += 1
+        previous = key
+    return changes

@@ -1,0 +1,14 @@
+"""Errors raised by the dsXPath engine."""
+
+
+class XPathError(Exception):
+    """Base class for all dsXPath engine errors."""
+
+
+class XPathParseError(XPathError):
+    """The query text is not valid (extended) dsXPath syntax."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        super().__init__(f"{message} at offset {position} in {text!r}")
+        self.text = text
+        self.position = position

@@ -1,0 +1,157 @@
+"""dsXPath evaluation with XPath 1.0 semantics.
+
+A query is evaluated step-wise: each step maps every context node to the
+axis candidates passing the node test, then filters them through the
+predicates.  Positional predicates count positions *within the current
+candidate list of one context node, in axis order* — document order for
+forward axes, reverse for reverse axes — exactly as in XPath 1.0, and
+successive predicates renumber.  Step results are unioned across context
+nodes and sorted into document order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dom.node import AttributeNode, Document, ElementNode, Node, TextNode
+from repro.xpath.ast import (
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    NodeTest,
+    PositionalPredicate,
+    Predicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    TextSubject,
+)
+from repro.xpath.axes import axis_candidates
+
+
+def nodetest_matches(nodetest: NodeTest, node: Node, axis: Axis) -> bool:
+    """Does ``node`` pass ``nodetest`` on ``axis``?
+
+    The principal node type of the attribute axis is attributes: there a
+    name test matches the attribute *name* and ``*`` matches any
+    attribute.  Synthetic roots (``#document``) only match ``node()``.
+    """
+    if axis is Axis.ATTRIBUTE:
+        if not isinstance(node, AttributeNode):
+            return False
+        if nodetest.kind == "any" or nodetest.kind == "node":
+            return True
+        if nodetest.kind == "name":
+            return node.name == nodetest.name
+        return False  # text() never matches attributes
+    if isinstance(node, AttributeNode):
+        return False
+    if nodetest.kind == "node":
+        return True
+    if isinstance(node, TextNode):
+        return nodetest.kind == "text"
+    assert isinstance(node, ElementNode)
+    if node.tag.startswith("#"):
+        return False
+    if nodetest.kind == "any":
+        return True
+    if nodetest.kind == "name":
+        return node.tag == nodetest.name
+    return False
+
+
+def _string_subject(node: Node, subject, doc: Document) -> str | None:
+    """Subject string for a string predicate, or None when inapplicable."""
+    if isinstance(subject, TextSubject):
+        return doc.normalized_text(node)
+    assert isinstance(subject, AttrSubject)
+    if isinstance(node, ElementNode):
+        return node.attrs.get(subject.name)
+    if isinstance(node, AttributeNode) and node.name == subject.name:
+        return node.value
+    return None
+
+
+def _apply_string_function(function: str, subject: str, value: str) -> bool:
+    if function == "equals":
+        return subject == value
+    if function == "contains":
+        return value in subject
+    if function == "starts-with":
+        return subject.startswith(value)
+    if function == "ends-with":
+        return subject.endswith(value)
+    raise ValueError(f"unknown string function: {function}")
+
+
+def predicate_holds(predicate: Predicate, node: Node, doc: Document) -> bool:
+    """Non-positional predicate test on a single node."""
+    if isinstance(predicate, AttributePredicate):
+        return isinstance(node, ElementNode) and predicate.name in node.attrs
+    if isinstance(predicate, StringPredicate):
+        subject = _string_subject(node, predicate.subject, doc)
+        if subject is None:
+            return False
+        return _apply_string_function(predicate.function, subject, predicate.value)
+    if isinstance(predicate, RelativePredicate):
+        return bool(evaluate(predicate.query, node, doc))
+    raise TypeError(f"unexpected predicate: {predicate!r}")
+
+
+def _filter_predicate(
+    predicate: Predicate, candidates: list[Node], doc: Document
+) -> list[Node]:
+    if isinstance(predicate, PositionalPredicate):
+        size = len(candidates)
+        if predicate.index is not None:
+            position = predicate.index
+        else:
+            position = size - predicate.from_last  # last()-n
+        if 1 <= position <= size:
+            return [candidates[position - 1]]
+        return []
+    return [node for node in candidates if predicate_holds(predicate, node, doc)]
+
+
+def evaluate_step(step: Step, context: Sequence[Node], doc: Document) -> list[Node]:
+    """Evaluate one step over a context node-set (returned in doc order)."""
+    results: list[Node] = []
+    for node in context:
+        candidates = [
+            c
+            for c in axis_candidates(node, step.axis, doc)
+            if nodetest_matches(step.nodetest, c, step.axis)
+        ]
+        for predicate in step.predicates:
+            if not candidates:
+                break
+            candidates = _filter_predicate(predicate, candidates, doc)
+        results.extend(candidates)
+    return doc.sort_nodes(results)
+
+
+def evaluate(query: Query, context: Node | None, doc: Document) -> list[Node]:
+    """Evaluate ``query`` from ``context`` in ``doc``; results in doc order.
+
+    Absolute queries ignore the context and start at the document node.
+    The empty relative query selects its context node (the induction
+    algorithm's ``ε``).
+    """
+    if query.absolute or context is None:
+        nodes: list[Node] = [doc.root]
+    else:
+        nodes = [context]
+    for step in query.steps:
+        if not nodes:
+            return []
+        nodes = evaluate_step(step, nodes, doc)
+    return nodes
+
+
+def evaluate_many(query: Query, contexts: Iterable[Node], doc: Document) -> list[Node]:
+    """Union of ``evaluate`` over several context nodes, in doc order."""
+    results: list[Node] = []
+    for context in contexts:
+        results.extend(evaluate(query, context, doc))
+    return doc.sort_nodes(results)

@@ -1,0 +1,147 @@
+"""dsXPath fragment membership: directionality and plausibility (Sec. 3).
+
+A query is *one-directional* if, after dropping a trailing attribute
+step, its axis sequence matches
+
+    ((parent | ancestor) <sideways>)*   or   ((child | descendant) <sideways>)*
+
+where ``<sideways>`` is a run of only ``following-sibling`` or only
+``preceding-sibling`` steps.  A *two-directional* query is the
+concatenation of two one-directional queries (up then down, as produced
+by the LCA construction of Algorithm 3).
+
+One deliberate extension: we also accept a *leading* sideways run, so
+queries induced with a sibling base axis (e.g. ``following-sibling::tr``,
+Table 2/S2) are in the fragment; the paper's grammar technically demands
+a leading vertical step but its own induction emits such queries.
+
+A query is *plausible* for a document sequence if every string constant
+occurs in some document (as text or attribute value) and every integer
+is at most the node count of every document.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dom.node import Document
+from repro.xpath.ast import (
+    AttributePredicate,
+    Axis,
+    DS_AXES,
+    PositionalPredicate,
+    Query,
+    RelativePredicate,
+    StringPredicate,
+)
+
+_UP = (Axis.PARENT, Axis.ANCESTOR)
+_DOWN = (Axis.CHILD, Axis.DESCENDANT)
+_SIDEWAYS = (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING)
+
+
+def axes_signature(query: Query) -> tuple[Axis, ...]:
+    """The paper's ``axes(q)``: all step axes, minus a trailing attribute."""
+    axes = tuple(step.axis for step in query.steps)
+    if axes and axes[-1] is Axis.ATTRIBUTE:
+        axes = axes[:-1]
+    return axes
+
+
+def _consume_sideways(axes: Sequence[Axis], i: int) -> int:
+    """Consume a run of one sideways axis kind starting at ``i``."""
+    if i < len(axes) and axes[i] in _SIDEWAYS:
+        kind = axes[i]
+        while i < len(axes) and axes[i] is kind:
+            i += 1
+    return i
+
+
+def _matches_direction(axes: Sequence[Axis], vertical: tuple[Axis, ...]) -> bool:
+    i = _consume_sideways(axes, 0)  # leading-sideways extension
+    while i < len(axes):
+        if axes[i] not in vertical:
+            return False
+        i += 1
+        i = _consume_sideways(axes, i)
+    return True
+
+
+def is_one_directional(query: Query) -> bool:
+    axes = axes_signature(query)
+    if any(axis not in DS_AXES for axis in axes):
+        return False
+    if Axis.ATTRIBUTE in axes:  # attribute only allowed as final step
+        return False
+    return _matches_direction(axes, _UP) or _matches_direction(axes, _DOWN)
+
+
+def is_two_directional(query: Query) -> bool:
+    """Concatenation of two one-directional queries (includes one-directional)."""
+    axes = axes_signature(query)
+    if any(axis not in DS_AXES for axis in axes):
+        return False
+    if Axis.ATTRIBUTE in axes:
+        return False
+    for split in range(len(axes) + 1):
+        head, tail = axes[:split], axes[split:]
+        head_ok = _matches_direction(head, _UP) or _matches_direction(head, _DOWN)
+        tail_ok = _matches_direction(tail, _UP) or _matches_direction(tail, _DOWN)
+        if head_ok and tail_ok:
+            return True
+    return False
+
+
+def _predicates_in_fragment(query: Query) -> bool:
+    for step in query.steps:
+        for predicate in step.predicates:
+            if isinstance(predicate, RelativePredicate):
+                return False
+            if not isinstance(
+                predicate, (PositionalPredicate, AttributePredicate, StringPredicate)
+            ):
+                return False
+    return True
+
+
+def is_ds_query(query: Query) -> bool:
+    """Is the query in dsXPath (axes, predicates, and directionality)?"""
+    if query.absolute:
+        return False
+    if any(step.axis not in DS_AXES for step in query.steps):
+        return False
+    if any(
+        step.axis is Axis.ATTRIBUTE for step in query.steps[:-1]
+    ):  # attribute axis only terminal
+        return False
+    if not _predicates_in_fragment(query):
+        return False
+    return is_two_directional(query)
+
+
+def _document_has_string(doc: Document, value: str) -> bool:
+    if value in doc.root.text_value():
+        return True
+    for node in doc.root.descendant_elements():
+        for attr_value in node.attrs.values():
+            if value in attr_value:
+                return True
+    return False
+
+
+def is_plausible(query: Query, docs: Iterable[Document]) -> bool:
+    """Plausibility of a query w.r.t. a document sequence (Sec. 3)."""
+    docs = list(docs)
+    if not docs:
+        return True
+    max_int = min(doc.node_count() for doc in docs)
+    for step in query.steps:
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionalPredicate):
+                value = predicate.index if predicate.index is not None else predicate.from_last
+                if value is not None and value > max_int:
+                    return False
+            elif isinstance(predicate, StringPredicate):
+                if not any(_document_has_string(doc, predicate.value) for doc in docs):
+                    return False
+    return True

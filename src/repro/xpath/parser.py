@@ -1,0 +1,276 @@
+"""Parser for (extended) dsXPath query text.
+
+Accepts the textual syntax of Fig. 2 plus the conveniences used by the
+paper itself when printing queries:
+
+* ``[@class="adv"]`` as sugar for ``[equals(attribute::class, "adv")]``;
+* ``.`` and ``normalize-space(.)`` both denote the text subject;
+* ``[position()=n]``, ``[last()]``, ``[last()-n]`` positional forms;
+* abbreviated steps: a bare nodetest means the child axis, ``@name``
+  means the attribute axis (canonical paths print this way);
+* the human-wrapper extensions: ``following``/``preceding`` axes and
+  nested relative predicates such as ``[ancestor::div[1][@class="x"]]``.
+
+The grammar is small, so this is a hand-written recursive-descent parser
+over a regex token stream.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.xpath.ast import (
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    NodeTest,
+    PositionalPredicate,
+    Predicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    Subject,
+    TextSubject,
+    name_test,
+    ANY,
+    NODE,
+    TEXT,
+    STRING_FUNCTIONS,
+)
+from repro.xpath.errors import XPathParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<axis_sep>::)
+  | (?P<symbol>[/\[\]\(\),@=\*\.\-])
+    """,
+    re.VERBOSE,
+)
+
+_AXIS_NAMES = {axis.value: axis for axis in Axis}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise XPathParseError("unexpected character", text, pos)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "string":
+                value = value[1:-1].replace('\\"', '"').replace("\\'", "'")
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise XPathParseError("unexpected end of query", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            at = self._peek()
+            pos = at.pos if at else len(self.text)
+            want = value or kind
+            raise XPathParseError(f"expected {want!r}", self.text, pos)
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Query:
+        query = self.parse_query(top_level=True)
+        if self._peek() is not None:
+            raise XPathParseError("trailing input", self.text, self._peek().pos)
+        return query
+
+    def parse_query(self, top_level: bool) -> Query:
+        absolute = False
+        if top_level and self._accept("symbol", "/"):
+            absolute = True
+            if self._peek() is None:  # the query "/" selects the document node
+                return Query((), absolute=True)
+        steps = [self.parse_step()]
+        while self._accept("symbol", "/"):
+            steps.append(self.parse_step())
+        return Query(tuple(steps), absolute=absolute)
+
+    def parse_step(self) -> Step:
+        axis, nodetest = self.parse_axis_and_nodetest()
+        predicates: list[Predicate] = []
+        while self._accept("symbol", "["):
+            predicates.append(self.parse_predicate())
+            self._expect("symbol", "]")
+        return Step(axis, nodetest, tuple(predicates))
+
+    def parse_axis_and_nodetest(self) -> tuple[Axis, NodeTest]:
+        if self._accept("symbol", "@"):
+            name = self._expect("name").value
+            return Axis.ATTRIBUTE, name_test(name)
+        token = self._peek()
+        if token is not None and token.kind == "name":
+            nxt = self._peek(1)
+            if nxt is not None and nxt.kind == "axis_sep":
+                axis = _AXIS_NAMES.get(token.value)
+                if axis is None:
+                    raise XPathParseError(f"unknown axis {token.value!r}", self.text, token.pos)
+                self._next()
+                self._next()
+                return axis, self.parse_nodetest(axis)
+        return Axis.CHILD, self.parse_nodetest(Axis.CHILD)
+
+    def parse_nodetest(self, axis: Axis) -> NodeTest:
+        if self._accept("symbol", "*"):
+            return ANY
+        token = self._expect("name")
+        if token.value in ("node", "text") and self._accept("symbol", "("):
+            self._expect("symbol", ")")
+            return NODE if token.value == "node" else TEXT
+        return name_test(token.value)
+
+    def parse_predicate(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise XPathParseError("empty predicate", self.text, len(self.text))
+
+        if token.kind == "number":  # [n]
+            self._next()
+            return PositionalPredicate(index=int(token.value))
+
+        if token.kind == "name" and token.value == "last":  # [last()] / [last()-n]
+            self._next()
+            self._expect("symbol", "(")
+            self._expect("symbol", ")")
+            if self._accept("symbol", "-"):
+                n = int(self._expect("number").value)
+                return PositionalPredicate(from_last=n)
+            return PositionalPredicate(from_last=0)
+
+        if token.kind == "name" and token.value == "position":  # [position()=n]
+            self._next()
+            self._expect("symbol", "(")
+            self._expect("symbol", ")")
+            self._expect("symbol", "=")
+            n = int(self._expect("number").value)
+            return PositionalPredicate(index=n)
+
+        if token.kind == "symbol" and token.value == "@":  # [@a] or [@a="v"]
+            self._next()
+            name = self._expect("name").value
+            if self._accept("symbol", "="):
+                value = self._expect("string").value
+                return StringPredicate("equals", AttrSubject(name), value)
+            return AttributePredicate(name)
+
+        if token.kind == "symbol" and token.value == ".":  # [.="v"]
+            self._next()
+            self._expect("symbol", "=")
+            value = self._expect("string").value
+            return StringPredicate("equals", TextSubject(), value)
+
+        if token.kind == "name" and token.value == "normalize-space":
+            subject = self.parse_subject()
+            self._expect("symbol", "=")
+            value = self._expect("string").value
+            return StringPredicate("equals", subject, value)
+
+        if token.kind == "name" and (
+            token.value in STRING_FUNCTIONS or token.value == "equals"
+        ):
+            nxt = self._peek(1)
+            if nxt is not None and nxt.kind == "symbol" and nxt.value == "(":
+                function = self._next().value
+                self._expect("symbol", "(")
+                subject = self.parse_subject()
+                self._expect("symbol", ",")
+                value = self._expect("string").value
+                self._expect("symbol", ")")
+                return StringPredicate(function, subject, value)
+
+        if token.kind == "name" and token.value == "attribute":
+            nxt = self._peek(1)
+            if nxt is not None and nxt.kind == "axis_sep":
+                self._next()
+                self._next()
+                name = self._expect("name").value
+                if self._accept("symbol", "="):
+                    value = self._expect("string").value
+                    return StringPredicate("equals", AttrSubject(name), value)
+                return AttributePredicate(name)
+
+        # Fall back to a nested relative path (human-wrapper extension).
+        query = self.parse_query(top_level=False)
+        return RelativePredicate(query)
+
+    def parse_subject(self) -> Subject:
+        if self._accept("symbol", "@"):
+            return AttrSubject(self._expect("name").value)
+        if self._accept("symbol", "."):
+            return TextSubject()
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.value == "normalize-space":
+            self._next()
+            self._expect("symbol", "(")
+            self._expect("symbol", ".")
+            self._expect("symbol", ")")
+            return TextSubject()
+        if token is not None and token.kind == "name" and token.value == "attribute":
+            self._next()
+            self._expect("axis_sep")
+            return AttrSubject(self._expect("name").value)
+        pos = token.pos if token else len(self.text)
+        raise XPathParseError("expected a string-function subject", self.text, pos)
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`Query` AST."""
+    text = text.strip()
+    if not text or text == "ε":
+        return Query(())
+    return _Parser(text).parse()

@@ -1,0 +1,114 @@
+"""Tests for the canonical, tree-edit [6], and WEIR [2] baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CanonicalInducer,
+    TreeEditInducer,
+    TreeEditModel,
+    UnionWrapper,
+    WeirInducer,
+)
+from repro.dom import parse_html
+from repro.evolution import SyntheticArchive
+from repro.experiments.sota import render_template_variant
+from repro.sites.verticals import make_travel_site
+from repro.xpath import evaluate
+
+
+class TestCanonical:
+    def test_selects_exactly_the_targets(self, imdb_doc):
+        targets = list(imdb_doc.root.iter_find(tag="td", class_="name"))
+        wrapper = CanonicalInducer().induce(imdb_doc, targets)
+        assert {id(n) for n in wrapper.select(imdb_doc)} == {id(t) for t in targets}
+
+    def test_one_query_per_target(self, imdb_doc):
+        targets = list(imdb_doc.root.iter_find(tag="td", class_="name"))
+        wrapper = CanonicalInducer().induce(imdb_doc, targets)
+        assert len(wrapper.queries) == len(targets)
+
+    def test_empty_targets_rejected(self, imdb_doc):
+        with pytest.raises(ValueError):
+            CanonicalInducer().induce(imdb_doc, [])
+
+    def test_union_wrapper_str(self, imdb_doc):
+        wrapper = CanonicalInducer().induce(imdb_doc, [imdb_doc.find(tag="h1")])
+        assert str(wrapper).startswith("/")
+
+
+class TestTreeEdit:
+    def test_induces_accurate_queries(self, imdb_doc):
+        target = imdb_doc.find(tag="h1")
+        queries = TreeEditInducer().induce(imdb_doc, target)
+        assert queries
+        for query in queries:
+            assert evaluate(query, imdb_doc.root, imdb_doc) == [target]
+
+    def test_fragment_restriction(self, imdb_doc):
+        """[6]'s fragment: child/descendant only, ≤1 predicate per step."""
+        from repro.xpath.ast import Axis
+
+        target = imdb_doc.find(tag="span")
+        for query in TreeEditInducer().induce(imdb_doc, target):
+            for step in query.steps:
+                assert step.axis in (Axis.CHILD, Axis.DESCENDANT)
+                assert len(step.predicates) <= 1
+
+    def test_ranked_by_survival_probability(self, imdb_doc):
+        model = TreeEditModel()
+        target = imdb_doc.find(tag="h1")
+        queries = TreeEditInducer(model=model).induce(imdb_doc, target)
+        probabilities = [model.query_probability(q) for q in queries]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_fit_adjusts_priors(self):
+        before = parse_html('<div id="a" class="x"><p class="y">1</p></div>')
+        after = parse_html('<div id="a" class="z"><p class="y">1</p></div>')
+        model = TreeEditModel().fit([(before, after)])
+        assert model.class_survival < TreeEditModel().class_survival
+        assert model.id_survival >= 0.5
+
+    def test_probability_decreases_with_length(self, imdb_doc):
+        from repro.xpath import parse_query
+
+        model = TreeEditModel()
+        short = parse_query("descendant::h1")
+        long = parse_query("descendant::body/descendant::div/descendant::h1")
+        assert model.query_probability(short) > model.query_probability(long)
+
+
+class TestWeir:
+    @pytest.fixture
+    def pages_and_targets(self):
+        spec = make_travel_site(0)
+        archive = SyntheticArchive(spec, n_snapshots=1)
+        doc0 = archive.snapshot(0)
+        pages = [doc0] + [render_template_variant(spec, j) for j in range(1, 6)]
+        targets = [page.find_by_meta("role", "hotel")[0] for page in pages]
+        return pages, targets
+
+    def test_produces_multiple_expressions(self, pages_and_targets):
+        pages, targets = pages_and_targets
+        queries = WeirInducer().induce(pages, targets)
+        assert len(queries) >= 2
+
+    def test_every_expression_matches_one_node(self, pages_and_targets):
+        pages, targets = pages_and_targets
+        for query in WeirInducer().induce(pages, targets):
+            result = evaluate(query, pages[0].root, pages[0])
+            assert len(result) == 1 and result[0] is targets[0]
+
+    def test_needs_multiple_pages(self, pages_and_targets):
+        pages, targets = pages_and_targets
+        with pytest.raises(ValueError):
+            WeirInducer().induce(pages[:1], targets[:1])
+
+    def test_expression_types(self, pages_and_targets):
+        """At least one id-anchored absolute expression exists."""
+        pages, targets = pages_and_targets
+        queries = [str(q) for q in WeirInducer().induce(pages, targets)]
+        assert any("@id=" in q for q in queries)
+
+    def test_output_capped(self, pages_and_targets):
+        pages, targets = pages_and_targets
+        assert len(WeirInducer(max_expressions=3).induce(pages, targets)) <= 3

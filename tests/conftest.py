@@ -1,0 +1,60 @@
+"""Shared fixtures: representative documents used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dom import parse_html
+
+
+IMDB_LIKE = """
+<html><head><title>The Movie</title></head><body>
+<div class="header">
+  <ul><li><a href="/movies">Movies</a></li><li><a href="/tv">TV</a></li></ul>
+  <input type="text" name="q" id="suggestion-search">
+</div>
+<div class="promo"><p>ad one</p></div>
+<div class="promo"><p>ad two</p></div>
+<div class="article" id="main">
+  <h1 itemprop="name">The Movie</h1>
+  <div class="txt-block"><h4 class="inline">Director:</h4>
+    <a href="/name/1"><span itemprop="name" class="itemprop">Martin Scorsese</span></a></div>
+  <div class="txt-block"><h4 class="inline">Writers:</h4>
+    <span itemprop="name" class="itemprop">Nicholas Pileggi</span>
+    <span itemprop="name" class="itemprop">Paul Attanasio</span></div>
+  <table class="cast_list">
+    <tr class="head"><td>Cast</td></tr>
+    <tr><td class="name"><a>Robert De Niro</a></td></tr>
+    <tr><td class="name"><a>Sharon Stone</a></td></tr>
+    <tr><td class="name"><a>Joe Pesci</a></td></tr>
+  </table>
+</div>
+<div class="footer"><p>Terms</p></div>
+</body></html>
+"""
+
+LIST_PAGE = """
+<html><body>
+<div id="nav"><a href="/">home</a></div>
+<div class="widePanel">
+  <h3 class="hd">Channels</h3>
+  <ul class="list">
+    <li><a class="hpCH" href="/c1">One</a></li>
+    <li><a class="hpCH" href="/c2">Two</a></li>
+    <li><a class="hpCH" href="/c3">Three</a></li>
+    <li><a class="hpCH" href="/c4">Four</a></li>
+  </ul>
+  <p class="note">sponsored</p>
+</div>
+</body></html>
+"""
+
+
+@pytest.fixture
+def imdb_doc():
+    return parse_html(IMDB_LIKE)
+
+
+@pytest.fixture
+def list_doc():
+    return parse_html(LIST_PAGE)

@@ -1,0 +1,49 @@
+"""Tests for the programmatic tree builder."""
+
+from repro.dom import E, T, document
+from repro.dom.node import ElementNode, TextNode
+
+
+class TestE:
+    def test_builds_element_with_children(self):
+        node = E("div", E("span"), "text")
+        assert node.tag == "div"
+        assert isinstance(node.children[0], ElementNode)
+        assert isinstance(node.children[1], TextNode)
+
+    def test_none_children_skipped(self):
+        node = E("div", None, E("p"), None)
+        assert [c.tag for c in node.element_children()] == ["p"]
+
+    def test_trailing_underscore_stripped(self):
+        node = E("div", class_="x", for_="y")
+        assert node.attrs == {"class": "x", "for": "y"}
+
+    def test_inner_underscores_become_dashes(self):
+        node = E("div", data_id="7")
+        assert node.attrs == {"data-id": "7"}
+
+    def test_children_get_parents(self):
+        child = E("span")
+        parent = E("div", child)
+        assert child.parent is parent
+
+
+class TestT:
+    def test_text_node(self):
+        assert T("hi").text == "hi"
+
+
+class TestDocument:
+    def test_document_wraps_root(self):
+        doc = document(E("html", E("body")))
+        assert doc.root.tag == "#document"
+        assert doc.root_element.tag == "html"
+
+    def test_url(self):
+        doc = document(E("html"), url="http://x/")
+        assert doc.url == "http://x/"
+
+    def test_with_meta_chaining(self):
+        node = E("span").with_meta(role="target", extra=1)
+        assert node.meta == {"role": "target", "extra": 1}

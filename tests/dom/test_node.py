@@ -1,0 +1,153 @@
+"""Unit tests for the document tree model."""
+
+import pytest
+
+from repro.dom import Document, E, T, document
+from repro.dom.node import AttributeNode, ElementNode, TextNode, normalize_space
+
+
+class TestNormalizeSpace:
+    def test_collapses_runs(self):
+        assert normalize_space("a   b\n\tc") == "a b c"
+
+    def test_strips_ends(self):
+        assert normalize_space("  hi  ") == "hi"
+
+    def test_empty(self):
+        assert normalize_space("   ") == ""
+
+
+class TestTreeStructure:
+    def test_append_child_sets_parent(self):
+        parent = ElementNode("div")
+        child = ElementNode("span")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_insert_child_position(self):
+        parent = E("div", E("a"), E("b"))
+        new = ElementNode("x")
+        parent.insert_child(1, new)
+        assert [c.tag for c in parent.children] == ["a", "x", "b"]
+
+    def test_remove_child_detaches(self):
+        child = ElementNode("span")
+        parent = E("div", child)
+        parent.remove_child(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_replace_child(self):
+        old = ElementNode("old")
+        parent = E("div", old)
+        new = ElementNode("new")
+        parent.replace_child(old, new)
+        assert parent.children == [new]
+        assert new.parent is parent
+        assert old.parent is None
+
+    def test_index_in_parent(self):
+        a, b = ElementNode("a"), ElementNode("b")
+        E("div", a, b)
+        assert a.index_in_parent() == 0
+        assert b.index_in_parent() == 1
+
+    def test_index_in_parent_detached_raises(self):
+        with pytest.raises(ValueError):
+            ElementNode("div").index_in_parent()
+
+    def test_ancestors_nearest_first(self):
+        leaf = ElementNode("leaf")
+        mid = E("mid", leaf)
+        top = E("top", mid)
+        assert list(leaf.ancestors()) == [mid, top]
+
+    def test_siblings(self):
+        a, b, c = ElementNode("a"), ElementNode("b"), ElementNode("c")
+        E("div", a, b, c)
+        assert list(b.following_siblings()) == [c]
+        assert list(b.preceding_siblings()) == [a]
+
+    def test_preceding_siblings_reverse_order(self):
+        a, b, c = ElementNode("a"), ElementNode("b"), ElementNode("c")
+        E("div", a, b, c)
+        assert list(c.preceding_siblings()) == [b, a]  # nearest first
+
+
+class TestTextValue:
+    def test_concatenates_descendant_text(self):
+        node = E("div", T("Director: "), E("span", T("Martin Scorsese")))
+        assert node.text_value() == "Director: Martin Scorsese"
+
+    def test_normalized_text(self):
+        node = E("div", T("  a  "), E("b", T("  c ")))
+        assert node.normalized_text() == "a c"
+
+
+class TestAttributes:
+    def test_attribute_node_is_stable(self):
+        node = ElementNode("div", {"id": "x"})
+        assert node.attribute_node("id") is node.attribute_node("id")
+
+    def test_attribute_node_missing(self):
+        assert ElementNode("div").attribute_node("id") is None
+
+    def test_attribute_value_tracks_element(self):
+        node = ElementNode("div", {"id": "x"})
+        attr = node.attribute_node("id")
+        node.set_attr("id", "y")
+        assert attr.value == "y"
+
+    def test_attribute_nodes_sorted(self):
+        node = ElementNode("div", {"b": "2", "a": "1"})
+        assert [a.name for a in node.attribute_nodes()] == ["a", "b"]
+
+
+class TestDocument:
+    def test_wraps_root_in_document_node(self):
+        doc = document(E("html", E("body")))
+        assert doc.root.tag == "#document"
+        assert doc.root_element.tag == "html"
+
+    def test_order_key_document_order(self):
+        a = E("a")
+        b = E("b", E("c"))
+        doc = document(E("html", a, b))
+        nodes = [doc.root] + list(doc.root.descendants())
+        keys = [doc.order_key(n) for n in nodes]
+        assert keys == sorted(keys)
+
+    def test_sort_nodes_dedupes(self):
+        a = E("a")
+        doc = document(E("html", a))
+        assert doc.sort_nodes([a, a]) == [a]
+
+    def test_contains(self):
+        a = E("a")
+        doc = document(E("html", a))
+        assert doc.contains(a)
+        assert not doc.contains(ElementNode("stranger"))
+
+    def test_normalized_text_cached(self):
+        span = E("span", T("x"))
+        doc = document(E("html", span))
+        assert doc.normalized_text(span) == "x"
+        assert doc.normalized_text(span) == "x"
+
+    def test_invalidate_refreshes_order(self):
+        body = E("body")
+        doc = document(E("html", body))
+        new = ElementNode("div")
+        body.append_child(new)
+        doc.invalidate()
+        assert doc.contains(new)
+
+    def test_find_by_meta(self):
+        target = E("span").with_meta(role="director")
+        doc = document(E("html", E("body", target)))
+        assert doc.find_by_meta("role", "director") == [target]
+
+    def test_node_count(self):
+        doc = document(E("html", E("body", E("div"), T("x"))))
+        assert doc.node_count() == 5  # #document, html, body, div, text

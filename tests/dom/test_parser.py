@@ -1,0 +1,89 @@
+"""Tests for HTML parsing."""
+
+from repro.dom import parse_html, to_html
+from repro.dom.node import ElementNode, TextNode
+
+
+class TestParseHtml:
+    def test_simple_document(self):
+        doc = parse_html("<html><body><p>hi</p></body></html>")
+        assert doc.root_element.tag == "html"
+        p = doc.find(tag="p")
+        assert p.normalized_text() == "hi"
+
+    def test_attributes(self):
+        doc = parse_html('<div id="x" class="a b">t</div>')
+        div = doc.find(tag="div")
+        assert div.attrs == {"id": "x", "class": "a b"}
+
+    def test_void_elements_have_no_children(self):
+        doc = parse_html("<div><img src='a.png'><p>after</p></div>")
+        img = doc.find(tag="img")
+        assert img.children == []
+        assert doc.find(tag="p").parent is doc.find(tag="div")
+
+    def test_self_closing_syntax(self):
+        doc = parse_html("<div><br/><span>x</span></div>")
+        assert doc.find(tag="br") is not None
+        assert doc.find(tag="span").normalized_text() == "x"
+
+    def test_stray_end_tag_ignored(self):
+        doc = parse_html("<div></span><p>ok</p></div>")
+        assert doc.find(tag="p").normalized_text() == "ok"
+
+    def test_unclosed_tags_close_at_eof(self):
+        doc = parse_html("<div><p>one<p>two")
+        # lenient: both paragraphs parsed somewhere under the div
+        texts = [n.text for n in doc.root.descendants() if isinstance(n, TextNode)]
+        assert texts == ["one", "two"]
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_html("<div>\n   <p>x</p>\n  </div>")
+        div = doc.find(tag="div")
+        assert all(not isinstance(c, TextNode) for c in div.children)
+
+    def test_keep_whitespace_option(self):
+        doc = parse_html("<div> <p>x</p></div>", keep_whitespace=True)
+        div = doc.find(tag="div")
+        assert isinstance(div.children[0], TextNode)
+
+    def test_entities_decoded(self):
+        doc = parse_html("<p>a &amp; b</p>")
+        assert doc.find(tag="p").normalized_text() == "a & b"
+
+    def test_script_content_dropped(self):
+        doc = parse_html("<div><script>var x = '<div>';</script><p>y</p></div>")
+        script = doc.find(tag="script")
+        assert script.text_value() == ""
+
+    def test_comments_ignored(self):
+        doc = parse_html("<div><!-- note --><p>x</p></div>")
+        assert doc.find(tag="div").element_children()[0].tag == "p"
+
+    def test_fragment_with_multiple_roots(self):
+        doc = parse_html("<p>a</p><p>b</p>")
+        assert len(doc.root.element_children()) == 2
+
+    def test_url_recorded(self):
+        doc = parse_html("<p>x</p>", url="http://example.com/")
+        assert doc.url == "http://example.com/"
+
+
+class TestRoundTrip:
+    def test_compact_serialization_roundtrips(self):
+        html = '<html><body><div id="a"><p>one</p><p>two &amp; three</p></div></body></html>'
+        doc = parse_html(html)
+        again = parse_html(to_html(doc))
+        from repro.dom.signatures import subtree_signature
+
+        assert subtree_signature(doc.root) == subtree_signature(again.root)
+
+    def test_serialize_escapes_attribute_quotes(self):
+        doc = parse_html("<div title='a&quot;b'>x</div>")
+        out = to_html(doc)
+        assert 'title="a&quot;b"' in out
+
+    def test_pretty_print_contains_indent(self):
+        doc = parse_html("<div><p>x</p></div>")
+        pretty = to_html(doc, indent=2)
+        assert "\n" in pretty

@@ -1,0 +1,57 @@
+"""Tests for abstract subtree signatures (robustness bijection base)."""
+
+from repro.dom import E, T, parse_html
+from repro.dom.signatures import (
+    signature_multiset,
+    subtree_bijection_exists,
+    subtree_signature,
+)
+
+
+class TestSubtreeSignature:
+    def test_equal_for_structurally_equal_trees(self):
+        a = E("div", E("span", T("x")), class_="c")
+        b = E("div", E("span", T("x")), class_="c")
+        assert subtree_signature(a) == subtree_signature(b)
+
+    def test_differs_on_text(self):
+        assert subtree_signature(E("p", T("a"))) != subtree_signature(E("p", T("b")))
+
+    def test_differs_on_attributes(self):
+        assert subtree_signature(E("p", id="a")) != subtree_signature(E("p", id="b"))
+
+    def test_differs_on_child_order(self):
+        a = E("div", E("a"), E("b"))
+        b = E("div", E("b"), E("a"))
+        assert subtree_signature(a) != subtree_signature(b)
+
+    def test_attribute_order_irrelevant(self):
+        a = E("div")
+        a.set_attr("x", "1")
+        a.set_attr("y", "2")
+        b = E("div")
+        b.set_attr("y", "2")
+        b.set_attr("x", "1")
+        assert subtree_signature(a) == subtree_signature(b)
+
+    def test_meta_is_invisible(self):
+        a = E("div").with_meta(role="target")
+        b = E("div")
+        assert subtree_signature(a) == subtree_signature(b)
+
+
+class TestBijection:
+    def test_bijection_exists_for_permutation(self):
+        xs = [E("p", T("a")), E("p", T("b"))]
+        ys = [E("p", T("b")), E("p", T("a"))]
+        assert subtree_bijection_exists(xs, ys)
+
+    def test_no_bijection_for_different_multiplicity(self):
+        xs = [E("p", T("a")), E("p", T("a"))]
+        ys = [E("p", T("a")), E("p", T("b"))]
+        assert not subtree_bijection_exists(xs, ys)
+
+    def test_multiset_counts(self):
+        nodes = [E("p", T("a")), E("p", T("a"))]
+        counts = signature_multiset(nodes)
+        assert set(counts.values()) == {2}

@@ -1,0 +1,120 @@
+"""Tests for the page-evolution simulator."""
+
+import random
+
+import pytest
+
+from repro.evolution import ChangeModel, SyntheticArchive, evolve_state, initial_state
+from repro.evolution.changes import rename_attribute_value
+from repro.sites.verticals import make_movies_site, make_news_site
+
+
+@pytest.fixture
+def spec():
+    return make_movies_site(0)
+
+
+class TestChangeModel:
+    def test_scaled_preserves_structure(self):
+        model = ChangeModel().scaled(2.0)
+        assert model.p_class_rename == pytest.approx(ChangeModel().p_class_rename * 2)
+        assert model.data_churn_rate == ChangeModel().data_churn_rate
+
+    def test_rename_changes_value(self):
+        rng = random.Random(0)
+        for value in ["headline20", "hp-content-block", "searchInputArea", "adv"]:
+            renamed = rename_attribute_value(value, rng)
+            assert renamed  # never empty
+
+    def test_rename_is_usually_different(self):
+        rng = random.Random(1)
+        different = sum(
+            rename_attribute_value("content-block", rng) != "content-block"
+            for _ in range(20)
+        )
+        assert different >= 18
+
+
+class TestStateEvolution:
+    def test_initial_state_within_bounds(self, spec):
+        state = initial_state(spec.profile, spec.initial_rng())
+        for name, knob in spec.profile.counts.items():
+            assert knob.minimum <= state.counts[name] <= knob.maximum
+        for name, knob in spec.profile.lists.items():
+            assert knob.minimum <= state.lists[name] <= knob.maximum
+
+    def test_evolution_advances_clock(self, spec):
+        state = initial_state(spec.profile, spec.initial_rng())
+        nxt = evolve_state(spec.profile, state, spec.change_model, random.Random(0))
+        assert nxt.snapshot_index == 1
+        assert nxt.day == 20
+
+    def test_evolution_does_not_mutate_input(self, spec):
+        state = initial_state(spec.profile, spec.initial_rng())
+        before = dict(state.class_map)
+        evolve_state(spec.profile, state, spec.change_model, random.Random(0))
+        assert state.class_map == before
+
+    def test_data_churns(self, spec):
+        state = initial_state(spec.profile, spec.initial_rng())
+        changed = 0
+        for seed in range(10):
+            nxt = evolve_state(spec.profile, state, spec.change_model, random.Random(seed))
+            changed += nxt.texts != state.texts
+        assert changed >= 8
+
+    def test_knobs_stay_in_bounds_over_long_walks(self, spec):
+        state = initial_state(spec.profile, spec.initial_rng())
+        for seed in range(100):
+            state = evolve_state(spec.profile, state, spec.change_model, random.Random(seed))
+        for name, knob in spec.profile.counts.items():
+            assert knob.minimum <= state.counts[name] <= knob.maximum
+
+
+class TestArchive:
+    def test_snapshots_deterministic(self, spec):
+        from repro.dom.signatures import subtree_signature
+
+        a = SyntheticArchive(spec, n_snapshots=6)
+        b = SyntheticArchive(spec, n_snapshots=6)
+        for index in range(6):
+            assert subtree_signature(a.snapshot(index).root) == subtree_signature(
+                b.snapshot(index).root
+            )
+
+    def test_day_cadence(self, spec):
+        archive = SyntheticArchive(spec, n_snapshots=5, interval_days=20)
+        assert [archive.day(i) for i in range(5)] == [0, 20, 40, 60, 80]
+
+    def test_snapshot_zero_never_broken(self, spec):
+        archive = SyntheticArchive(spec, n_snapshots=1)
+        assert not archive.is_broken(0)
+
+    def test_targets_tracked_across_snapshots(self, spec):
+        archive = SyntheticArchive(spec, n_snapshots=8)
+        for index in range(8):
+            if archive.is_broken(index):
+                continue
+            targets = archive.targets_at(index, "director")
+            assert len(targets) == 1
+
+    def test_out_of_range_snapshot(self, spec):
+        archive = SyntheticArchive(spec, n_snapshots=3)
+        with pytest.raises(IndexError):
+            archive.state(3)
+
+    def test_pages_actually_change(self):
+        spec = make_news_site(1)
+        archive = SyntheticArchive(spec, n_snapshots=40)
+        from repro.dom.signatures import subtree_signature
+
+        signatures = {
+            subtree_signature(archive.snapshot(i).root) for i in (0, 10, 20, 30)
+        }
+        assert len(signatures) > 1
+
+    def test_lru_cache_bounded(self, spec):
+        archive = SyntheticArchive(spec, n_snapshots=30, cache_size=4)
+        for index in range(30):
+            archive.snapshot(index)
+        assert len(archive._doc_cache) <= 4

@@ -1,0 +1,133 @@
+"""Integration tests for the experiment harnesses (small workloads)."""
+
+import pytest
+
+from repro.experiments.change_rate import ChangeRateStats
+from repro.experiments.characteristics import analyze_queries, top_labels
+from repro.experiments.noise_study import (
+    build_noise_samples,
+    noise_resistance_curve,
+    run_ner_study,
+)
+from repro.experiments.robustness_study import run_study, run_task
+from repro.experiments.runtime import measure_induction_runtime
+from repro.experiments.reporting import banner, format_series, format_table
+from repro.sites import multi_node_tasks, single_node_tasks
+from repro.xpath import parse_query
+
+
+@pytest.fixture(scope="module")
+def small_single_study():
+    return run_study(single_node_tasks(limit=4), n_snapshots=30)
+
+
+@pytest.fixture(scope="module")
+def small_multi_study():
+    return run_study(multi_node_tasks(limit=3), n_snapshots=30)
+
+
+class TestRobustnessStudy:
+    def test_all_three_wrappers_recorded(self, small_single_study):
+        for outcome in small_single_study.outcomes:
+            assert set(outcome.records) >= {"generated", "manual", "canonical"}
+
+    def test_valid_days_bounded_by_window(self, small_single_study):
+        for outcome in small_single_study.outcomes:
+            for record in outcome.records.values():
+                assert 0 <= record.valid_days <= small_single_study.max_days
+
+    def test_groups_assigned(self, small_single_study):
+        assert all(o.group in "abcdef" for o in small_single_study.outcomes)
+
+    def test_density_integrates_to_one(self, small_single_study):
+        centers, density = small_single_study.density("generated", bins=10)
+        width = centers[1] - centers[0]
+        assert pytest.approx(density.sum() * width, rel=1e-6) == 1.0
+
+    def test_summary_fields(self, small_single_study):
+        summary = small_single_study.summary("generated")
+        assert summary["n"] == 4
+        assert (
+            summary["under_100"] + summary["between_100_400"] + summary["over_400"]
+            == 4
+        )
+
+    def test_extra_ranks(self):
+        task = single_node_tasks(limit=1)[0]
+        outcome = run_task(task, n_snapshots=10, extra_ranks=(3,))
+        assert "generated_rank3" in outcome.records
+
+    def test_multi_study_runs(self, small_multi_study):
+        assert len(small_multi_study.outcomes) == 3
+
+
+class TestChangeRate:
+    def test_stats_from_study(self, small_single_study):
+        stats = ChangeRateStats.from_study(small_single_study)
+        assert stats.n == 4
+        assert stats.maximum >= 0
+        assert stats.average >= 0
+
+
+class TestCharacteristics:
+    def test_analyze_known_queries(self):
+        queries = [
+            parse_query('descendant::div[@id="a"]/descendant::span[2]'),
+            parse_query('descendant::input[@name="q"]'),
+        ]
+        stats = analyze_queries(queries)
+        assert stats.n_queries == 2
+        assert stats.step_count_distribution == {2: 1, 1: 1}
+        assert stats.total_steps == 3
+        assert stats.predicates_by_step[(1, "id")] == 1
+        assert stats.predicates_by_step[(2, "positional")] == 1
+        assert stats.predicates_by_step[(1, "name")] == 1
+
+    def test_top_labels_folds_tail(self):
+        from collections import Counter
+
+        counter = Counter({"a": 5, "b": 3, "c": 1, "d": 1})
+        rows = top_labels(counter, limit=2)
+        assert rows == [("a", 5), ("b", 3), ("other", 2)]
+
+
+class TestNoiseStudy:
+    def test_curve_monotone_data_shape(self):
+        samples = build_noise_samples(limit=3)
+        assert samples
+        points = noise_resistance_curve(samples, "positive_random", [0.1, 0.5])
+        assert all(0 <= p.identical_rate <= 1 for p in points)
+        assert all(p.total == len(samples) for p in points)
+
+    def test_identical_at_zero_intensity(self):
+        samples = build_noise_samples(limit=3)
+        points = noise_resistance_curve(samples, "negative_random", [0.0])
+        assert points[0].identical_rate == 1.0
+
+    def test_ner_study(self):
+        result = run_ner_study(n_pages=4, sizes=(8, 12))
+        assert len(result.pages) == 4
+        assert 0 <= result.success_rate <= 1
+        assert result.avg_negative_noise >= 0
+
+
+class TestRuntime:
+    def test_measures_tasks(self):
+        stats = measure_induction_runtime(limit=3)
+        assert stats.n == 3
+        assert stats.min_s <= stats.median_s <= stats.max_s
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_format_series(self):
+        out = format_series("s", [1.0, 2.0], [0.5, 0.25])
+        assert "# s" in out and "0.5000" in out
+
+    def test_banner(self):
+        assert "Title" in banner("Title")

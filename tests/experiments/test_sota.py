@@ -1,0 +1,50 @@
+"""Unit-level tests for the Sec. 6.1 comparison harnesses (small configs)."""
+
+import pytest
+
+from repro.experiments.sota import (
+    dalvi_comparison,
+    render_template_variant,
+    weir_comparison,
+)
+from repro.sites.verticals import make_travel_site
+
+
+class TestDalviComparison:
+    def test_small_run_shape(self):
+        results = dalvi_comparison(n_snapshots=5, snapshot_stride=2, periods=(0,))
+        assert len(results) == 1
+        result = results[0]
+        assert 0.0 <= result.ours <= 1.0
+        assert 0.0 <= result.treeedit <= 1.0
+        assert result.transitions >= 1
+
+    def test_multiple_periods(self):
+        results = dalvi_comparison(n_snapshots=4, snapshot_stride=2, periods=(0, 4))
+        assert len(results) == 2
+        assert results[0].period != results[1].period
+
+
+class TestTemplateVariants:
+    def test_same_template_different_data(self):
+        spec = make_travel_site(0)
+        a = render_template_variant(spec, 1)
+        b = render_template_variant(spec, 2)
+        hotel_a = a.find_by_meta("role", "hotel")[0]
+        hotel_b = b.find_by_meta("role", "hotel")[0]
+        assert hotel_a.tag == hotel_b.tag
+        assert hotel_a.attrs == hotel_b.attrs  # same template
+        assert a.normalized_text(hotel_a) != b.normalized_text(hotel_b)  # new data
+
+    def test_variant_urls_differ(self):
+        spec = make_travel_site(0)
+        assert render_template_variant(spec, 1).url != render_template_variant(spec, 2).url
+
+
+class TestWeirComparison:
+    def test_small_run(self):
+        result = weir_comparison(n_pages=4, n_runs=2, n_snapshots=16)
+        assert result.n_runs >= 1
+        assert 0.0 <= result.ours_top10_avg <= 1.0
+        assert 0.0 <= result.weir_avg <= 1.0
+        assert result.weir_expressions_avg >= 1

@@ -1,0 +1,84 @@
+"""Focused tests for Algorithm 2 internals (tables, pruning, spine bound)."""
+
+import pytest
+
+from repro.dom import parse_html
+from repro.induction.config import InductionConfig
+from repro.induction.induce_path import (
+    PathInductionContext,
+    _spine_targets,
+    induce_path,
+    init_tables,
+)
+from repro.scoring.params import ScoringParams
+from repro.scoring.ranking import rank_key
+from repro.xpath.ast import Axis, EMPTY_QUERY
+
+
+class TestInitTables:
+    def test_epsilon_seeded_at_targets(self, imdb_doc):
+        targets = [imdb_doc.find(tag="h1")]
+        best = init_tables(targets, k=5, beta=0.5)
+        table = best[id(targets[0])]
+        assert table.best().query == EMPTY_QUERY
+        assert table.best().tp == 1
+
+
+class TestSpineTargets:
+    def test_all_when_few(self):
+        targets = list(range(5))
+        assert _spine_targets(targets, 10) == targets
+
+    def test_bounded_and_keeps_ends(self):
+        targets = list(range(100))
+        chosen = _spine_targets(targets, 12)
+        assert len(chosen) <= 12
+        assert chosen[0] == 0
+        assert chosen[-1] == 99
+
+    def test_spread_is_monotone(self):
+        chosen = _spine_targets(list(range(50)), 7)
+        assert chosen == sorted(chosen)
+
+    def test_zero_limit_means_unbounded(self):
+        targets = list(range(30))
+        assert _spine_targets(targets, 0) == targets
+
+
+class TestInducePath:
+    def test_returns_best_table_for_context(self, imdb_doc):
+        config = InductionConfig()
+        ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
+        targets = [imdb_doc.find(tag="h1")]
+        best = init_tables(targets, config.k, config.beta)
+        table = induce_path(ctx, imdb_doc.root, targets, Axis.CHILD, best, {})
+        assert len(table) > 0
+        keys = [rank_key(i) for i in table.items]
+        assert keys == sorted(keys)
+
+    def test_intermediate_tables_populated(self, imdb_doc):
+        config = InductionConfig()
+        ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
+        span = imdb_doc.find(tag="span")
+        best = init_tables([span], config.k, config.beta)
+        induce_path(ctx, imdb_doc.root, [span], Axis.CHILD, best, {})
+        main = imdb_doc.find(id="main")
+        assert id(main) in best
+        assert len(best[id(main)]) > 0
+
+    def test_step_pattern_cache_reused(self, imdb_doc):
+        config = InductionConfig()
+        ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
+        tds = list(imdb_doc.root.iter_find(tag="td", class_="name"))
+        best = init_tables(tds, config.k, config.beta)
+        induce_path(ctx, imdb_doc.root, tds, Axis.CHILD, best, {})
+        assert len(ctx.step_cache) > 0
+
+    def test_best_entries_are_accurate_for_single_target(self, imdb_doc):
+        config = InductionConfig()
+        ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
+        h1 = imdb_doc.find(tag="h1")
+        best = init_tables([h1], config.k, config.beta)
+        table = induce_path(ctx, imdb_doc.root, [h1], Axis.CHILD, best, {})
+        top = table.best()
+        assert top.fp == 0 and top.fn == 0

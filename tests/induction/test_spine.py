@@ -1,0 +1,116 @@
+"""Tests for spines, base axes, and reachability."""
+
+import pytest
+
+from repro.dom import parse_html
+from repro.induction.spine import (
+    base_axis_between,
+    common_base_axis,
+    lca,
+    spine,
+    targets_reachable,
+)
+from repro.xpath.ast import Axis
+
+
+@pytest.fixture
+def doc():
+    return parse_html(
+        "<html><body><div id='a'><p id='p1'>1</p><p id='p2'>2</p>"
+        "<span id='s'>x</span></div><div id='b'><em id='e'>y</em></div></body></html>"
+    )
+
+
+class TestBaseAxis:
+    def test_descendant_is_child_axis(self, doc):
+        body = doc.find(tag="body")
+        p = doc.find(id="p1")
+        assert base_axis_between(body, p) is Axis.CHILD
+
+    def test_ancestor_is_parent_axis(self, doc):
+        body = doc.find(tag="body")
+        p = doc.find(id="p1")
+        assert base_axis_between(p, body) is Axis.PARENT
+
+    def test_sibling_axes(self, doc):
+        p1, p2 = doc.find(id="p1"), doc.find(id="p2")
+        assert base_axis_between(p1, p2) is Axis.FOLLOWING_SIBLING
+        assert base_axis_between(p2, p1) is Axis.PRECEDING_SIBLING
+
+    def test_unrelated_nodes(self, doc):
+        assert base_axis_between(doc.find(id="p1"), doc.find(id="e")) is None
+
+    def test_same_node(self, doc):
+        node = doc.find(id="p1")
+        assert base_axis_between(node, node) is None
+
+
+class TestCommonBaseAxis:
+    def test_all_descendants(self, doc):
+        body = doc.find(tag="body")
+        targets = [doc.find(id="p1"), doc.find(id="e")]
+        assert common_base_axis(body, targets) is Axis.CHILD
+
+    def test_mixed_axes_none(self, doc):
+        p1 = doc.find(id="p1")
+        targets = [doc.find(id="p2"), doc.find(tag="body")]
+        assert common_base_axis(p1, targets) is None
+
+    def test_all_siblings(self, doc):
+        p1 = doc.find(id="p1")
+        targets = [doc.find(id="p2"), doc.find(id="s")]
+        assert common_base_axis(p1, targets) is Axis.FOLLOWING_SIBLING
+
+
+class TestSpine:
+    def test_downward_spine_order(self, doc):
+        body = doc.find(tag="body")
+        p1 = doc.find(id="p1")
+        path = spine(body, p1, Axis.CHILD)
+        assert path[0] is body
+        assert path[-1] is p1
+        assert [getattr(n, "tag", "?") for n in path] == ["body", "div", "p"]
+
+    def test_upward_spine(self, doc):
+        body = doc.find(tag="body")
+        p1 = doc.find(id="p1")
+        path = spine(p1, body, Axis.PARENT)
+        assert path[0] is p1 and path[-1] is body
+
+    def test_sibling_spine_includes_between_nodes(self, doc):
+        p1, s = doc.find(id="p1"), doc.find(id="s")
+        path = spine(p1, s, Axis.FOLLOWING_SIBLING)
+        assert [n.attrs.get("id") for n in path] == ["p1", "p2", "s"]
+
+    def test_preceding_spine_reversed(self, doc):
+        p1, s = doc.find(id="p1"), doc.find(id="s")
+        path = spine(s, p1, Axis.PRECEDING_SIBLING)
+        assert [n.attrs.get("id") for n in path] == ["s", "p2", "p1"]
+
+    def test_wrong_direction_raises(self, doc):
+        with pytest.raises(ValueError):
+            spine(doc.find(id="p1"), doc.find(tag="body"), Axis.CHILD)
+
+
+class TestLca:
+    def test_siblings(self, doc):
+        assert lca([doc.find(id="p1"), doc.find(id="p2")]) is doc.find(id="a")
+
+    def test_across_divs(self, doc):
+        assert lca([doc.find(id="p1"), doc.find(id="e")]) is doc.find(tag="body")
+
+    def test_ancestor_is_its_own_lca(self, doc):
+        a = doc.find(id="a")
+        assert lca([a, doc.find(id="p1")]) is a
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lca([])
+
+
+class TestTargetsReachable:
+    def test_child_axis(self, doc):
+        div = doc.find(id="a")
+        targets = [doc.find(id="p1"), doc.find(id="e")]
+        reachable = targets_reachable(div, targets, Axis.CHILD)
+        assert reachable == frozenset({id(targets[0])})

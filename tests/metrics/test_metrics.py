@@ -1,0 +1,68 @@
+"""Tests for PRF counts and the robustness metric."""
+
+from repro.dom import E, T, document, parse_html
+from repro.metrics import (
+    prf_counts,
+    query_robust_between,
+    same_result_set,
+    wrapper_matches_targets,
+)
+from repro.xpath import parse_query
+
+
+class TestPrfCounts:
+    def test_exact(self):
+        a, b = E("a"), E("b")
+        counts = prf_counts([a, b], [a, b])
+        assert counts.exact and counts.precision == counts.recall == 1.0
+
+    def test_false_positive(self):
+        a, b = E("a"), E("b")
+        counts = prf_counts([a, b], [a])
+        assert counts.fp == 1 and counts.precision == 0.5
+
+    def test_false_negative(self):
+        a, b = E("a"), E("b")
+        counts = prf_counts([a], [a, b])
+        assert counts.fn == 1 and counts.recall == 0.5
+
+    def test_f_beta(self):
+        a, b = E("a"), E("b")
+        counts = prf_counts([a], [a, b])
+        assert 0 < counts.f_beta(0.5) < 1
+
+
+class TestRobustBetween:
+    def wrapper(self):
+        return parse_query('descendant::span[@class="x"]')
+
+    def page(self, text):
+        return parse_html(f'<div><span class="x">{text}</span></div>')
+
+    def test_robust_when_subtrees_equal(self):
+        assert query_robust_between(self.wrapper(), self.page("a"), self.page("a"))
+
+    def test_not_robust_when_text_changes(self):
+        assert not query_robust_between(self.wrapper(), self.page("a"), self.page("b"))
+
+    def test_not_robust_when_cardinality_changes(self):
+        two = parse_html('<div><span class="x">a</span><span class="x">a</span></div>')
+        assert not query_robust_between(self.wrapper(), self.page("a"), two)
+
+    def test_order_independent(self):
+        doc_a = parse_html('<div><span class="x">a</span><span class="x">b</span></div>')
+        doc_b = parse_html('<div><span class="x">b</span><span class="x">a</span></div>')
+        assert query_robust_between(self.wrapper(), doc_a, doc_b)
+
+
+class TestWrapperMatches:
+    def test_same_result_set_by_identity(self):
+        a, b = E("a"), E("b")
+        assert same_result_set([a, b], [b, a])
+        assert not same_result_set([a], [a, b])
+
+    def test_wrapper_matches_targets(self, imdb_doc):
+        q = parse_query('descendant::span[@itemprop="name"]')
+        spans = list(imdb_doc.root.iter_find(tag="span"))
+        assert wrapper_matches_targets(q, imdb_doc, spans)
+        assert not wrapper_matches_targets(q, imdb_doc, spans[:1])

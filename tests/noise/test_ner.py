@@ -1,0 +1,75 @@
+"""Tests for the simulated NER."""
+
+import random
+
+import pytest
+
+from repro.noise.ner import NERProfile, SimulatedNER
+from repro.sites.listings import ListingPageSpec, build_listing_page, listing_pages
+
+
+@pytest.fixture
+def page():
+    spec = ListingPageSpec(
+        page_id="t", entity_type="person", list_size=20, with_sidebar=True, seed=0
+    )
+    return build_listing_page(spec)
+
+
+class TestAnnotate:
+    def test_annotations_are_nodes_of_the_page(self, page):
+        ner = SimulatedNER()
+        out = ner.annotate(page, "person", random.Random(0))
+        assert out.nodes
+        assert all(page.contains(n) for n in out.nodes)
+
+    def test_noise_rates_within_profile(self, page):
+        profile = NERProfile(miss_rate=(0.2, 0.4), random_positive_rate=(0.1, 0.3))
+        ner = SimulatedNER(profile)
+        out = ner.annotate(page, "person", random.Random(1))
+        assert 0.1 <= out.negative_noise <= 0.45
+        assert out.positive_noise >= 0.0
+
+    def test_every_page_has_some_noise(self, page):
+        ner = SimulatedNER(NERProfile(miss_rate=(0, 0), random_positive_rate=(0, 0),
+                                      sidebar_burst_probability=0.0))
+        out = ner.annotate(page, "person", random.Random(2))
+        assert out.missed or out.spurious
+
+    def test_sidebar_burst_is_structural_noise(self, page):
+        profile = NERProfile(sidebar_burst_probability=1.0, random_positive_rate=(0, 0))
+        out = SimulatedNER(profile).annotate(page, "person", random.Random(3))
+        sidebar_nodes = [n for n in out.spurious if n.meta.get("region") == "sidebar"]
+        assert sidebar_nodes
+
+    def test_wrong_entity_type_raises(self, page):
+        with pytest.raises(ValueError):
+            SimulatedNER().annotate(page, "money", random.Random(0))
+
+    def test_deterministic(self, page):
+        a = SimulatedNER().annotate(page, "person", random.Random(9))
+        b = SimulatedNER().annotate(page, "person", random.Random(9))
+        assert [id(n) for n in a.nodes] == [id(n) for n in b.nodes]
+
+
+class TestListingPages:
+    def test_ten_pages_with_expected_sizes(self):
+        pages = listing_pages(10)
+        assert len(pages) == 10
+        for spec, doc in pages:
+            assert 8 <= spec.list_size <= 77
+            entities = doc.find_by_meta("role", "entities")
+            assert len(entities) == spec.list_size
+
+    def test_entity_types_cycle(self):
+        pages = listing_pages(10)
+        types = {spec.entity_type for spec, _ in pages}
+        assert types == {"date", "person", "location", "organization", "money"}
+
+    def test_sidebar_pages_have_sidebar_entities(self):
+        for spec, doc in listing_pages(10):
+            sidebar = [
+                n for n in doc.root.descendants()
+                if n.meta.get("region") == "sidebar"
+            ]
+            assert bool(sidebar) == spec.with_sidebar

@@ -1,0 +1,115 @@
+"""Tests for the four synthetic noise types (N1–N4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dom import parse_html
+from repro.noise import (
+    apply_noise,
+    negative_mid_random,
+    negative_random,
+    positive_random,
+    positive_structural,
+)
+
+
+@pytest.fixture
+def doc():
+    items = "".join(f"<li class='it'>v{i}</li>" for i in range(10))
+    other = "".join(f"<li class='other'>o{i}</li>" for i in range(6))
+    return parse_html(
+        f"<html><body><div><ul class='main'>{items}</ul>"
+        f"<ul class='side'>{other}</ul><p>chatter</p></div></body></html>"
+    )
+
+
+def targets_of(doc):
+    return [li for li in doc.root.iter_find(tag="li", class_="it")]
+
+
+class TestNegativeRandom:
+    def test_removes_requested_fraction(self, doc):
+        targets = targets_of(doc)
+        noisy = negative_random(doc, targets, 0.3, random.Random(1))
+        assert len(noisy) == 7
+
+    def test_never_removes_all(self, doc):
+        targets = targets_of(doc)
+        noisy = negative_random(doc, targets, 5.0, random.Random(1))
+        assert len(noisy) >= 1
+
+    def test_zero_intensity_identity(self, doc):
+        targets = targets_of(doc)
+        assert negative_random(doc, targets, 0.0, random.Random(1)) == doc.sort_nodes(targets)
+
+    def test_subset_of_targets(self, doc):
+        targets = targets_of(doc)
+        noisy = negative_random(doc, targets, 0.5, random.Random(7))
+        assert {id(n) for n in noisy} <= {id(t) for t in targets}
+
+
+class TestNegativeMidRandom:
+    def test_keeps_first_and_last(self, doc):
+        targets = doc.sort_nodes(targets_of(doc))
+        for seed in range(5):
+            noisy = negative_mid_random(doc, targets, 0.7, random.Random(seed))
+            assert noisy[0] is targets[0]
+            assert noisy[-1] is targets[-1]
+
+    def test_small_sets_untouched(self, doc):
+        targets = targets_of(doc)[:2]
+        assert len(negative_mid_random(doc, targets, 0.9, random.Random(0))) == 2
+
+
+class TestPositiveStructural:
+    def test_adds_structurally_related_nodes(self, doc):
+        targets = targets_of(doc)
+        noisy = positive_structural(doc, targets, 0.3, random.Random(2))
+        added = [n for n in noisy if id(n) not in {id(t) for t in targets}]
+        assert len(added) == 3
+        assert all(n.tag == "li" for n in added)  # same tag as targets
+
+    def test_additions_outside_target_set(self, doc):
+        targets = targets_of(doc)
+        noisy = positive_structural(doc, targets, 0.5, random.Random(3))
+        assert len(noisy) == len({id(n) for n in noisy})
+
+
+class TestPositiveRandom:
+    def test_adds_leaf_nodes(self, doc):
+        targets = targets_of(doc)
+        noisy = positive_random(doc, targets, 0.5, random.Random(4))
+        assert len(noisy) == len(targets) + 5
+
+    def test_supports_300_percent(self, doc):
+        targets = targets_of(doc)[:4]
+        noisy = positive_random(doc, targets, 3.0, random.Random(5))
+        assert len(noisy) > len(targets)
+
+
+class TestApplyNoise:
+    def test_dispatch(self, doc):
+        targets = targets_of(doc)
+        out = apply_noise("negative_random", doc, targets, 0.2, random.Random(0))
+        assert len(out) == 8
+
+    def test_unknown_type(self, doc):
+        with pytest.raises(ValueError):
+            apply_noise("bogus", doc, targets_of(doc), 0.1, random.Random(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(["negative_random", "negative_mid_random", "positive_structural", "positive_random"]),
+    st.floats(0.0, 1.0),
+    st.integers(0, 1000),
+)
+def test_noise_is_deterministic_per_seed(kind, intensity, seed):
+    items = "".join(f"<li class='it'>v{i}</li>" for i in range(8))
+    doc = parse_html(f"<html><body><ul>{items}</ul><p>x</p></body></html>")
+    targets = [li for li in doc.root.iter_find(tag="li")]
+    a = apply_noise(kind, doc, targets, intensity, random.Random(seed))
+    b = apply_noise(kind, doc, targets, intensity, random.Random(seed))
+    assert [id(n) for n in a] == [id(n) for n in b]

@@ -1,0 +1,119 @@
+"""Tests for F-beta, instance ranking, and K-best tables."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scoring import KBestTable, QueryInstance, fbeta, rank_key
+from repro.xpath import parse_query
+
+
+def inst(text, tp=1, fp=0, fn=0, score=1.0):
+    return QueryInstance(parse_query(text), tp=tp, fp=fp, fn=fn, score=score)
+
+
+class TestFBeta:
+    def test_perfect(self):
+        assert fbeta(5, 0, 0) == 1.0
+
+    def test_zero_when_no_true_positives(self):
+        assert fbeta(0, 3, 2) == 0.0
+        assert fbeta(0, 0, 0) == 0.0
+
+    def test_beta_half_weighs_precision(self):
+        precise = fbeta(1, 0, 1, beta=0.5)  # precision 1, recall .5
+        recallful = fbeta(1, 1, 0, beta=0.5)  # precision .5, recall 1
+        assert precise > recallful
+
+    def test_beta_two_weighs_recall(self):
+        precise = fbeta(1, 0, 1, beta=2.0)
+        recallful = fbeta(1, 1, 0, beta=2.0)
+        assert recallful > precise
+
+    def test_matches_paper_formula(self):
+        tp, fp, fn, beta = 3, 1, 2, 0.5
+        prec, rec = tp / (tp + fp), tp / (tp + fn)
+        expected = (1 + beta**2) * prec * rec / (beta**2 * prec + rec)
+        assert fbeta(tp, fp, fn, beta) == pytest.approx(expected)
+
+
+class TestRankKey:
+    def test_higher_f_wins(self):
+        good = inst("descendant::a", tp=2, score=100.0)
+        bad = inst("descendant::b", tp=1, fp=1, score=1.0)
+        assert rank_key(good) < rank_key(bad)
+
+    def test_lower_score_wins_on_equal_f(self):
+        cheap = inst("descendant::a", score=10.0)
+        costly = inst("descendant::b", score=20.0)
+        assert rank_key(cheap) < rank_key(costly)
+
+    def test_deterministic_tiebreak(self):
+        a = inst("descendant::a")
+        b = inst("descendant::b")
+        assert rank_key(a) != rank_key(b)
+
+
+class TestKBestTable:
+    def test_keeps_k_best(self):
+        table = KBestTable(2)
+        table.insert(inst("descendant::a", score=3.0))
+        table.insert(inst("descendant::b", score=1.0))
+        table.insert(inst("descendant::c", score=2.0))
+        assert [i.score for i in table.items] == [1.0, 2.0]
+
+    def test_rejects_when_full_and_worse(self):
+        table = KBestTable(1)
+        assert table.insert(inst("descendant::a", score=1.0))
+        assert not table.insert(inst("descendant::b", score=2.0))
+
+    def test_dedupes_by_query_keeping_best(self):
+        table = KBestTable(3)
+        table.insert(inst("descendant::a", tp=1, fp=1, score=5.0))
+        table.insert(inst("descendant::a", tp=1, score=5.0))
+        assert len(table) == 1
+        assert table.best().fp == 0
+
+    def test_duplicate_worse_is_ignored(self):
+        table = KBestTable(3)
+        table.insert(inst("descendant::a", tp=1, score=5.0))
+        assert not table.insert(inst("descendant::a", tp=1, fp=3, score=5.0))
+        assert len(table) == 1
+
+    def test_would_accept_when_not_full(self):
+        table = KBestTable(2)
+        table.insert(inst("descendant::a"))
+        assert table.would_accept((0.0, 1e9, 0, ""))
+
+    def test_best_and_iteration_order(self):
+        table = KBestTable(3)
+        for text, score in [("descendant::a", 2.0), ("descendant::b", 1.0)]:
+            table.insert(inst(text, score=score))
+        assert table.best().score == 1.0
+        assert [i.score for i in table] == [1.0, 2.0]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KBestTable(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5), st.integers(0, 5),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_table_is_always_sorted_and_bounded(entries):
+    table = KBestTable(5)
+    for index, (tp, fp, fn, score) in enumerate(entries):
+        table.insert(
+            QueryInstance(parse_query(f"descendant::t{index}"), tp, fp, fn, score)
+        )
+    keys = [rank_key(i) for i in table.items]
+    assert keys == sorted(keys)
+    assert len(table) <= 5

@@ -1,0 +1,147 @@
+"""Tests for the robustness score (Sec. 4 formulas, Sec. 6.3 constants)."""
+
+import pytest
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scoring import Scorer, ScoringParams, score_query
+from repro.scoring.score import score_predicate, score_step
+from repro.xpath import parse_query
+from repro.xpath.ast import Axis
+
+
+PARAMS = ScoringParams()
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestAxisAndNodetestScores:
+    def test_descendant_cheapest(self):
+        assert PARAMS.axis_score(Axis.DESCENDANT) == 1
+        assert PARAMS.axis_score(Axis.CHILD) == 10
+        assert PARAMS.axis_score(Axis.ANCESTOR) == 20
+        assert PARAMS.axis_score(Axis.PRECEDING_SIBLING) == 25
+
+    def test_generic_nodetests_cost_one(self):
+        assert score_query(q("descendant::node()"), replace(PARAMS, no_predicate_penalty=0)) == 2
+        assert score_query(q("descendant::*"), replace(PARAMS, no_predicate_penalty=0)) == 2
+
+    def test_named_tag_costs_default(self):
+        assert score_query(q("descendant::div"), replace(PARAMS, no_predicate_penalty=0)) == 11
+
+
+class TestPredicateScores:
+    def test_positional(self):
+        # [n]: c_pos * n + s_position = 20n + 1
+        assert score_predicate(q("descendant::div[1]").steps[0].predicates[0], PARAMS) == 21
+        assert score_predicate(q("descendant::div[3]").steps[0].predicates[0], PARAMS) == 61
+
+    def test_last_minus(self):
+        # [last()-n]: c_pos * n + s_last = 20n + 20
+        assert score_predicate(q("descendant::div[last()]").steps[0].predicates[0], PARAMS) == 20
+        assert score_predicate(q("descendant::div[last()-2]").steps[0].predicates[0], PARAMS) == 60
+
+    def test_attribute_equality(self):
+        # equals(@class, "adv"): s_f + s_class + c_f * 3 = 1 + 5 + 3
+        pred = q('descendant::img[@class="adv"]').steps[0].predicates[0]
+        assert score_predicate(pred, PARAMS) == 9
+
+    def test_attribute_existence_has_no_function_penalty(self):
+        # [@id]: y + s_id = 15 + 1
+        pred = q("descendant::div[@id]").steps[0].predicates[0]
+        assert score_predicate(pred, PARAMS) == 16
+
+    def test_text_predicate(self):
+        # starts-with(., "Director:"): s_f + s_text + |w| = 5 + 5 + 9
+        pred = q('descendant::div[starts-with(.,"Director:")]').steps[0].predicates[0]
+        assert score_predicate(pred, PARAMS) == 19
+
+    def test_unknown_attribute_gets_default(self):
+        pred = q('descendant::div[@data-x="1"]').steps[0].predicates[0]
+        assert score_predicate(pred, PARAMS) == 1 + 1000 + 1
+
+
+class TestWorkedExample:
+    def test_paper_example_score(self):
+        """The paper computes 40 for descendant::img[@class="adv"][1] but its
+        arithmetic drops the equals-function score; the formulas as written
+        give 41 (= 1 + 10 + (1+5+3) + (20+1))."""
+        score = score_query(q('descendant::img[@class="adv"][1]'), PARAMS)
+        assert score == 41
+
+
+class TestDecay:
+    def test_later_steps_weighted_by_decay(self):
+        params = replace(PARAMS, no_predicate_penalty=0)
+        one = score_query(q("descendant::div"), params)
+        two = score_query(q("descendant::div/descendant::div"), params)
+        assert two == one + one * params.decay
+
+    def test_plus_composability(self):
+        """score(q1/q2) = score(q1) + delta^len(q1) * score(q2)."""
+        params = replace(PARAMS, no_predicate_penalty=0)
+        q1 = q('descendant::div[@id="a"]')
+        q2 = q('child::span[@class="b"]/child::a[1]')
+        combined = q1.concat(q2)
+        expected = score_query(q1, params) + params.decay ** len(q1) * score_query(q2, params)
+        assert score_query(combined, params) == pytest.approx(expected)
+
+
+class TestPenalties:
+    def test_query_without_predicates_penalized(self):
+        bare = score_query(q("descendant::div"), PARAMS)
+        with_pred = score_query(q('descendant::div[@id="a"]'), PARAMS)
+        assert bare > with_pred  # 1000-penalty dominates
+
+    def test_penalty_applied_once_per_query(self):
+        one = score_query(q("descendant::div"), PARAMS)
+        two = score_query(q("descendant::div/descendant::p"), PARAMS)
+        # second step adds (1 + 10) * decay and no second 1000-penalty
+        assert two - one == pytest.approx(11 * PARAMS.decay)
+
+    def test_step_scope_penalizes_each_bare_step(self):
+        params = replace(PARAMS, no_predicate_penalty_scope="step")
+        two = score_query(q("descendant::div/descendant::p"), params)
+        assert two > 2000
+
+
+class TestScorerCache:
+    def test_cached_score_is_stable(self):
+        scorer = Scorer()
+        query = q('descendant::div[@id="a"]')
+        assert scorer.score(query) == scorer.score(query)
+
+    def test_matches_direct_computation(self):
+        scorer = Scorer()
+        query = q('descendant::div[@id="a"]/child::span')
+        assert scorer.score(query) == score_query(query, scorer.params)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(
+        [
+            "descendant::div",
+            'descendant::div[@id="a"]',
+            "descendant::div[2]",
+            'descendant::span[contains(.,"x")]',
+            "child::li[last()-1]",
+        ]
+    ),
+    st.sampled_from(
+        [
+            "child::span",
+            'descendant::a[@class="b"]',
+            "following-sibling::tr",
+        ]
+    ),
+)
+def test_concat_composability_property(left, right):
+    params = replace(PARAMS, no_predicate_penalty=0)
+    q1, q2 = parse_query(left), parse_query(right)
+    combined = q1.concat(q2)
+    expected = score_query(q1, params) + params.decay ** len(q1) * score_query(q2, params)
+    assert score_query(combined, params) == pytest.approx(expected)

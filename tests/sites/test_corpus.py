@@ -1,0 +1,82 @@
+"""Corpus-wide invariants: every site renders, every human wrapper works."""
+
+import pytest
+
+from repro.dom.node import TextNode
+from repro.evolution import SyntheticArchive
+from repro.metrics import wrapper_matches_targets
+from repro.sites import build_corpus, multi_node_tasks, single_node_tasks
+from repro.sites.verticals import VERTICAL_FACTORIES
+from repro.xpath import parse_query
+
+CORPUS = build_corpus()
+
+
+class TestCorpusShape:
+    def test_at_least_50_sites(self):
+        assert len(CORPUS) >= 50
+
+    def test_at_least_12_verticals(self):
+        assert len({s.vertical for s in CORPUS}) >= 12
+
+    def test_100_plus_tasks(self):
+        assert len(single_node_tasks()) + len(multi_node_tasks()) >= 100
+
+    def test_paper_dataset_sizes_available(self):
+        assert len(single_node_tasks()) >= 50
+        assert len(multi_node_tasks()) >= 50
+
+    def test_unique_task_ids(self):
+        ids = [t.task_id for t in single_node_tasks()] + [
+            t.task_id for t in multi_node_tasks()
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_limit_parameter(self):
+        assert len(single_node_tasks(limit=5)) == 5
+
+
+@pytest.mark.parametrize("vertical", sorted(VERTICAL_FACTORIES))
+class TestEveryVertical:
+    def test_snapshot0_valid(self, vertical):
+        spec = VERTICAL_FACTORIES[vertical](0)
+        archive = SyntheticArchive(spec, n_snapshots=1)
+        doc = archive.snapshot(0)
+        assert doc.node_count() > 20
+        for task in spec.tasks:
+            targets = archive.targets(doc, task.role)
+            assert targets, f"{task.task_id}: no targets"
+            if not task.multi:
+                assert len(targets) == 1
+            wrapper = parse_query(task.human_wrapper)
+            assert wrapper_matches_targets(wrapper, doc, targets), task.task_id
+
+    def test_volatile_data_is_marked(self, vertical):
+        spec = VERTICAL_FACTORIES[vertical](0)
+        doc = SyntheticArchive(spec, n_snapshots=1).snapshot(0)
+        volatile = [
+            n
+            for n in doc.root.descendants()
+            if isinstance(n, TextNode) and n.meta.get("volatile")
+        ]
+        assert volatile, f"{vertical}: no volatile data text marked"
+
+    def test_variants_differ(self, vertical):
+        from repro.dom.signatures import subtree_signature
+
+        a = VERTICAL_FACTORIES[vertical](0)
+        b = VERTICAL_FACTORIES[vertical](1)
+        doc_a = SyntheticArchive(a, n_snapshots=1).snapshot(0)
+        doc_b = SyntheticArchive(b, n_snapshots=1).snapshot(0)
+        assert subtree_signature(doc_a.root) != subtree_signature(doc_b.root)
+
+
+class TestMultiTaskShapes:
+    def test_multi_targets_in_paper_range(self):
+        sizes = []
+        for corpus_task in multi_node_tasks():
+            archive = SyntheticArchive(corpus_task.spec, n_snapshots=1)
+            doc = archive.snapshot(0)
+            sizes.append(len(archive.targets(doc, corpus_task.task.role)))
+        assert min(sizes) >= 2
+        assert max(sizes) <= 59

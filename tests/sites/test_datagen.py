@@ -1,0 +1,53 @@
+"""Tests for the seeded data generators."""
+
+import random
+
+import pytest
+
+from repro.sites import datagen
+from repro.util import seeded_rng
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", datagen.kinds())
+    def test_every_kind_produces_nonempty_strings(self, kind):
+        value = datagen.generate(kind, random.Random(0))
+        assert isinstance(value, str) and value
+
+    def test_deterministic_per_seed(self):
+        for kind in datagen.kinds():
+            a = datagen.generate(kind, random.Random(7))
+            b = datagen.generate(kind, random.Random(7))
+            assert a == b
+
+    def test_varies_across_seeds(self):
+        values = {datagen.generate("headline", random.Random(s)) for s in range(20)}
+        assert len(values) > 5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            datagen.generate("nonsense", random.Random(0))
+
+    def test_person_name_has_two_parts(self):
+        assert len(datagen.person_name(random.Random(3)).split()) == 2
+
+    def test_price_format(self):
+        assert datagen.price(random.Random(1)).startswith("$")
+
+
+class TestSeededRng:
+    def test_same_parts_same_stream(self):
+        a = seeded_rng("x", 1, "y")
+        b = seeded_rng("x", 1, "y")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_parts_different_stream(self):
+        a = seeded_rng("x", 1)
+        b = seeded_rng("x", 2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_no_separator_collisions(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        a = seeded_rng("ab", "c")
+        b = seeded_rng("a", "bc")
+        assert a.random() != b.random()

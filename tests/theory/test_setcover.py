@@ -1,0 +1,73 @@
+"""Tests for the Theorem 1 set-cover correspondence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.theory import (
+    SetCoverInstance,
+    encode_as_document,
+    min_accurate_predicate_count,
+    min_cover_size,
+)
+from repro.theory.setcover import query_is_accurate
+
+
+class TestEncoding:
+    def test_document_shape(self):
+        instance = SetCoverInstance.of([1, 2], [[1], [2], [1, 2]])
+        doc, target = encode_as_document(instance)
+        items = list(doc.root.iter_find(tag="item"))
+        assert len(items) == 3  # target + 2 decoys
+        assert items[0] is target
+
+    def test_full_cover_query_is_accurate(self):
+        instance = SetCoverInstance.of([1, 2, 3], [[1, 2], [3]])
+        doc, target = encode_as_document(instance)
+        assert query_is_accurate(doc, target, [0, 1])
+
+    def test_partial_cover_query_not_accurate(self):
+        instance = SetCoverInstance.of([1, 2, 3], [[1, 2], [3]])
+        doc, target = encode_as_document(instance)
+        assert not query_is_accurate(doc, target, [0])
+
+    def test_uncovering_family_rejected(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.of([1, 2], [[1]])
+
+
+class TestCorrespondence:
+    CASES = [
+        ([1, 2, 3], [[1], [2], [3]]),                     # needs all three
+        ([1, 2, 3], [[1, 2, 3]]),                         # one set suffices
+        ([1, 2, 3, 4], [[1, 2], [3, 4], [1, 3], [2, 4]]),  # cover of size 2
+        ([1, 2, 3, 4, 5], [[1, 2, 3], [3, 4], [4, 5], [1, 5]]),
+    ]
+
+    @pytest.mark.parametrize("universe,sets", CASES)
+    def test_min_query_equals_min_cover(self, universe, sets):
+        instance = SetCoverInstance.of(universe, sets)
+        doc, target = encode_as_document(instance)
+        assert min_accurate_predicate_count(doc, target, len(sets)) == min_cover_size(
+            instance
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_correspondence_on_random_instances(seed):
+    rng = random.Random(seed)
+    universe = list(range(rng.randint(2, 5)))
+    n_sets = rng.randint(2, 5)
+    sets = [
+        [e for e in universe if rng.random() < 0.5] or [rng.choice(universe)]
+        for _ in range(n_sets)
+    ]
+    # ensure coverage
+    for element in universe:
+        if not any(element in s for s in sets):
+            sets[rng.randrange(n_sets)].append(element)
+    instance = SetCoverInstance.of(universe, sets)
+    doc, target = encode_as_document(instance)
+    assert min_accurate_predicate_count(doc, target, n_sets) == min_cover_size(instance)

@@ -1,0 +1,101 @@
+"""Tests for axis navigation order and content."""
+
+import pytest
+
+from repro.dom import parse_html
+from repro.xpath.ast import Axis
+from repro.xpath.axes import axis_candidates
+
+
+@pytest.fixture
+def doc():
+    return parse_html(
+        "<html><body>"
+        "<div id='a'><p id='p1'>1</p><p id='p2'>2</p><p id='p3'>3</p></div>"
+        "<div id='b'><span id='s'>x</span></div>"
+        "</body></html>"
+    )
+
+
+class TestForwardAxes:
+    def test_child_in_document_order(self, doc):
+        div = doc.find(id="a")
+        tags = [c.attrs.get("id") for c in axis_candidates(div, Axis.CHILD, doc)]
+        assert tags == ["p1", "p2", "p3"]
+
+    def test_descendant_preorder(self, doc):
+        body = doc.find(tag="body")
+        ids = [
+            n.attrs.get("id")
+            for n in axis_candidates(body, Axis.DESCENDANT, doc)
+            if hasattr(n, "attrs") and n.attrs.get("id")
+        ]
+        assert ids == ["a", "p1", "p2", "p3", "b", "s"]
+
+    def test_following_sibling_order(self, doc):
+        p1 = doc.find(id="p1")
+        ids = [n.attrs.get("id") for n in axis_candidates(p1, Axis.FOLLOWING_SIBLING, doc)]
+        assert ids == ["p2", "p3"]
+
+
+class TestReverseAxes:
+    def test_ancestor_nearest_first(self, doc):
+        p1 = doc.find(id="p1")
+        tags = [n.tag for n in axis_candidates(p1, Axis.ANCESTOR, doc)]
+        assert tags == ["div", "body", "html", "#document"]
+
+    def test_preceding_sibling_nearest_first(self, doc):
+        p3 = doc.find(id="p3")
+        ids = [n.attrs.get("id") for n in axis_candidates(p3, Axis.PRECEDING_SIBLING, doc)]
+        assert ids == ["p2", "p1"]
+
+    def test_parent_single(self, doc):
+        p1 = doc.find(id="p1")
+        assert [n.attrs.get("id") for n in axis_candidates(p1, Axis.PARENT, doc)] == ["a"]
+
+
+class TestAttributeAndSelf:
+    def test_attribute_nodes(self, doc):
+        div = doc.find(id="a")
+        attrs = axis_candidates(div, Axis.ATTRIBUTE, doc)
+        assert [a.name for a in attrs] == ["id"]
+
+    def test_self(self, doc):
+        p1 = doc.find(id="p1")
+        assert axis_candidates(p1, Axis.SELF, doc) == [p1]
+
+    def test_attribute_node_has_no_siblings(self, doc):
+        div = doc.find(id="a")
+        attr = div.attribute_node("id")
+        assert axis_candidates(attr, Axis.FOLLOWING_SIBLING, doc) == []
+
+
+class TestGlobalAxes:
+    def test_following_and_preceding_partition(self, doc):
+        """following(x) ∪ preceding(x) ∪ ancestors(x) ∪ descendants(x) ∪ {x}
+        covers exactly all non-attribute nodes."""
+        p2 = doc.find(id="p2")
+        following = {id(n) for n in axis_candidates(p2, Axis.FOLLOWING, doc)}
+        preceding = {id(n) for n in axis_candidates(p2, Axis.PRECEDING, doc)}
+        ancestors = {id(n) for n in axis_candidates(p2, Axis.ANCESTOR, doc)}
+        descendants = {id(n) for n in axis_candidates(p2, Axis.DESCENDANT, doc)}
+        everything = {id(n) for n in doc.all_nodes()}
+        union = following | preceding | ancestors | descendants | {id(p2)}
+        assert union == everything
+        assert not (following & preceding)
+
+
+class TestAxisMeta:
+    def test_transitive_mapping(self):
+        assert Axis.CHILD.transitive is Axis.DESCENDANT
+        assert Axis.PARENT.transitive is Axis.ANCESTOR
+        assert Axis.FOLLOWING_SIBLING.transitive is Axis.FOLLOWING_SIBLING
+
+    def test_reverse_mapping(self):
+        assert Axis.CHILD.reverse is Axis.PARENT
+        assert Axis.DESCENDANT.reverse is Axis.ANCESTOR
+        assert Axis.FOLLOWING_SIBLING.reverse is Axis.PRECEDING_SIBLING
+
+    def test_is_reverse_flags(self):
+        assert Axis.ANCESTOR.is_reverse
+        assert not Axis.DESCENDANT.is_reverse

@@ -1,0 +1,70 @@
+"""Tests for the memoized evaluator."""
+
+from repro.dom import parse_html
+from repro.xpath import parse_query
+from repro.xpath.cache import CachedEvaluator
+from repro.xpath.evaluator import evaluate
+
+
+class TestCachedEvaluator:
+    def test_matches_uncached_evaluation(self, imdb_doc):
+        evaluator = CachedEvaluator(imdb_doc)
+        for text in (
+            "descendant::div",
+            'descendant::span[@itemprop="name"]',
+            "descendant::tr/following-sibling::tr",
+        ):
+            query = parse_query(text)
+            cached = evaluator.evaluate(query, imdb_doc.root)
+            direct = evaluate(query, imdb_doc.root, imdb_doc)
+            assert list(cached) == direct
+
+    def test_cache_hits_counted(self, imdb_doc):
+        evaluator = CachedEvaluator(imdb_doc)
+        query = parse_query("descendant::div")
+        evaluator.evaluate(query, imdb_doc.root)
+        evaluator.evaluate(query, imdb_doc.root)
+        assert evaluator.hits == 1
+        assert evaluator.misses == 1
+
+    def test_concat_equals_full_query(self, imdb_doc):
+        evaluator = CachedEvaluator(imdb_doc)
+        head = parse_query('descendant::div[@id="main"]')
+        tail = parse_query("descendant::td")
+        head_matches = evaluator.evaluate(head, imdb_doc.root)
+        combined = evaluator.evaluate_concat(head_matches, tail)
+        full = evaluate(head.concat(tail), imdb_doc.root, imdb_doc)
+        assert combined == full
+
+    def test_concat_ids_equals_concat(self, imdb_doc):
+        evaluator = CachedEvaluator(imdb_doc)
+        head = parse_query("descendant::div")
+        tail = parse_query("child::h4")
+        head_matches = evaluator.evaluate(head, imdb_doc.root)
+        nodes = evaluator.evaluate_concat(head_matches, tail)
+        ids = evaluator.evaluate_concat_ids(head_matches, tail)
+        assert ids == frozenset(id(n) for n in nodes)
+
+    def test_empty_tail_returns_heads(self, imdb_doc):
+        evaluator = CachedEvaluator(imdb_doc)
+        head_matches = evaluator.evaluate(parse_query("descendant::h4"), imdb_doc.root)
+        from repro.xpath.ast import EMPTY_QUERY
+
+        assert evaluator.evaluate_concat(head_matches, EMPTY_QUERY) == list(head_matches)
+
+
+class TestMemoizedAst:
+    def test_hash_stable_and_equal_for_equal_queries(self):
+        a = parse_query('descendant::div[@id="x"]/child::span')
+        b = parse_query('descendant::div[@id="x"]/child::span')
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_memo_consistent(self):
+        query = parse_query("descendant::li[last()-2]")
+        assert str(query) == str(query) == "descendant::li[last()-2]"
+
+    def test_unequal_queries_differ(self):
+        a = parse_query("descendant::div")
+        b = parse_query("descendant::div[1]")
+        assert a != b

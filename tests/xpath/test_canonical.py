@@ -1,0 +1,51 @@
+"""Tests for canonical paths and c-changes."""
+
+from repro.dom import parse_html
+from repro.xpath import canonical_path, evaluate
+from repro.xpath.canonical import c_changes, canonical_key
+
+
+class TestCanonicalPath:
+    def test_root_is_slash(self, imdb_doc):
+        assert str(canonical_path(imdb_doc.root)) == "/"
+
+    def test_selects_exactly_the_node(self, imdb_doc):
+        for node in list(imdb_doc.root.descendants())[:40]:
+            path = canonical_path(node)
+            assert evaluate(path, imdb_doc.root, imdb_doc) == [node]
+
+    def test_counts_same_tag_siblings_only(self):
+        doc = parse_html("<div><a>1</a><b>x</b><a>2</a></div>")
+        second_a = doc.find(tag="div").element_children()[2]
+        assert "a[2]" in str(canonical_path(second_a))
+
+    def test_text_nodes_use_text_test(self):
+        doc = parse_html("<p>hello</p>")
+        text = doc.find(tag="p").children[0]
+        assert str(canonical_path(text)).endswith("text()[1]")
+
+    def test_is_absolute(self, imdb_doc):
+        node = imdb_doc.find(tag="h1")
+        assert canonical_path(node).absolute
+
+
+class TestCChanges:
+    def test_no_changes(self):
+        keys = [("a",), ("a",), ("a",)]
+        assert c_changes(keys) == 0
+
+    def test_single_change(self):
+        assert c_changes([("a",), ("b",), ("b",)]) == 1
+
+    def test_change_and_back_counts_twice(self):
+        assert c_changes([("a",), ("b",), ("a",)]) == 2
+
+    def test_none_gaps_skipped(self):
+        assert c_changes([("a",), None, ("a",)]) == 0
+        assert c_changes([("a",), None, ("b",)]) == 1
+
+    def test_multi_target_fingerprint_is_sorted(self, imdb_doc):
+        tds = [n for n in imdb_doc.root.iter_find(tag="td", class_="name")]
+        key_fwd = canonical_key(tds)
+        key_rev = canonical_key(list(reversed(tds)))
+        assert key_fwd == key_rev

@@ -1,0 +1,198 @@
+"""Tests for dsXPath evaluation semantics."""
+
+import pytest
+
+from repro.dom import E, T, document, parse_html
+from repro.xpath import evaluate, parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+def names(nodes):
+    return [n.normalized_text() for n in nodes]
+
+
+class TestAxes:
+    def test_descendant(self, imdb_doc):
+        spans = evaluate(q("descendant::span"), imdb_doc.root, imdb_doc)
+        assert len(spans) == 3
+
+    def test_child_vs_descendant(self, imdb_doc):
+        main = imdb_doc.find(id="main")
+        assert evaluate(q("child::table"), main, imdb_doc) != []
+        assert evaluate(q("child::td"), main, imdb_doc) == []
+        assert evaluate(q("descendant::td"), main, imdb_doc) != []
+
+    def test_parent(self, imdb_doc):
+        h1 = imdb_doc.find(tag="h1")
+        assert evaluate(q("parent::div"), h1, imdb_doc) == [imdb_doc.find(id="main")]
+
+    def test_ancestor_nearest_first_positional(self, imdb_doc):
+        span = imdb_doc.find(tag="span")
+        nearest = evaluate(q("ancestor::*[1]"), span, imdb_doc)
+        assert nearest[0].tag == "a"
+
+    def test_following_sibling(self, imdb_doc):
+        head = imdb_doc.find(tag="tr", class_="head")
+        rows = evaluate(q("following-sibling::tr"), head, imdb_doc)
+        assert len(rows) == 3
+
+    def test_preceding_sibling_reverse_order(self):
+        doc = parse_html("<ul><li>a</li><li>b</li><li>c</li></ul>")
+        last = evaluate(q("descendant::li[last()]"), doc.root, doc)[0]
+        prev = evaluate(q("preceding-sibling::li[1]"), last, doc)
+        assert names(prev) == ["b"]
+
+    def test_attribute_axis(self, imdb_doc):
+        attrs = evaluate(q("descendant::input/@name"), imdb_doc.root, imdb_doc)
+        assert [a.value for a in attrs] == ["q"]
+
+    def test_attribute_axis_wildcard(self):
+        doc = parse_html('<div id="i" class="c">x</div>')
+        attrs = evaluate(q("descendant::div/attribute::*"), doc.root, doc)
+        assert sorted(a.name for a in attrs) == ["class", "id"]
+
+    def test_following_axis_excludes_descendants(self):
+        doc = parse_html("<div><a>x</a><span><b>y</b></span></div><p>z</p>")
+        a = doc.find(tag="a")
+        following = evaluate(q("following::*"), a, doc)
+        assert [n.tag for n in following] == ["span", "b", "p"]
+
+    def test_preceding_axis_excludes_ancestors(self):
+        doc = parse_html("<div><a>x</a><span>y</span></div><p>z</p>")
+        p = doc.find(tag="p")
+        preceding = evaluate(q("preceding::*"), p, doc)
+        assert {n.tag for n in preceding} == {"div", "a", "span"}
+
+
+class TestNodeTests:
+    def test_star_matches_elements_only(self):
+        doc = parse_html("<div>text<span>x</span></div>")
+        out = evaluate(q("descendant::*"), doc.root, doc)
+        assert {n.tag for n in out} == {"div", "span"}
+
+    def test_node_matches_text_too(self):
+        doc = parse_html("<div>text<span>x</span></div>")
+        div = doc.find(tag="div")
+        out = evaluate(q("child::node()"), div, doc)
+        assert len(out) == 2
+
+    def test_text_nodetest(self):
+        doc = parse_html("<div>hello<span>x</span></div>")
+        div = doc.find(tag="div")
+        out = evaluate(q("child::text()"), div, doc)
+        assert [n.text for n in out] == ["hello"]
+
+    def test_star_does_not_match_document_node(self, imdb_doc):
+        html = imdb_doc.root_element
+        assert evaluate(q("ancestor::*"), html, imdb_doc) == []
+        assert evaluate(q("ancestor::node()"), html, imdb_doc) == [imdb_doc.root]
+
+
+class TestPredicates:
+    def test_positional_counts_after_nodetest(self):
+        doc = parse_html("<div><a>1</a><b>x</b><a>2</a></div>")
+        out = evaluate(q("descendant::a[2]"), doc.root, doc)
+        assert names(out) == ["2"]
+
+    def test_positional_out_of_range(self, imdb_doc):
+        assert evaluate(q("descendant::table[5]"), imdb_doc.root, imdb_doc) == []
+
+    def test_last_minus(self):
+        doc = parse_html("<ul><li>a</li><li>b</li><li>c</li></ul>")
+        out = evaluate(q("descendant::li[last()-1]"), doc.root, doc)
+        assert names(out) == ["b"]
+
+    def test_successive_predicates_renumber(self):
+        doc = parse_html(
+            '<div><a class="x">1</a><a>2</a><a class="x">3</a></div>'
+        )
+        out = evaluate(q('descendant::a[@class="x"][2]'), doc.root, doc)
+        assert names(out) == ["3"]
+
+    def test_positional_on_reverse_axis(self):
+        doc = parse_html("<div><section><p>deep</p></section></div>")
+        p = doc.find(tag="p")
+        out = evaluate(q("ancestor::*[2]"), p, doc)
+        assert out[0].tag == "div"
+
+    def test_attribute_existence(self, imdb_doc):
+        out = evaluate(q("descendant::div[@id]"), imdb_doc.root, imdb_doc)
+        assert [n.attrs["id"] for n in out] == ["main"]
+
+    def test_equals_on_attribute(self, imdb_doc):
+        out = evaluate(q('descendant::div[@class="promo"]'), imdb_doc.root, imdb_doc)
+        assert len(out) == 2
+
+    def test_contains_on_attribute(self, imdb_doc):
+        out = evaluate(q('descendant::td[contains(@class,"nam")]'), imdb_doc.root, imdb_doc)
+        assert len(out) == 3
+
+    def test_starts_with_on_text(self, imdb_doc):
+        out = evaluate(
+            q('descendant::div[starts-with(.,"Director:")]'), imdb_doc.root, imdb_doc
+        )
+        assert len(out) == 1
+
+    def test_ends_with_on_text(self):
+        doc = parse_html("<div><p>hello world</p><p>other</p></div>")
+        out = evaluate(q('descendant::p[ends-with(.,"world")]'), doc.root, doc)
+        assert names(out) == ["hello world"]
+
+    def test_text_value_is_normalized(self):
+        doc = parse_html("<div><h4>Director:   </h4><span> Martin </span></div>")
+        out = evaluate(
+            q('descendant::div[starts-with(.,"Director: Martin")]'), doc.root, doc
+        )
+        assert len(out) == 1
+
+    def test_missing_attribute_never_matches(self):
+        doc = parse_html("<div><p>x</p></div>")
+        assert evaluate(q('descendant::p[contains(@class,"")]'), doc.root, doc) == []
+
+    def test_nested_relative_predicate(self, imdb_doc):
+        out = evaluate(
+            q('descendant::span[ancestor::div[1][@class="txt-block"]]'),
+            imdb_doc.root,
+            imdb_doc,
+        )
+        # the two writers; the director span's nearest div ancestor is txt-block too
+        assert len(out) == 3
+
+
+class TestFullQueries:
+    def test_paper_director_wrapper(self, imdb_doc):
+        out = evaluate(
+            q('descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]'),
+            imdb_doc.root,
+            imdb_doc,
+        )
+        assert names(out) == ["Martin Scorsese"]
+
+    def test_sibling_list_wrapper(self, imdb_doc):
+        out = evaluate(
+            q('descendant::tr[contains(.,"Cast")]/following-sibling::tr'),
+            imdb_doc.root,
+            imdb_doc,
+        )
+        assert len(out) == 3
+
+    def test_results_in_document_order(self, imdb_doc):
+        out = evaluate(q("descendant::div"), imdb_doc.root, imdb_doc)
+        keys = [imdb_doc.order_key(n) for n in out]
+        assert keys == sorted(keys)
+
+    def test_no_duplicates_from_overlapping_contexts(self, imdb_doc):
+        out = evaluate(q("descendant::div/descendant::td"), imdb_doc.root, imdb_doc)
+        assert len(out) == len({id(n) for n in out}) == 4
+
+    def test_empty_query_selects_context(self, imdb_doc):
+        h1 = imdb_doc.find(tag="h1")
+        assert evaluate(q(""), h1, imdb_doc) == [h1]
+
+    def test_absolute_query_ignores_context(self, imdb_doc):
+        h1 = imdb_doc.find(tag="h1")
+        out = evaluate(q("/html[1]"), h1, imdb_doc)
+        assert out == [imdb_doc.root_element]

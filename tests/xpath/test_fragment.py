@@ -1,0 +1,110 @@
+"""Tests for dsXPath fragment membership (directionality, plausibility)."""
+
+from repro.dom import parse_html
+from repro.xpath import parse_query
+from repro.xpath.fragment import (
+    axes_signature,
+    is_ds_query,
+    is_one_directional,
+    is_plausible,
+    is_two_directional,
+)
+from repro.xpath.ast import Axis
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestAxesSignature:
+    def test_trailing_attribute_dropped(self):
+        sig = axes_signature(q("descendant::a/@href"))
+        assert sig == (Axis.DESCENDANT,)
+
+    def test_plain(self):
+        sig = axes_signature(q("descendant::div/child::span"))
+        assert sig == (Axis.DESCENDANT, Axis.CHILD)
+
+
+class TestOneDirectional:
+    def test_downward(self):
+        assert is_one_directional(q("descendant::div/child::span"))
+
+    def test_upward(self):
+        assert is_one_directional(q("parent::div/ancestor::body"))
+
+    def test_down_with_sideways(self):
+        assert is_one_directional(
+            q("descendant::div/following-sibling::node()/descendant::li")
+        )
+
+    def test_mixed_direction_rejected(self):
+        assert not is_one_directional(q("descendant::div/parent::body"))
+
+    def test_mixed_sideways_run_rejected(self):
+        assert not is_one_directional(
+            q("descendant::div/following-sibling::a/preceding-sibling::b")
+        )
+
+    def test_two_separate_sideways_runs_ok(self):
+        assert is_one_directional(
+            q("descendant::a/following-sibling::b/descendant::c/preceding-sibling::d")
+        )
+
+    def test_leading_sideways_extension(self):
+        assert is_one_directional(q("following-sibling::tr"))
+
+    def test_following_axis_not_in_fragment(self):
+        assert not is_one_directional(q("descendant::p/following::ul"))
+
+
+class TestTwoDirectional:
+    def test_up_then_down(self):
+        assert is_two_directional(q("ancestor::div[1]/descendant::span"))
+
+    def test_one_directional_included(self):
+        assert is_two_directional(q("descendant::div"))
+
+    def test_three_direction_changes_rejected(self):
+        assert not is_two_directional(
+            q("ancestor::div/descendant::span/ancestor::p/descendant::b")
+        )
+
+
+class TestDsQuery:
+    def test_paper_wrapper_is_ds(self):
+        assert is_ds_query(
+            q('descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]')
+        )
+
+    def test_nested_predicate_not_ds(self):
+        assert not is_ds_query(q('descendant::img[ancestor::div[1][@class="x"]]'))
+
+    def test_following_axis_not_ds(self):
+        assert not is_ds_query(q('descendant::p[contains(.,"Hit")]/following::ul[1]'))
+
+    def test_absolute_not_ds(self):
+        assert not is_ds_query(q("/html[1]/body[1]"))
+
+    def test_attribute_axis_only_terminal(self):
+        assert is_ds_query(q("descendant::a/@href"))
+        assert not is_ds_query(q("@href/parent::a"))
+
+
+class TestPlausibility:
+    def test_string_must_occur_in_document(self):
+        doc = parse_html("<div class='content'><p>Director: John</p></div>")
+        assert is_plausible(q('descendant::p[starts-with(.,"Director:")]'), [doc])
+        assert not is_plausible(q('descendant::p[starts-with(.,"Producer:")]'), [doc])
+
+    def test_attribute_values_count(self):
+        doc = parse_html("<div class='content'>x</div>")
+        assert is_plausible(q('descendant::div[@class="content"]'), [doc])
+
+    def test_integer_bounded_by_node_count(self):
+        doc = parse_html("<div><p>x</p></div>")
+        assert is_plausible(q("descendant::p[2]"), [doc])
+        assert not is_plausible(q("descendant::p[999]"), [doc])
+
+    def test_empty_doc_sequence_trivially_plausible(self):
+        assert is_plausible(q("descendant::div[1]"), [])

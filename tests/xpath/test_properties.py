@@ -1,0 +1,102 @@
+"""Property-based tests for the XPath engine on random documents."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom import E, T, document
+from repro.dom.node import ElementNode
+from repro.xpath import canonical_path, evaluate, parse_query
+from repro.xpath.ast import Axis, NODE, Query, Step
+from repro.xpath.axes import axis_candidates
+
+TAGS = ["div", "span", "p", "ul", "li", "a"]
+
+
+@st.composite
+def random_tree(draw, max_depth=4):
+    """A random small document."""
+    def build(depth):
+        tag = draw(st.sampled_from(TAGS))
+        attrs = {}
+        if draw(st.booleans()):
+            attrs["class"] = draw(st.sampled_from(["a", "b", "c"]))
+        node = ElementNode(tag, attrs)
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, 3))):
+                if draw(st.integers(0, 4)) == 0:
+                    node.append_child(T(draw(st.sampled_from(["x", "hello", "42"]))))
+                else:
+                    node.append_child(build(depth + 1))
+        return node
+
+    return document(E("html", build(0)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree())
+def test_canonical_path_selects_exactly_its_node(doc):
+    for node in doc.root.descendants():
+        assert evaluate(canonical_path(node), doc.root, doc) == [node]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree())
+def test_results_are_sorted_and_unique(doc):
+    query = parse_query("descendant::*/child::node()")
+    out = evaluate(query, doc.root, doc)
+    keys = [doc.order_key(n) for n in out]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree(), st.sampled_from(list(Axis)))
+def test_axis_candidates_well_formed(doc, axis):
+    nodes = [doc.root] + list(doc.root.descendants())
+    for node in nodes[:10]:
+        candidates = axis_candidates(node, axis, doc)
+        assert len({id(c) for c in candidates}) == len(candidates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree())
+def test_descendant_equals_child_closure(doc):
+    """descendant::node() == fixpoint of child::node()."""
+    via_descendant = evaluate(parse_query("descendant::node()"), doc.root, doc)
+    collected = []
+    frontier = [doc.root]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for child in axis_candidates(node, Axis.CHILD, doc):
+                collected.append(child)
+                nxt.append(child)
+        frontier = nxt
+    assert {id(n) for n in via_descendant} == {id(n) for n in collected}
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree())
+def test_sibling_axes_are_inverse(doc):
+    """y in following-sibling(x)  iff  x in preceding-sibling(y)."""
+    nodes = list(doc.root.descendants())[:12]
+    for x in nodes:
+        for y in axis_candidates(x, Axis.FOLLOWING_SIBLING, doc):
+            back = axis_candidates(y, Axis.PRECEDING_SIBLING, doc)
+            assert any(b is x for b in back)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_tree())
+def test_step_concatenation_associative(doc):
+    """(a/b)/c == a/(b/c) over evaluation."""
+    a = Step(Axis.DESCENDANT, NODE)
+    b = Step(Axis.PARENT, NODE)
+    c = Step(Axis.CHILD, NODE)
+    q_left = Query((a,)).concat(Query((b, c)))
+    q_right = Query((a, b)).concat(Query((c,)))
+    assert q_left == q_right
+    left = evaluate(q_left, doc.root, doc)
+    right = evaluate(q_right, doc.root, doc)
+    assert [id(n) for n in left] == [id(n) for n in right]
