@@ -1,0 +1,185 @@
+"""Micro-benchmarks for the indexed DOM + compiled dsXPath engine.
+
+Measures the hot primitives the induction sits on — axis navigation,
+document-order sort, and full query evaluation (compiled vs. the
+reference interpreter) — plus the end-to-end single-node induction
+runtime, and writes everything to a machine-readable ``BENCH_xpath.json``
+at the repository root so the perf trajectory is tracked across PRs.
+
+``SEED_BASELINE`` holds the numbers measured on the pre-engine seed
+implementation (naive interpreter, ``id()``-keyed order dicts) on the
+same machine that produced the first ``BENCH_xpath.json``; re-measure on
+your hardware before comparing absolute values.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import statistics
+import time
+
+from conftest import scale
+
+from repro.dom.builder import E, T, document
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.runtime import measure_induction_runtime
+from repro.xpath.ast import Axis
+from repro.xpath.axes import axis_candidates
+from repro.xpath.compile import compile_query, evaluate_compiled
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_xpath.json"
+
+#: Seed (pre-engine) numbers, measured 2026-07-28 on the reference
+#: container: per-call seconds on the same generated document/workload.
+SEED_BASELINE = {
+    "following_axis_200_s": 0.12300,
+    "preceding_axis_200_s": 0.12030,
+    "descendant_axis_200_s": 0.0011210,
+    "sort_nodes_full_s": 0.0011126,
+    "evaluate_suite_s": 0.0076503,
+    "induction_median_s_limit12": 0.051862,
+    "induction_median_s_limit56": 0.061252,
+}
+
+TAGS = ["div", "span", "p", "a", "li", "ul", "td", "tr", "h2", "section"]
+CLASSES = ["row", "item", "name", "meta", "head", "promo", "txt-block", "list"]
+
+QUERIES = [
+    "descendant::div",
+    "descendant::a[@href]",
+    'descendant::div[@class="row"]/descendant::span',
+    "descendant::li[2]",
+    "descendant::ul/child::li[last()]",
+    'descendant::span[contains(.,"text")]',
+    "descendant::p/following-sibling::node()",
+]
+
+
+def random_tree(rng, depth, breadth):
+    tag = rng.choice(TAGS)
+    attrs = {}
+    if rng.random() < 0.6:
+        attrs["class"] = rng.choice(CLASSES)
+    if rng.random() < 0.15:
+        attrs["id"] = f"id{rng.randrange(1000)}"
+    if rng.random() < 0.2:
+        attrs["href"] = f"/x/{rng.randrange(100)}"
+    node = E(tag, **attrs)
+    if depth > 0:
+        for _ in range(rng.randint(1, breadth)):
+            if rng.random() < 0.3:
+                node.append_child(T(f"text {rng.randrange(50)}"))
+            else:
+                node.append_child(random_tree(rng, depth - 1, breadth))
+    elif rng.random() < 0.5:
+        node.append_child(T(f"leaf {rng.randrange(50)}"))
+    return node
+
+
+def make_doc(seed=7, depth=8, breadth=4):
+    rng = random.Random(seed)
+    body = E("body")
+    for _ in range(8):
+        body.append_child(random_tree(rng, depth - 1, breadth))
+    return document(E("html", E("head", E("title", T("bench"))), body))
+
+
+def timeit(fn, repeat=5):
+    """Best-of-N per-call seconds (min resists scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_microbench(benchmark, emit):
+    doc = make_doc()
+    nodes = list(doc.all_nodes())
+    elements = [n for n in nodes if getattr(n, "tag", "#")[0] != "#"]
+    sample = elements[:: max(1, len(elements) // 200)][:200]
+    queries = [parse_query(q) for q in QUERIES]
+    shuffled = list(nodes)
+    random.Random(3).shuffle(shuffled)
+
+    def run_all():
+        results = {}
+        results["following_axis_200_s"] = timeit(
+            lambda: [axis_candidates(n, Axis.FOLLOWING, doc) for n in sample]
+        )
+        results["preceding_axis_200_s"] = timeit(
+            lambda: [axis_candidates(n, Axis.PRECEDING, doc) for n in sample]
+        )
+        results["descendant_axis_200_s"] = timeit(
+            lambda: [axis_candidates(n, Axis.DESCENDANT, doc) for n in sample]
+        )
+        results["sort_nodes_full_s"] = timeit(lambda: doc.sort_nodes(list(shuffled)))
+        results["evaluate_suite_s"] = timeit(
+            lambda: [evaluate_compiled(q, doc.root, doc) for q in queries]
+        )
+        results["evaluate_suite_reference_s"] = timeit(
+            lambda: [evaluate(q, doc.root, doc) for q in queries]
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Sanity: compiled and reference engines agree on the bench queries.
+    for query in queries:
+        assert [id(n) for n in evaluate_compiled(query, doc.root, doc)] == [
+            id(n) for n in evaluate(query, doc.root, doc)
+        ]
+
+    limit = scale(12, 56)
+    medians = [measure_induction_runtime(limit=limit).median_s for _ in range(3)]
+    results["induction_median_s"] = min(medians)
+    results["induction_limit"] = limit
+    results["node_count"] = len(nodes)
+
+    seed_induction = SEED_BASELINE[
+        "induction_median_s_limit12" if limit == 12 else "induction_median_s_limit56"
+    ]
+    payload = {
+        "seed": SEED_BASELINE,
+        "current": results,
+        "speedup": {
+            key: SEED_BASELINE[key] / results[key]
+            for key in (
+                "following_axis_200_s",
+                "preceding_axis_200_s",
+                "descendant_axis_200_s",
+                "sort_nodes_full_s",
+                "evaluate_suite_s",
+            )
+            if results[key] > 0
+        }
+        | {"induction_median": seed_induction / results["induction_median_s"]},
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [key, f"{value * 1000:.3f} ms" if key.endswith("_s") else str(value)]
+        for key, value in results.items()
+    ]
+    rows.append(["induction speedup vs seed", f"{payload['speedup']['induction_median']:.2f}x"])
+    emit(
+        "xpath_engine",
+        "\n".join(
+            [
+                banner("dsXPath engine micro-benchmarks"),
+                format_table(["metric", "value"], rows),
+                f"[json saved to {BENCH_JSON}]",
+            ]
+        ),
+    )
+
+    # The headline acceptance bar: >= 3x faster single-node induction
+    # than the seed interpreter on the reference machine.  Keep a loose
+    # floor here so slower CI machines (different baseline) still pass.
+    assert results["induction_median_s"] < seed_induction

@@ -13,7 +13,7 @@ from typing import Sequence
 from repro.dom.node import Document, Node
 from repro.xpath.ast import Query
 from repro.xpath.canonical import canonical_path
-from repro.xpath.evaluator import evaluate
+from repro.xpath.compile import evaluate_compiled as evaluate
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from repro.xpath.ast import (
     StringPredicate,
     TextSubject,
 )
-from repro.xpath.evaluator import evaluate
+from repro.xpath.compile import evaluate_compiled
 
 
 def feature_signature(query: Query) -> frozenset[str]:
@@ -111,9 +111,10 @@ class EnsembleWrapper:
         votes: dict[int, int] = {}
         nodes: dict[int, Node] = {}
         for member in self.members:
-            for node in evaluate(member, doc.root, doc):
-                votes[id(node)] = votes.get(id(node), 0) + 1
-                nodes[id(node)] = node
+            for node in evaluate_compiled(member, doc.root, doc):
+                key = doc.node_id(node)
+                votes[key] = votes.get(key, 0) + 1
+                nodes[key] = node
         selected = [nodes[key] for key, count in votes.items() if count >= self.quorum]
         return doc.sort_nodes(selected)
 

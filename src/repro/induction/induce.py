@@ -61,7 +61,8 @@ def _induce_sample(
     sample: QuerySample, config: InductionConfig, params: ScoringParams
 ) -> list[QueryInstance]:
     """Algorithm 3, lines 1–15, for one sample."""
-    ctx = PathInductionContext.for_doc(sample.doc, config, params)
+    doc = sample.doc
+    ctx = PathInductionContext.for_doc(doc, config, params)
     u = sample.context
     targets = list(sample.targets)
     if any(v is u for v in targets):
@@ -69,30 +70,30 @@ def _induce_sample(
 
     axis = common_base_axis(u, targets)
     if axis is not None:
-        best = init_tables(targets, config.k, config.beta)
+        best = init_tables(doc, targets, config.k, config.beta)
         tar: TargetTable = {}
         return induce_path(ctx, u, targets, axis, best, tar).items
 
     # Two-directional: find the pivot l (Alg. 3, L5–7).
     pivot = lca(targets)
-    pivot_ids = {id(v) for v in targets}
-    if id(pivot) in pivot_ids or base_axis_between(u, pivot) is None or pivot is u:
+    pivot_ids = {doc.node_id(v) for v in targets}
+    if doc.node_id(pivot) in pivot_ids or base_axis_between(u, pivot) is None or pivot is u:
         pivot = lca(targets + [u])
 
     down_axis = common_base_axis(pivot, targets)
     if down_axis is None:
         raise ValueError("targets are not reachable from their LCA via one base axis")
-    down_best = init_tables(targets, config.k, config.beta)
+    down_best = init_tables(doc, targets, config.k, config.beta)
     pivot_table = induce_path(ctx, pivot, targets, down_axis, down_best, {})
 
     up_axis = base_axis_between(u, pivot)
     if up_axis is None:
         raise ValueError("no base axis from the context to the LCA pivot")
 
-    best: BestTables = {id(pivot): pivot_table}
-    target_ids = frozenset(id(v) for v in targets)
+    best: BestTables = {doc.node_id(pivot): pivot_table}
+    target_ids = frozenset(doc.node_id(v) for v in targets)
     tar = {
-        id(n): target_ids
+        doc.node_id(n): target_ids
         for n in spine(u, pivot, up_axis)
         if n is not pivot
     }
@@ -117,11 +118,10 @@ def _aggregate(
     for query, score in candidates.items():
         tp = fp = fn = 0
         for sample, evaluator in zip(samples, evaluators):
-            matches = evaluator.evaluate(query, sample.context)
-            match_ids = {id(node) for node in matches}
+            match_ids = evaluator.evaluate_ids(query, sample.context)
             sample_tp = len(match_ids & sample.target_ids)
             tp += sample_tp
-            fp += len(matches) - sample_tp
+            fp += len(match_ids) - sample_tp
             fn += len(sample.targets) - sample_tp
         aggregated.append(QueryInstance(query, tp=tp, fp=fp, fn=fn, score=score))
 

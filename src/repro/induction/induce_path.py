@@ -21,11 +21,13 @@ from repro.induction.spine import spine, targets_reachable
 from repro.induction.step_pattern import StepCandidate, step_patterns
 from repro.scoring.params import ScoringParams
 from repro.scoring.ranking import KBestTable, QueryInstance
-from repro.scoring.score import Scorer
+from repro.scoring.score import Scorer, shared_scorer
 from repro.xpath.ast import Axis, EMPTY_QUERY, Query
 from repro.xpath.cache import CachedEvaluator
 
-#: Tables are keyed by node identity (nodes are unhashable by value).
+#: Tables are keyed by the document's stable integer node ids
+#: (:meth:`~repro.dom.node.Document.node_id`): small ints, cheap to hash,
+#: stable across the whole induction run.
 BestTables = dict[int, KBestTable]
 TargetTable = dict[int, frozenset[int]]
 
@@ -51,12 +53,15 @@ class PathInductionContext:
             doc=doc,
             config=config,
             params=params,
-            scorer=Scorer(params),
+            scorer=shared_scorer(params),
             evaluator=CachedEvaluator(doc),
         )
 
+    def node_id(self, node: Node) -> int:
+        return self.doc.node_id(node)
+
     def step_patterns(self, n: Node, t: Node, axis: Axis) -> list[StepCandidate]:
-        key = (id(n), id(t), axis)
+        key = (self.doc.node_id(n), self.doc.node_id(t), axis)
         cached = self.step_cache.get(key)
         if cached is None:
             cached = step_patterns(
@@ -67,14 +72,14 @@ class PathInductionContext:
 
 
 def init_tables(
-    targets: list[Node], k: int, beta: float
+    doc: Document, targets: list[Node], k: int, beta: float
 ) -> BestTables:
     """Initial ``best`` tables: ε with ⟨ε,1,0,0⟩ at every target (Sec. 5)."""
     best: BestTables = {}
     for v in targets:
         table = KBestTable(k, beta)
         table.insert(QueryInstance(EMPTY_QUERY, tp=1, fp=0, fn=0, score=0.0))
-        best[id(v)] = table
+        best[doc.node_id(v)] = table
     return best
 
 
@@ -89,35 +94,62 @@ def induce_path(
     """Algorithm 2; returns ``best(u)`` (possibly empty when nothing matched)."""
     k = ctx.config.k
     beta = ctx.config.beta
+    node_id = ctx.doc.node_id
+    score_pair = ctx.scorer.score_pair
+    concat_ids = ctx.evaluator.evaluate_concat_ids
 
     for v in _spine_targets(targets, ctx.config.max_target_spines):
         path = spine(u, v, axis)  # u .. v
         # Anchors t ∈ spine(v, u) − {u}, i.e. from v up/back towards u.
         for t_index in range(len(path) - 1, 0, -1):
             t = path[t_index]
-            tails = best.get(id(t))
+            tails = best.get(node_id(t))
             if tails is None or len(tails) == 0:
                 continue  # the fail query ⊥: nothing to extend
-            tail_items = tails.items
+            tail_items = [(tail, tail.query, len(tail.query)) for tail in tails.items]
             # Contexts n ∈ spine(u, t) − {t}.
             for n_index in range(t_index):
                 n = path[n_index]
-                table = best.get(id(n))
+                nid = node_id(n)
+                table = best.get(nid)
                 if table is None:
                     table = KBestTable(k, beta)
-                    best[id(n)] = table
-                reachable = tar.get(id(n))
+                    best[nid] = table
+                reachable = tar.get(nid)
                 if reachable is None:
-                    reachable = targets_reachable(n, targets, axis)
-                    tar[id(n)] = reachable
+                    reachable = targets_reachable(n, targets, axis, ctx.doc)
+                    tar[nid] = reachable
+                would_accept_partial = table.would_accept_partial
+                n_reachable = len(reachable)
+                # Alg. 2, L5–9, inlined (this is the DP's innermost loop):
+                # score the extension without concatenating, prune, and
+                # only then evaluate and materialize the composed query.
                 for candidate in ctx.step_patterns(n, t, axis):
-                    for tail in tail_items:
-                        _try_candidate(ctx, table, candidate, tail, reachable)
+                    head = candidate.instance.query
+                    head_len = len(head)
+                    head_matches = candidate.matches
+                    for tail, tail_query, tail_len in tail_items:
+                        score = score_pair(head, tail_query)
+                        if not would_accept_partial(
+                            (-1.0, score, head_len + tail_len)
+                        ):
+                            continue
+                        match_ids = concat_ids(head_matches, tail_query)
+                        tp = len(match_ids & reachable)
+                        table.insert(
+                            QueryInstance(
+                                head.concat(tail_query),
+                                tp=tp,
+                                fp=len(match_ids) - tp,
+                                fn=n_reachable - tp,
+                                score=score,
+                            )
+                        )
 
-    result = best.get(id(u))
+    result = best.get(node_id(u))
     if result is None:
         result = KBestTable(k, beta)
-        best[id(u)] = result
+        best[node_id(u)] = result
     return result
 
 
@@ -132,23 +164,3 @@ def _spine_targets(targets: list[Node], limit: int) -> list[Node]:
     return [targets[i] for i in indices]
 
 
-def _try_candidate(
-    ctx: PathInductionContext,
-    table: KBestTable,
-    candidate: StepCandidate,
-    tail: QueryInstance,
-    reachable: frozenset[int],
-) -> None:
-    """Score/evaluate ``candidate.query / tail.query`` and insert if it beats
-    the table's K-th entry (Alg. 2, L5–9)."""
-    query = candidate.query.concat(tail.query)
-    score = ctx.scorer.score(query)
-    # Prune without evaluating: even with a perfect F-score the candidate
-    # could not enter the table.
-    if not table.would_accept((-1.0, score, len(query), "")):
-        return
-    match_ids = ctx.evaluator.evaluate_concat_ids(candidate.matches, tail.query)
-    tp = len(match_ids & reachable)
-    fp = len(match_ids) - tp
-    fn = len(reachable) - tp
-    table.insert(QueryInstance(query, tp=tp, fp=fp, fn=fn, score=score))

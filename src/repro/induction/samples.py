@@ -43,4 +43,5 @@ class QuerySample:
 
     @property
     def target_ids(self) -> frozenset[int]:
-        return frozenset(id(node) for node in self.targets)
+        """Stable integer node ids of the targets (see ``Document.node_id``)."""
+        return frozenset(self.doc.node_id(node) for node in self.targets)

@@ -11,12 +11,22 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.dom.node import AttributeNode, ElementNode, Node
+from repro.dom.node import INVALIDATED_STAMPS, AttributeNode, Document, ElementNode, Node
 from repro.xpath.ast import Axis, BASE_AXES
 
 
 def is_ancestor_of(ancestor: Node, node: Node) -> bool:
-    """Strict ancestorship."""
+    """Strict ancestorship.
+
+    When both nodes carry the same live (non-zero, not invalidated)
+    document-index stamp, this is an O(1) pre/post-order interval
+    containment test; otherwise — unindexed nodes, or an index dropped
+    by ``Document.invalidate`` whose nodes still hold stale intervals —
+    it falls back to walking the parent chain.
+    """
+    stamp = ancestor._stamp
+    if stamp and stamp == node._stamp and stamp not in INVALIDATED_STAMPS:
+        return ancestor._pre < node._pre <= ancestor._post
     return any(a is ancestor for a in node.ancestors())
 
 
@@ -111,14 +121,19 @@ def lca(nodes: Sequence[Node]) -> Node:
     return ancestor
 
 
-def targets_reachable(node: Node, targets: Sequence[Node], axis: Axis) -> frozenset[int]:
-    """ids of targets reachable from ``node`` via ``axis.transitive``.
+def targets_reachable(
+    node: Node, targets: Sequence[Node], axis: Axis, doc: "Document"
+) -> frozenset[int]:
+    """Node ids of targets reachable from ``node`` via ``axis.transitive``.
 
     This is the ``tar`` table of Algorithm 2: tar(n) = V ∩ axis.transitive(n).
+    Ids are the document's stable integer node ids
+    (:meth:`~repro.dom.node.Document.node_id`), so the DP's set algebra
+    runs on small ints.
     """
     reachable: set[int] = set()
     for v in targets:
         between = base_axis_between(node, v)
         if between is not None and between.transitive is axis.transitive:
-            reachable.add(id(v))
+            reachable.add(doc.node_id(v))
     return frozenset(reachable)

@@ -22,60 +22,174 @@ concatenations incrementally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from bisect import bisect_left
+from heapq import nsmallest
 
 from repro.dom.node import Document, Node
 from repro.induction.config import InductionConfig
 from repro.induction.node_pattern import NodePattern, node_patterns
 from repro.scoring.params import ScoringParams
-from repro.scoring.ranking import KBestTable, QueryInstance, rank_key
-from repro.scoring.score import Scorer
+from repro.scoring.ranking import QueryInstance, QueryText, fbeta
+from repro.scoring.score import Scorer, shared_scorer
 from repro.xpath.ast import Axis, PositionalPredicate, Query, Step
-from repro.xpath.axes import axis_candidates
-from repro.xpath.evaluator import nodetest_matches, predicate_holds
+from repro.xpath.compile import compile_step
 
 
-@dataclass(frozen=True)
 class StepCandidate:
-    """A candidate query piece with its (rescored) instance and matches."""
+    """A candidate query piece with its (rescored) instance and matches.
 
-    instance: QueryInstance
-    matches: tuple[Node, ...]
+    A plain ``__slots__`` class (not a dataclass): candidates are bulk
+    allocated in the induction's innermost generation loop.
+    """
+
+    __slots__ = ("instance", "matches")
+
+    def __init__(self, instance: QueryInstance, matches: tuple[Node, ...]) -> None:
+        self.instance = instance
+        self.matches = matches
 
     @property
     def query(self) -> Query:
         return self.instance.query
 
 
-#: Per-document memo of axis candidate lists: (doc id, node id, axis) ->
-#: tuple of nodes.  Axis scans dominate pattern generation; one (node,
-#: axis) pair is scanned for every pattern variant without this.
-_AXIS_CACHE: dict[tuple[int, int, Axis], tuple[Node, ...]] = {}
-_AXIS_CACHE_LIMIT = 200_000
+class _LightTopK:
+    """Bounded top-K of (rank key, query) pairs without instance payloads.
+
+    Mirrors :class:`~repro.scoring.ranking.KBestTable` exactly for the
+    step-pattern selection case, where duplicate queries always carry
+    identical keys (so "replace if strictly better" reduces to "skip
+    duplicates").  The text tiebreak is only constructed once a
+    candidate survives the text-free prefix check.
+    """
+
+    __slots__ = ("k", "keys", "queries", "queries_set")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.keys: list[tuple] = []
+        self.queries: list[Query] = []
+        self.queries_set: set[Query] = set()
+
+    def insert(self, neg_f: float, score: float, length: int, query: Query) -> None:
+        keys = self.keys
+        if len(keys) >= self.k:
+            last = keys[-1]
+            if (neg_f, score, length) > last[:3]:
+                return
+            key = (neg_f, score, length, QueryText(query))
+            if not key < last:
+                return
+            if query in self.queries_set:
+                return
+            i = bisect_left(keys, key)
+            keys.insert(i, key)
+            self.queries.insert(i, query)
+            self.queries_set.add(query)
+            keys.pop()
+            self.queries_set.discard(self.queries.pop())
+        else:
+            if query in self.queries_set:
+                return
+            key = (neg_f, score, length, QueryText(query))
+            i = bisect_left(keys, key)
+            keys.insert(i, key)
+            self.queries.insert(i, query)
+            self.queries_set.add(query)
 
 
-def _cached_axis_candidates(context: Node, axis: Axis, doc: Document) -> tuple[Node, ...]:
-    key = (id(doc), id(context), axis)
-    cached = _AXIS_CACHE.get(key)
+#: Per-document memo of node_patterns results, keyed by (index stamp,
+#: node pre number, config/params identity).  The same target and
+#: sibling nodes are pattern-expanded for every context on the spine;
+#: the stored config/params references pin the objects so the id keys
+#: stay valid while cached.
+_NODE_PATTERN_CACHE: dict[tuple, tuple] = {}
+_NODE_PATTERN_CACHE_LIMIT = 100_000
+
+
+def _cached_node_patterns(
+    node: Node, doc: Document, config: InductionConfig, params: ScoringParams
+) -> list[NodePattern]:
+    index = doc.index
+    if node._stamp != index.stamp:
+        return node_patterns(node, doc, config, params)
+    key = (index.stamp, node._pre, id(config), id(params))
+    entry = _NODE_PATTERN_CACHE.get(key)
+    if entry is None or entry[0] is not config or entry[1] is not params:
+        if len(_NODE_PATTERN_CACHE) > _NODE_PATTERN_CACHE_LIMIT:
+            _NODE_PATTERN_CACHE.clear()
+        entry = (config, params, node_patterns(node, doc, config, params))
+        _NODE_PATTERN_CACHE[key] = entry
+    return entry[2]
+
+
+#: Intern tables for steps and the one-/two-step queries built from
+#: them.  Candidate generation rebuilds the same Step/Query values over
+#: and over; interning makes every later dict/set operation on them an
+#: identity hit (tuple equality short-circuits on ``is``) and skips
+#: re-running the eager hash of ``__post_init__``.
+_STEP_INTERN: dict[Step, Step] = {}
+_QUERY1_INTERN: dict[Step, Query] = {}
+_QUERY2_INTERN: dict[tuple[Step, Step], Query] = {}
+_INTERN_LIMIT = 200_000
+
+
+def _intern_step(step: Step) -> Step:
+    canonical = _STEP_INTERN.get(step)
+    if canonical is None:
+        if len(_STEP_INTERN) > _INTERN_LIMIT:
+            _STEP_INTERN.clear()
+        _STEP_INTERN[step] = canonical = step
+    return canonical
+
+
+def _single_query(step: Step) -> Query:
+    query = _QUERY1_INTERN.get(step)
+    if query is None:
+        if len(_QUERY1_INTERN) > _INTERN_LIMIT:
+            _QUERY1_INTERN.clear()
+        _QUERY1_INTERN[step] = query = Query((step,))
+    return query
+
+
+def _pair_query(anchor: Step, hop: Step) -> Query:
+    key = (anchor, hop)
+    query = _QUERY2_INTERN.get(key)
+    if query is None:
+        if len(_QUERY2_INTERN) > _INTERN_LIMIT:
+            _QUERY2_INTERN.clear()
+        _QUERY2_INTERN[key] = query = Query((anchor, hop))
+    return query
+
+
+#: Global memo of single-step match lists, keyed by (index stamp, context
+#: pre-order number, step).  The same (context, step) pair is evaluated
+#: for many (anchor, pattern) combinations — direct patterns shared by
+#: several spine targets, sideways anchors shared across siblings — and
+#: the stamp key auto-invalidates entries of rebuilt documents.  Entries
+#: are shared lists; callers must not mutate them.
+_MATCH_CACHE: dict[tuple[int, int, Step], list[Node]] = {}
+_MATCH_CACHE_LIMIT = 200_000
+
+
+def _axis_matches(context: Node, step: Step, doc: Document) -> list[Node]:
+    """Matches of a (positional-free) step from ``context``, in axis order.
+
+    Runs on the compiled step plan (axis × nodetest fused, tag-index
+    slicing for ``descendant`` steps); plans are memoized globally, so
+    the many pattern variants sharing a step are compiled once.
+    """
+    index = doc.index
+    if context._stamp != index.stamp:  # detached context: no stable key
+        return compile_step(step)(context, doc, index)
+    key = (index.stamp, context._pre, step)
+    cached = _MATCH_CACHE.get(key)
     if cached is None:
-        if len(_AXIS_CACHE) > _AXIS_CACHE_LIMIT:
-            _AXIS_CACHE.clear()
-        cached = tuple(axis_candidates(context, axis, doc))
-        _AXIS_CACHE[key] = cached
+        if len(_MATCH_CACHE) > _MATCH_CACHE_LIMIT:
+            _MATCH_CACHE.clear()
+        cached = compile_step(step)(context, doc, index)
+        _MATCH_CACHE[key] = cached
     return cached
-
-
-def _axis_matches(
-    context: Node, step: Step, doc: Document
-) -> list[Node]:
-    """Matches of a positional-free step from ``context``, in axis order."""
-    matched = []
-    for candidate in _cached_axis_candidates(context, step.axis, doc):
-        if not nodetest_matches(step.nodetest, candidate, step.axis):
-            continue
-        if all(predicate_holds(p, candidate, doc) for p in step.predicates):
-            matched.append(candidate)
-    return matched
 
 
 def _step_variants(
@@ -88,7 +202,7 @@ def _step_variants(
 ) -> list[tuple[Step, list[Node]]]:
     """Steps built from one node pattern along one axis, with positional
     refinements; every variant matches ``target`` from ``context``."""
-    base = Step(axis, pattern.nodetest, pattern.predicates)
+    base = _intern_step(Step(axis, pattern.nodetest, pattern.predicates))
     ordered = _axis_matches(context, base, doc)
     try:
         position = next(i for i, node in enumerate(ordered) if node is target)
@@ -97,10 +211,10 @@ def _step_variants(
     variants: list[tuple[Step, list[Node]]] = [(base, ordered)]
     if len(ordered) > 1 and config.enable_positional:
         index_pred = PositionalPredicate(index=position + 1)
-        variants.append((base.with_predicates(index_pred), [target]))
+        variants.append((_intern_step(base.with_predicates(index_pred)), [target]))
         from_last = len(ordered) - 1 - position
         last_pred = PositionalPredicate(from_last=from_last)
-        variants.append((base.with_predicates(last_pred), [target]))
+        variants.append((_intern_step(base.with_predicates(last_pred)), [target]))
     return variants
 
 
@@ -143,69 +257,89 @@ def step_patterns(
     full target set.
     """
     beta = config.beta
-    candidates: list[tuple[Query, list[Node]]] = []
-    core: list[tuple[Query, list[Node]]] = []  # bare tag/text tests, always kept
-
-    for vertical_axis in _vertical_axes(context, target, axis):
-        for pattern in node_patterns(target, doc, config, params):
-            is_core = not pattern.predicates and pattern.nodetest.kind in ("name", "text")
-            for step, matches in _step_variants(
-                context, target, vertical_axis, pattern, doc, config
-            ):
-                candidates.append((Query((step,)), matches))
-                if is_core:
-                    core.append(candidates[-1])
-
-    sideways: list[tuple[Query, list[Node]]] = []
-    if axis is Axis.CHILD and config.enable_sideways:
-        sideways = _sideways_candidates(context, target, doc, config, params)
-        candidates.extend(sideways)
-
     # Pieces are scored WITHOUT the no-predicate penalty: that penalty is a
     # property of the final composed query (Sec. 4 adds it to score(q)),
     # and a bare piece like ``descendant::li`` composes into penalty-free
     # queries such as ``descendant::div[@id="x"]/descendant::li``.  Using
     # the penalized score here would starve multi-target induction of its
     # list patterns.
-    piece_params = replace(params, no_predicate_penalty=0.0)
-    piece_scorer = Scorer(piece_params)
+    piece_scorer = shared_scorer(params, "pieces")
+    step_score = piece_scorer._step_score
 
-    ranked = KBestTable(k, beta)
-    instances: list[StepCandidate] = []
-    for query, matches in candidates:
-        tp = 1
-        fp = len(matches) - 1
-        instance = QueryInstance(
-            query, tp=tp, fp=fp, fn=0, score=piece_scorer.score(query)
+    #: (query, matches, piece score); scores are computed inline from the
+    #: cached per-step scores — bit-identical to ``score_pair(query, None)``.
+    candidates: list[tuple[Query, list[Node], float]] = []
+    core_queries: set[Query] = set()  # bare tag/text tests, always kept
+
+    for vertical_axis in _vertical_axes(context, target, axis):
+        for pattern in _cached_node_patterns(target, doc, config, params):
+            is_core = not pattern.predicates and pattern.nodetest.kind in ("name", "text")
+            for step, matches in _step_variants(
+                context, target, vertical_axis, pattern, doc, config
+            ):
+                query = _single_query(step)
+                candidates.append((query, matches, 0.0 + step_score(step) * 1.0))
+                if is_core:
+                    core_queries.add(query)
+
+    sideways_start = len(candidates)
+    if axis is Axis.CHILD and config.enable_sideways:
+        candidates.extend(
+            _sideways_candidates(context, target, doc, config, params, piece_scorer)
         )
-        instances.append(StepCandidate(instance, tuple(matches)))
 
-    for candidate in instances:
-        ranked.insert(candidate.instance)
-    by_rank = {inst.query for inst in ranked}
-    by_score = sorted(instances, key=lambda c: (c.instance.score, str(c.query)))
+    # Selection runs on lightweight rank keys; only the ~5% of candidates
+    # that survive are materialized into instances at the end.
+    ranked = _LightTopK(k)
+    sideways_ranked = _LightTopK(max(1, config.max_sideways_patterns))
+    negf_by_fp: dict[int, float] = {}
+    fps: list[int] = []
+    for i, (query, matches, score) in enumerate(candidates):
+        fp = len(matches) - 1
+        fps.append(fp)
+        # F_β depends only on fp here (tp=1, fn=0).
+        neg_f = negf_by_fp.get(fp)
+        if neg_f is None:
+            neg_f = -fbeta(1, fp, 0, beta)
+            negf_by_fp[fp] = neg_f
+        length = 1 if i < sideways_start else 2
+        ranked.insert(neg_f, score, length, query)
+        if i >= sideways_start:
+            # Sideways candidates get a quota of their own: list selection
+            # needs sibling anchors (Sec. 6.3) even when cheap one-step
+            # anchors exist.
+            sideways_ranked.insert(neg_f, score, length, query)
 
-    # Sideways candidates get a quota of their own: list selection needs
-    # sibling anchors (Sec. 6.3) even when cheap one-step anchors exist.
-    sideways_queries = {query for query, _ in sideways}
-    sideways_ranked = KBestTable(max(1, config.max_sideways_patterns), beta)
-    core_queries = {query for query, _ in core}
+    by_rank = ranked.queries_set
+    by_score_top = nsmallest(
+        k,
+        range(len(candidates)),
+        key=lambda i: (candidates[i][2], QueryText(candidates[i][0])),
+    )
 
-    chosen: dict[Query, StepCandidate] = {}
-    for candidate in instances:
-        if candidate.query in sideways_queries:
-            sideways_ranked.insert(candidate.instance)
-        keep = candidate.query in by_rank or candidate.query in core_queries
-        if keep and candidate.query not in chosen:
-            chosen[candidate.query] = candidate
-    for candidate in by_score[:k]:
-        if candidate.query not in chosen:
-            chosen[candidate.query] = candidate
-    sideways_kept = {inst.query for inst in sideways_ranked}
-    for candidate in instances:
-        if candidate.query in sideways_kept and candidate.query not in chosen:
-            chosen[candidate.query] = candidate
-    return list(chosen.values())
+    chosen: dict[Query, int] = {}
+    for i, (query, _, _) in enumerate(candidates):
+        if (query in by_rank or query in core_queries) and query not in chosen:
+            chosen[query] = i
+    for i in by_score_top:
+        query = candidates[i][0]
+        if query not in chosen:
+            chosen[query] = i
+    sideways_kept = sideways_ranked.queries_set
+    for i, (query, _, _) in enumerate(candidates):
+        if query in sideways_kept and query not in chosen:
+            chosen[query] = i
+
+    out: list[StepCandidate] = []
+    for query, i in chosen.items():
+        _, matches, score = candidates[i]
+        out.append(
+            StepCandidate(
+                QueryInstance(query, tp=1, fp=fps[i], fn=0, score=score),
+                tuple(matches),
+            )
+        )
+    return out
 
 
 #: Sideways anchors matching more nodes than this are dropped before the
@@ -220,11 +354,19 @@ def _sideways_candidates(
     doc: Document,
     config: InductionConfig,
     params: ScoringParams,
-) -> list[tuple[Query, list[Node]]]:
+    piece_scorer: Scorer | None = None,
+) -> list[tuple[Query, list[Node], float]]:
     """Anchor-on-sibling patterns: vertical step to a sibling ``s`` of the
-    spine node, then one sibling step to the spine node (Alg. 1, L2–5)."""
-    results: list[tuple[Query, list[Node]]] = []
-    hop_cache: dict[tuple[int, Step], tuple[Node, ...]] = {}
+    spine node, then one sibling step to the spine node (Alg. 1, L2–5).
+
+    Returns (query, matches, piece score) triples; scores accumulate the
+    cached per-step scores exactly like ``score_pair(query, None)``.
+    """
+    if piece_scorer is None:
+        piece_scorer = shared_scorer(params, "pieces")
+    step_score = piece_scorer._step_score
+    decay_1 = piece_scorer._pow(1)
+    results: list[tuple[Query, list[Node], float]] = []
     for sibling in _nearby_siblings(target, config.max_sideways_each_side):
         if sibling.index_in_parent() < target.index_in_parent():
             sibling_axis = Axis.FOLLOWING_SIBLING
@@ -232,7 +374,7 @@ def _sideways_candidates(
             sibling_axis = Axis.PRECEDING_SIBLING
 
         sibling_steps: list[tuple[Step, list[Node]]] = []
-        for pattern in node_patterns(sibling, doc, config, params)[
+        for pattern in _cached_node_patterns(sibling, doc, config, params)[
             : config.max_sideways_patterns
         ]:
             for step, matches in _step_variants(
@@ -241,12 +383,12 @@ def _sideways_candidates(
                 if len(matches) <= _MAX_ANCHOR_MATCHES:
                     sibling_steps.append((step, matches))
 
-        target_steps: list[Step] = []
-        for pattern in node_patterns(target, doc, config, params)[
+        target_steps: list[tuple[Step, float]] = []
+        for pattern in _cached_node_patterns(target, doc, config, params)[
             : config.max_sideways_patterns
         ]:
             target_steps.extend(
-                step
+                (step, step_score(step) * decay_1)
                 for step, _ in _step_variants(
                     sibling, target, sibling_axis, pattern, doc, config
                 )
@@ -255,11 +397,15 @@ def _sideways_candidates(
         for anchor_step, anchor_matches in sibling_steps:
             if not any(node is sibling for node in anchor_matches):
                 continue
-            for hop_step in target_steps:
-                query = Query((anchor_step, hop_step))
-                matches = evaluate_two_step(anchor_matches, hop_step, doc, hop_cache)
-                if any(node is target for node in matches):
-                    results.append((query, matches))
+            anchor_score = 0.0 + step_score(anchor_step) * 1.0
+            for hop_step, hop_term in target_steps:
+                query = _pair_query(anchor_step, hop_step)
+                matches = evaluate_two_step(anchor_matches, hop_step, doc)
+                # {target} ⊆ matches holds by construction: anchor_matches
+                # contains the sibling (checked above) and every hop step
+                # reaches the target from that sibling (_step_variants
+                # only returns target-hitting variants).
+                results.append((query, matches, anchor_score + hop_term))
     return results
 
 
@@ -267,37 +413,43 @@ def evaluate_two_step(
     anchor_matches: list[Node],
     hop_step: Step,
     doc: Document,
-    hop_cache: dict[tuple[int, Step], tuple[Node, ...]] | None = None,
 ) -> list[Node]:
     """Matches of ``hop_step`` applied to every anchor match (doc order).
 
-    ``hop_cache`` memoizes per (anchor node, step): the same hops are
-    evaluated for many anchor-pattern variants sharing match sets.
+    Per-(anchor, step) memoization happens in the global match cache,
+    shared across all anchor-pattern variants and calls.  The cache
+    loop is inlined — this sits on the sideways cross product, the
+    innermost loop of candidate generation.  ``hop_step`` may carry
+    positional predicates; the compiled plan applies predicates in
+    declaration order, and induced steps always append positional
+    refinements last, matching the historical plain-then-positional
+    filtering exactly.
     """
+    index = doc.index
+    stamp = index.stamp
+    cache = _MATCH_CACHE
+    plan = None
     out: list[Node] = []
     for node in anchor_matches:
-        if hop_cache is None:
-            out.extend(_axis_matches_with_positional(node, hop_step, doc))
+        if node._stamp != stamp:
+            if plan is None:
+                plan = compile_step(hop_step)
+            out.extend(plan(node, doc, index))
             continue
-        key = (id(node), hop_step)
-        cached = hop_cache.get(key)
-        if cached is None:
-            cached = tuple(_axis_matches_with_positional(node, hop_step, doc))
-            hop_cache[key] = cached
-        out.extend(cached)
+        key = (stamp, node._pre, hop_step)
+        matched = cache.get(key)
+        if matched is None:
+            if len(cache) > _MATCH_CACHE_LIMIT:
+                cache.clear()
+            if plan is None:
+                plan = compile_step(hop_step)
+            matched = plan(node, doc, index)
+            cache[key] = matched
+        out.extend(matched)
+    if len(anchor_matches) == 1:
+        # One anchor: matches are unique and in axis order already; doc
+        # order is at most a reversal away.
+        if hop_step.axis.is_reverse:
+            out.reverse()
+        return out
     return doc.sort_nodes(out)
-
-
-def _axis_matches_with_positional(context: Node, step: Step, doc: Document) -> list[Node]:
-    """Full single-step evaluation from one context, honoring positional
-    predicates (axis-order counting)."""
-    positional = [p for p in step.predicates if isinstance(p, PositionalPredicate)]
-    plain = tuple(p for p in step.predicates if not isinstance(p, PositionalPredicate))
-    matched = _axis_matches(context, Step(step.axis, step.nodetest, plain), doc)
-    for predicate in positional:
-        size = len(matched)
-        position = (
-            predicate.index if predicate.index is not None else size - predicate.from_last
-        )
-        matched = [matched[position - 1]] if 1 <= position <= size else []
-    return matched

@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 from repro.dom.node import Document, Node
 from repro.dom.signatures import subtree_bijection_exists
 from repro.xpath.ast import Query
-from repro.xpath.evaluator import evaluate
+from repro.xpath.compile import evaluate_compiled as evaluate
 
 
 def query_robust_between(query: Query, doc_a: Document, doc_b: Document) -> bool:

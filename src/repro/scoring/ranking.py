@@ -10,7 +10,6 @@ length and text so runs are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional
 
 from repro.xpath.ast import Query
@@ -26,23 +25,31 @@ def recall(tp: int, fn: int) -> float:
 
 def fbeta(tp: int, fp: int, fn: int, beta: float = 0.5) -> float:
     """F_β of approximation counts (Sec. 2); 0 when undefined."""
-    prec = precision(tp, fp)
-    rec = recall(tp, fn)
+    prec = tp / (tp + fp) if tp + fp else 0.0
+    rec = tp / (tp + fn) if tp + fn else 0.0
     if prec == 0.0 and rec == 0.0:
         return 0.0
     b2 = beta * beta
     return (1 + b2) * prec * rec / (b2 * prec + rec)
 
 
-@dataclass(frozen=True)
 class QueryInstance:
-    """⟨p, t+, f+, f−⟩ plus the precomputed robustness score."""
+    """⟨p, t+, f+, f−⟩ plus the precomputed robustness score.
 
-    query: Query
-    tp: int
-    fp: int
-    fn: int
-    score: float
+    A plain ``__slots__`` class rather than a (frozen) dataclass: the
+    induction creates tens of thousands of instances per task, and the
+    ``object.__setattr__`` calls of a frozen dataclass ``__init__``
+    dominated candidate generation.  Treat instances as immutable.
+    """
+
+    __slots__ = ("query", "tp", "fp", "fn", "score")
+
+    def __init__(self, query: Query, tp: int, fp: int, fn: int, score: float) -> None:
+        self.query = query
+        self.tp = tp
+        self.fp = fp
+        self.fn = fn
+        self.score = score
 
     @property
     def precision(self) -> float:
@@ -61,7 +68,24 @@ class QueryInstance:
         return self.fp == 0 and self.fn == 0 and self.tp > 0
 
     def with_counts(self, tp: int, fp: int, fn: int) -> "QueryInstance":
-        return replace(self, tp=tp, fp=fp, fn=fn)
+        return QueryInstance(self.query, tp, fp, fn, self.score)
+
+    def _key(self) -> tuple:
+        return (self.query, self.tp, self.fp, self.fn, self.score)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QueryInstance):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryInstance(query={self.query!r}, tp={self.tp}, fp={self.fp}, "
+            f"fn={self.fn}, score={self.score!r})"
+        )
 
     def __str__(self) -> str:
         return (
@@ -70,13 +94,53 @@ class QueryInstance:
         )
 
 
+class QueryText:
+    """Lazy final tiebreaker: compares like ``str(query)`` but only
+    renders the text when a comparison actually reaches it.
+
+    Rank keys compare on (F_β, score, length) first; the text tiebreak
+    is needed only for exact ties, yet eagerly building it dominated
+    ``rank_key``.  Comparisons against plain strings keep working (the
+    pruning code uses ``""`` as the optimistic smallest text).
+    """
+
+    __slots__ = ("query",)
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+
+    def _text(self, other) -> str:
+        return str(other.query) if isinstance(other, QueryText) else other
+
+    def __lt__(self, other) -> bool:
+        return str(self.query) < self._text(other)
+
+    def __le__(self, other) -> bool:
+        return str(self.query) <= self._text(other)
+
+    def __gt__(self, other) -> bool:
+        return str(self.query) > self._text(other)
+
+    def __ge__(self, other) -> bool:
+        return str(self.query) >= self._text(other)
+
+    def __eq__(self, other) -> bool:
+        return str(self.query) == self._text(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self.query))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryText({str(self.query)!r})"
+
+
 def rank_key(instance: QueryInstance, beta: float = 0.5) -> tuple:
     """Sort key: better instances sort first (q < q' iff key(q) < key(q'))."""
     return (
         -instance.f_beta(beta),
         instance.score,
         len(instance.query),
-        str(instance.query),
+        QueryText(instance.query),
     )
 
 
@@ -124,9 +188,37 @@ class KBestTable:
         worst = self.worst_key()
         return worst is None or key < worst
 
-    def insert(self, instance: QueryInstance) -> bool:
-        """Insert if it beats the K-th entry; returns True when kept."""
-        key = rank_key(instance, self.beta)
+    def would_accept_partial(self, partial: tuple) -> bool:
+        """Pruning check on a text-free key prefix ``(-F_β, score, len)``.
+
+        Equivalent to :meth:`would_accept` with the optimistic ``""``
+        text tiebreak: on a full prefix tie the empty text sorts first,
+        so ties are accepted.
+        """
+        if len(self._items) < self.k:
+            return True
+        return partial <= self._item_keys[-1][:3]
+
+    def insert(self, instance: QueryInstance, key: tuple | None = None) -> bool:
+        """Insert if it beats the K-th entry; returns True when kept.
+
+        ``key`` may carry the precomputed :func:`rank_key` of
+        ``instance`` (bulk callers compute it once and reuse it across
+        tables); when omitted it is derived here.
+        """
+        if key is None:
+            neg_f = -fbeta(instance.tp, instance.fp, instance.fn, self.beta)
+            if len(self._items) >= self.k:
+                # Cheap pre-check: if the text-free key prefix already
+                # loses to the K-th entry, the full key loses too.  (A
+                # replaceable duplicate always beats the K-th entry, so
+                # the dedup path below is unreachable when pre-rejected.)
+                partial = (neg_f, instance.score, len(instance.query))
+                if partial > self._item_keys[-1][:3]:
+                    return False
+            key = (neg_f, instance.score, len(instance.query), QueryText(instance.query))
+        elif len(self._items) >= self.k and key[:3] > self._item_keys[-1][:3]:
+            return False
         existing = self._keys.get(instance.query)
         if existing is not None:
             if key >= existing:

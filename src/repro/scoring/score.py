@@ -20,6 +20,8 @@ predicate; we implement the formula as written, which yields 41.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.scoring.params import ScoringParams
 from repro.xpath.ast import (
     AttributePredicate,
@@ -85,16 +87,122 @@ def score_query(query: Query, params: ScoringParams) -> float:
     return total
 
 
+#: Bound on each Scorer-internal memo dict.  Scorers are pinned in the
+#: shared registry below for the process lifetime, so their caches need
+#: the same clear-on-overflow guard as the other global caches.
+_SCORER_CACHE_LIMIT = 200_000
+
+
 class Scorer:
-    """Caching wrapper around :func:`score_query` for one parameter set."""
+    """Caching wrapper around :func:`score_query` for one parameter set.
+
+    Besides the per-query memo, step scores and decay powers are cached
+    individually: the induction re-scores the same few hundred steps in
+    millions of combinations, so ``score``/``score_pair`` reduce to one
+    cached-float multiply-add per step.  All accumulation happens in the
+    same order (and with the same ``decay**i`` exponentiations) as
+    :func:`score_query`, so cached results are bit-identical to the
+    direct computation.
+    """
 
     def __init__(self, params: ScoringParams | None = None) -> None:
         self.params = params or ScoringParams()
         self._cache: dict[Query, float] = {}
+        self._pair_cache: dict[tuple[Query, Query], float] = {}
+        self._step_cache: dict[Step, float] = {}
+        self._pows: list[float] = [1.0]
+
+    def _step_score(self, step: Step) -> float:
+        cached = self._step_cache.get(step)
+        if cached is None:
+            if len(self._step_cache) > _SCORER_CACHE_LIMIT:
+                self._step_cache.clear()
+            cached = score_step(step, self.params)
+            self._step_cache[step] = cached
+        return cached
+
+    def _pow(self, i: int) -> float:
+        pows = self._pows
+        while len(pows) <= i:
+            pows.append(self.params.decay ** len(pows))
+        return pows[i]
 
     def score(self, query: Query) -> float:
         cached = self._cache.get(query)
         if cached is None:
-            cached = score_query(query, self.params)
+            if len(self._cache) > _SCORER_CACHE_LIMIT:
+                self._cache.clear()
+            cached = self.score_pair(query, None)
             self._cache[query] = cached
         return cached
+
+    def score_pair(self, head: Query, tail: Query | None) -> float:
+        """``score(head/tail)`` without materializing the concatenation.
+
+        Exactly equal (bitwise) to ``score(head.concat(tail))``: the
+        per-step terms accumulate in the same order with the same decay
+        powers, and the no-predicate penalty considers both parts.
+        (head, tail) results are memoized — the DP retries the same
+        piece × tail combinations across anchors.
+        """
+        if tail is not None:
+            key = (head, tail)
+            cached = self._pair_cache.get(key)
+            if cached is not None:
+                return cached
+            if len(self._pair_cache) > _SCORER_CACHE_LIMIT:
+                self._pair_cache.clear()
+            result = self._score_pair_uncached(head, tail)
+            self._pair_cache[key] = result
+            return result
+        return self._score_pair_uncached(head, None)
+
+    def _score_pair_uncached(self, head: Query, tail: Query | None) -> float:
+        step_score = self._step_score
+        pow_ = self._pow
+        total = 0.0
+        i = 0
+        has_predicates = False
+        for step in head.steps:
+            total += step_score(step) * pow_(i)
+            i += 1
+            has_predicates = has_predicates or bool(step.predicates)
+        if tail is not None:
+            for step in tail.steps:
+                total += step_score(step) * pow_(i)
+                i += 1
+                has_predicates = has_predicates or bool(step.predicates)
+        if self.params.no_predicate_penalty_scope == "query" and not has_predicates:
+            total += self.params.no_predicate_penalty
+        return total
+
+
+#: Scorer registry shared by the induction layers: one Scorer per
+#: (ScoringParams object, variant), pinned so its caches stay warm
+#: across samples and documents.  Keys use the params object's id; the
+#: stored params reference pins the object so the id stays valid, and
+#: an identity re-check guards against id reuse after a clear.
+_SCORER_REGISTRY: dict[tuple[int, str], tuple[ScoringParams, Scorer]] = {}
+
+
+def shared_scorer(params: ScoringParams, variant: str = "exact") -> Scorer:
+    """The process-wide Scorer for ``params``.
+
+    ``variant="exact"`` scores with the params as given; ``"pieces"``
+    zeroes the no-predicate penalty (used when ranking bare query
+    pieces, whose penalty is a property of the final composed query).
+    """
+    key = (id(params), variant)
+    entry = _SCORER_REGISTRY.get(key)
+    if entry is None or entry[0] is not params:
+        if len(_SCORER_REGISTRY) > 128:
+            _SCORER_REGISTRY.clear()
+        if variant == "pieces":
+            scorer = Scorer(replace(params, no_predicate_penalty=0.0))
+        elif variant == "exact":
+            scorer = Scorer(params)
+        else:
+            raise ValueError(f"unknown scorer variant: {variant}")
+        entry = (params, scorer)
+        _SCORER_REGISTRY[key] = entry
+    return entry[1]

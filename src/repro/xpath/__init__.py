@@ -7,8 +7,10 @@ language wrappers are induced in.  This package provides:
   the small extensions needed to *execute* the corpus's human wrappers
   (``following``/``preceding`` axes, nested relative predicates);
 * a parser (:mod:`repro.xpath.parser`);
-* an evaluator with XPath 1.0 positional-predicate semantics
-  (:mod:`repro.xpath.evaluator`);
+* a reference evaluator with XPath 1.0 positional-predicate semantics
+  (:mod:`repro.xpath.evaluator`) and a compiled evaluation engine with
+  identical semantics (:mod:`repro.xpath.compile`) used by the
+  production paths;
 * canonical paths and the c-change measure (:mod:`repro.xpath.canonical`);
 * fragment membership checks: one-/two-directionality and plausibility
   (:mod:`repro.xpath.fragment`).
@@ -28,6 +30,7 @@ from repro.xpath.ast import (
     AttrSubject,
 )
 from repro.xpath.canonical import c_changes, canonical_path
+from repro.xpath.compile import compile_query, evaluate_compiled, evaluate_many
 from repro.xpath.errors import XPathError, XPathParseError
 from repro.xpath.evaluator import evaluate
 from repro.xpath.fragment import (
@@ -56,7 +59,10 @@ __all__ = [
     "axes_signature",
     "c_changes",
     "canonical_path",
+    "compile_query",
     "evaluate",
+    "evaluate_compiled",
+    "evaluate_many",
     "is_ds_query",
     "is_one_directional",
     "is_plausible",

@@ -247,23 +247,40 @@ class Step:
     nodetest: NodeTest
     predicates: tuple[Predicate, ...] = ()
 
+    def __post_init__(self) -> None:
+        # Hash eagerly: steps are hashed far more often than they are
+        # built, and a plain attribute read beats a memo-dict lookup.
+        object.__setattr__(
+            self, "_hash", hash((self.axis, self.nodetest, self.predicates))
+        )
+
     def with_predicates(self, *predicates: Predicate) -> "Step":
         return Step(self.axis, self.nodetest, self.predicates + tuple(predicates))
 
     def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:
-            cached = hash((self.axis, self.nodetest, self.predicates))
-            object.__setattr__(self, "_hash", cached)
-        return cached
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Step):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return (
+            self.axis is other.axis
+            and self.nodetest == other.nodetest
+            and self.predicates == other.predicates
+        )
 
     def __str__(self) -> str:
-        cached = self.__dict__.get("_str")
-        if cached is None:
+        try:
+            return self._str
+        except AttributeError:
             preds = "".join(str(p) for p in self.predicates)
             cached = f"{self.axis.value}::{self.nodetest}{preds}"
             object.__setattr__(self, "_str", cached)
-        return cached
+            return cached
 
 
 @dataclass(frozen=True, eq=True)
@@ -280,12 +297,20 @@ class Query:
     steps: tuple[Step, ...] = ()
     absolute: bool = False
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.steps, self.absolute)))
+
     def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:
-            cached = hash((self.steps, self.absolute))
-            object.__setattr__(self, "_hash", cached)
-        return cached
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Query):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.absolute == other.absolute and self.steps == other.steps
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -309,15 +334,16 @@ class Query:
         return Query(self.steps + (step,), absolute=self.absolute)
 
     def __str__(self) -> str:
-        cached = self.__dict__.get("_str")
-        if cached is None:
+        try:
+            return self._str
+        except AttributeError:
             body = "/".join(str(step) for step in self.steps)
             if self.absolute:
                 cached = "/" + body
             else:
                 cached = body if body else "ε"
             object.__setattr__(self, "_str", cached)
-        return cached
+            return cached
 
 
 def single_step_query(axis: Axis, nodetest: NodeTest, *predicates: Predicate) -> Query:

@@ -22,7 +22,12 @@ def _child(node: Node, doc: Document) -> list[Node]:
 
 def _descendant(node: Node, doc: Document) -> list[Node]:
     if isinstance(node, ElementNode):
-        return list(node.descendants())
+        index = doc.index
+        if node._stamp == index.stamp:
+            # Pre-order subtree slice: identical to node.descendants()
+            # order, without walking the tree.
+            return index.nodes[node._pre + 1 : node._post + 1]
+        return list(node.descendants())  # detached subtree
     return []
 
 
@@ -57,33 +62,36 @@ def _self(node: Node, doc: Document) -> list[Node]:
 
 
 def _following(node: Node, doc: Document) -> list[Node]:
-    """All nodes after ``node`` in document order, minus its descendants."""
+    """All nodes after ``node`` in document order, minus its descendants.
+
+    With the document index this is one slice: everything past the end
+    of the node's pre-order subtree interval.
+    """
     if isinstance(node, AttributeNode):
         node = node.parent
-    all_nodes = list(doc.all_nodes())
-    try:
-        start = next(i for i, n in enumerate(all_nodes) if n is node)
-    except StopIteration:
+    index = doc.index
+    if node is None or node._stamp != index.stamp:
         return []
-    descendants = (
-        {id(d) for d in node.descendants()} if isinstance(node, ElementNode) else set()
-    )
-    return [n for n in all_nodes[start + 1 :] if id(n) not in descendants]
+    return index.nodes[node._post + 1 :]
 
 
 def _preceding(node: Node, doc: Document) -> list[Node]:
     """All nodes before ``node`` in document order, minus its ancestors,
-    in reverse document order."""
+    in reverse document order.
+
+    A node ``m`` with ``m._pre < node._pre`` is an ancestor exactly when
+    its subtree interval still covers ``node`` (``m._post >= node._pre``),
+    so the ancestor exclusion is one integer comparison per candidate.
+    """
     if isinstance(node, AttributeNode):
         node = node.parent
-    all_nodes = list(doc.all_nodes())
-    try:
-        start = next(i for i, n in enumerate(all_nodes) if n is node)
-    except StopIteration:
+    index = doc.index
+    if node is None or node._stamp != index.stamp:
         return []
-    ancestors = {id(a) for a in node.ancestors()}
-    before = [n for n in all_nodes[:start] if id(n) not in ancestors]
-    return list(reversed(before))
+    pre = node._pre
+    before = [n for n in index.nodes[:pre] if n._post < pre]
+    before.reverse()
+    return before
 
 
 _AXIS_FUNCTIONS: dict[Axis, Callable[[Node, Document], list[Node]]] = {

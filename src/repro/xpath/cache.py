@@ -2,16 +2,25 @@
 
 The induction algorithm evaluates the same (query, context) pairs many
 times: tails from ``best(t)`` are re-evaluated from every node matched
-by every step pattern.  Queries are immutable and hashable, so a
-per-document memo table turns the dynamic program's evaluation cost
-from quadratic blow-up into table lookups.
+by every step pattern.  Queries are immutable with precomputed hashes,
+so a per-document memo table turns the dynamic program's evaluation cost
+from quadratic blow-up into table lookups; the evaluation itself runs on
+compiled query plans (:mod:`repro.xpath.compile`), shared across all
+evaluators through the global plan cache.
+
+Cache keys use the document's stable integer node ids
+(:meth:`~repro.dom.node.Document.node_id`) rather than ``id()`` values,
+and the match-id sets consumed by the induction's set algebra are
+memoized alongside the node tuples.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.dom.node import Document, Node
 from repro.xpath.ast import Query
-from repro.xpath.evaluator import evaluate
+from repro.xpath.compile import compile_query
 
 
 class CachedEvaluator:
@@ -20,19 +29,38 @@ class CachedEvaluator:
     def __init__(self, doc: Document) -> None:
         self.doc = doc
         self._cache: dict[tuple[Query, int], tuple[Node, ...]] = {}
+        self._id_cache: dict[tuple[Query, int], frozenset[int]] = {}
         self.hits = 0
         self.misses = 0
 
     def evaluate(self, query: Query, context: Node) -> tuple[Node, ...]:
-        key = (query, id(context))
+        key = (query, self.doc.node_id(context))
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
-        result = tuple(evaluate(query, context, self.doc))
+        result = tuple(compile_query(query).run(context, self.doc))
         self._cache[key] = result
         return result
+
+    def evaluate_ids(self, query: Query, context: Node) -> frozenset[int]:
+        """Node ids of ``evaluate``, memoized separately (the induction's
+        hot loop consumes id sets, not node lists)."""
+        key = (query, self.doc.node_id(context))
+        cached = self._id_cache.get(key)
+        if cached is None:
+            node_id = self.doc.node_id
+            cached = frozenset(node_id(n) for n in self.evaluate(query, context))
+            self._id_cache[key] = cached
+        return cached
+
+    def evaluate_many(self, query: Query, contexts: Iterable[Node]) -> list[Node]:
+        """Union of ``evaluate`` over several contexts, in document order."""
+        results: list[Node] = []
+        for context in contexts:
+            results.extend(self.evaluate(query, context))
+        return self.doc.sort_nodes(results)
 
     def evaluate_concat(self, head_matches: tuple[Node, ...], tail: Query) -> list[Node]:
         """Evaluate ``tail`` from every node in ``head_matches`` (deduped,
@@ -40,10 +68,7 @@ class CachedEvaluator:
         ``head_matches`` is the head's result set."""
         if tail.is_empty:
             return list(head_matches)
-        results: list[Node] = []
-        for node in head_matches:
-            results.extend(self.evaluate(tail, node))
-        return self.doc.sort_nodes(results)
+        return self.evaluate_many(tail, head_matches)
 
     def evaluate_concat_ids(
         self, head_matches: tuple[Node, ...], tail: Query
@@ -51,8 +76,9 @@ class CachedEvaluator:
         """Node ids of ``evaluate_concat`` without materializing the sorted
         node list — the induction hot loop only needs set counts."""
         if tail.is_empty:
-            return frozenset(id(node) for node in head_matches)
+            node_id = self.doc.node_id
+            return frozenset(node_id(node) for node in head_matches)
         ids: set[int] = set()
         for node in head_matches:
-            ids.update(id(result) for result in self.evaluate(tail, node))
+            ids.update(self.evaluate_ids(tail, node))
         return frozenset(ids)

@@ -1,0 +1,489 @@
+"""Compiled dsXPath evaluation.
+
+:func:`compile_query` turns a :class:`~repro.xpath.ast.Query` into a
+pipeline of specialized closures, one per step.  Each step closure fuses
+axis navigation with the node test (a ``descendant::div`` step is a
+``bisect`` into the document's per-tag index instead of a subtree walk
+plus a filter) and chains compiled predicate filters; positional
+predicates index directly into the candidate list.  Compiled plans are
+document independent — all document state flows in through the
+:class:`~repro.dom.node.DocumentIndex` — and are memoized globally per
+query, so the induction's K-best loops compile each candidate query at
+most once across all documents.
+
+Semantics are *identical* to the reference interpreter
+(:func:`repro.xpath.evaluator.evaluate`): same nodes, same document
+order, including the XPath 1.0 positional rules (counting in axis order
+per context node, successive predicates renumbering) and the
+``following``/``preceding`` extensions.  The equivalence is enforced by
+``tests/xpath/test_engine_equivalence.py`` on randomized documents and
+queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Iterable
+
+from repro.dom.node import (
+    AttributeNode,
+    Document,
+    DocumentIndex,
+    ElementNode,
+    Node,
+    TextNode,
+)
+from repro.xpath.ast import (
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    NodeTest,
+    PositionalPredicate,
+    Predicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    TextSubject,
+)
+from repro.xpath.evaluator import nodetest_matches
+
+#: A compiled step: (context node, document, index) -> candidates that
+#: passed the node test and all predicates, in axis order.
+StepFn = Callable[[Node, Document, DocumentIndex], list]
+
+#: A compiled predicate: (candidates in axis order, document) -> kept
+#: candidates, still in axis order.
+PredicateFn = Callable[[list, Document], list]
+
+_REVERSE_AXES = frozenset(
+    {Axis.PARENT, Axis.ANCESTOR, Axis.PRECEDING_SIBLING, Axis.PRECEDING}
+)
+
+
+# -- candidate generation (axis × nodetest fused) ---------------------------
+
+
+def _subtree_bounds(node: Node, pres: list[int]) -> tuple[int, int]:
+    """Positions in a sorted pre-number list covering ``node``'s subtree."""
+    return bisect_right(pres, node._pre), bisect_right(pres, node._post)
+
+
+def _indexed_lists(
+    index: DocumentIndex, nodetest: NodeTest
+) -> tuple[list, list[int]] | None:
+    """The (nodes, pres) doc-order lists holding every match of ``nodetest``."""
+    if nodetest.kind == "name":
+        tag = nodetest.name
+        nodes = index.tag_nodes.get(tag)
+        if nodes is None:
+            return [], []
+        return nodes, index.tag_pres[tag]
+    if nodetest.kind == "any":
+        return index.elements, index.elem_pres
+    if nodetest.kind == "text":
+        return index.texts, index.text_pres
+    return index.nodes, None  # node(): pres positions equal list positions
+
+
+def _compile_descendant(nodetest: NodeTest) -> StepFn:
+    kind = nodetest.kind
+
+    def descendant(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if not isinstance(node, ElementNode):
+            return []
+        if node._stamp != index.stamp:  # detached subtree: tree-walk fallback
+            return [
+                d for d in node.descendants() if nodetest_matches(nodetest, d, Axis.DESCENDANT)
+            ]
+        if kind == "node":
+            return index.nodes[node._pre + 1 : node._post + 1]
+        nodes, pres = _indexed_lists(index, nodetest)
+        lo, hi = _subtree_bounds(node, pres)
+        return nodes[lo:hi]
+
+    return descendant
+
+
+def _compile_following(nodetest: NodeTest) -> StepFn:
+    def following(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if isinstance(node, AttributeNode):
+            node = node.parent
+        if node is None or node._stamp != index.stamp:
+            return []
+        nodes, pres = _indexed_lists(index, nodetest)
+        if pres is None:  # node(): slice the full pre-order list
+            return nodes[node._post + 1 :]
+        return nodes[bisect_right(pres, node._post) :]
+
+    return following
+
+
+def _compile_preceding(nodetest: NodeTest) -> StepFn:
+    def preceding(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if isinstance(node, AttributeNode):
+            node = node.parent
+        if node is None or node._stamp != index.stamp:
+            return []
+        pre = node._pre
+        nodes, pres = _indexed_lists(index, nodetest)
+        hi = pre if pres is None else bisect_left(pres, pre)
+        out = [n for n in nodes[:hi] if n._post < pre]
+        out.reverse()
+        return out
+
+    return preceding
+
+
+def _compile_child(nodetest: NodeTest) -> StepFn:
+    kind, name = nodetest.kind, nodetest.name
+
+    def child(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if not isinstance(node, ElementNode):
+            return []
+        children = node.children
+        if kind == "node":
+            return list(children)
+        if kind == "text":
+            return [c for c in children if isinstance(c, TextNode)]
+        if kind == "name":
+            return [
+                c for c in children if isinstance(c, ElementNode) and c.tag == name
+            ]
+        return [
+            c
+            for c in children
+            if isinstance(c, ElementNode) and not c.tag.startswith("#")
+        ]
+
+    return child
+
+
+def _compile_siblings(nodetest: NodeTest, axis: Axis) -> StepFn:
+    forward = axis is Axis.FOLLOWING_SIBLING
+    kind, name = nodetest.kind, nodetest.name
+
+    def siblings(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if isinstance(node, AttributeNode) or node.parent is None:
+            return []
+        i = node.index_in_parent()
+        if forward:
+            slice_ = node.parent.children[i + 1 :]
+        else:
+            slice_ = node.parent.children[:i][::-1]
+        if kind == "node":
+            return slice_
+        if kind == "text":
+            return [c for c in slice_ if isinstance(c, TextNode)]
+        if kind == "name":
+            return [
+                c for c in slice_ if isinstance(c, ElementNode) and c.tag == name
+            ]
+        return [
+            c
+            for c in slice_
+            if isinstance(c, ElementNode) and not c.tag.startswith("#")
+        ]
+
+    return siblings
+
+
+def _compile_attribute(nodetest: NodeTest) -> StepFn:
+    kind, name = nodetest.kind, nodetest.name
+
+    def attribute(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if not isinstance(node, ElementNode):
+            return []
+        if kind == "name":
+            attr = node.attribute_node(name)
+            return [attr] if attr is not None else []
+        if kind in ("any", "node"):
+            return node.attribute_nodes()
+        return []  # text() never matches attributes
+
+    return attribute
+
+
+def _compile_scalar(nodetest: NodeTest, axis: Axis) -> StepFn:
+    """parent / ancestor / self: tiny candidate sets, plain filtering."""
+
+    def scalar(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if axis is Axis.SELF:
+            candidates: Iterable[Node] = (node,)
+        elif axis is Axis.PARENT:
+            candidates = (node.parent,) if node.parent is not None else ()
+        else:  # ANCESTOR, nearest first (reverse document order)
+            candidates = node.ancestors()
+        return [c for c in candidates if nodetest_matches(nodetest, c, axis)]
+
+    return scalar
+
+
+def _compile_candidates(axis: Axis, nodetest: NodeTest) -> StepFn:
+    if axis is Axis.DESCENDANT:
+        return _compile_descendant(nodetest)
+    if axis is Axis.CHILD:
+        return _compile_child(nodetest)
+    if axis is Axis.ATTRIBUTE:
+        return _compile_attribute(nodetest)
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        return _compile_siblings(nodetest, axis)
+    if axis is Axis.FOLLOWING:
+        return _compile_following(nodetest)
+    if axis is Axis.PRECEDING:
+        return _compile_preceding(nodetest)
+    return _compile_scalar(nodetest, axis)
+
+
+# -- predicate compilation ---------------------------------------------------
+
+
+def _string_test(function: str, value: str) -> Callable[[str], bool]:
+    if function == "equals":
+        return lambda subject: subject == value
+    if function == "contains":
+        return lambda subject: value in subject
+    if function == "starts-with":
+        return lambda subject: subject.startswith(value)
+    if function == "ends-with":
+        return lambda subject: subject.endswith(value)
+    raise ValueError(f"unknown string function: {function}")
+
+
+def _compile_predicate(predicate: Predicate) -> PredicateFn:
+    if isinstance(predicate, PositionalPredicate):
+        index, from_last = predicate.index, predicate.from_last
+
+        def positional(candidates: list, doc: Document) -> list:
+            size = len(candidates)
+            position = index if index is not None else size - from_last
+            if 1 <= position <= size:
+                return [candidates[position - 1]]
+            return []
+
+        return positional
+
+    if isinstance(predicate, AttributePredicate):
+        name = predicate.name
+
+        def attr_exists(candidates: list, doc: Document) -> list:
+            return [
+                c for c in candidates if isinstance(c, ElementNode) and name in c.attrs
+            ]
+
+        return attr_exists
+
+    if isinstance(predicate, StringPredicate):
+        test = _string_test(predicate.function, predicate.value)
+        if isinstance(predicate.subject, TextSubject):
+
+            def text_pred(candidates: list, doc: Document) -> list:
+                normalized = doc.normalized_text
+                return [c for c in candidates if test(normalized(c))]
+
+            return text_pred
+
+        assert isinstance(predicate.subject, AttrSubject)
+        attr_name = predicate.subject.name
+
+        def attr_pred(candidates: list, doc: Document) -> list:
+            out = []
+            for c in candidates:
+                if isinstance(c, ElementNode):
+                    subject = c.attrs.get(attr_name)
+                elif isinstance(c, AttributeNode) and c.name == attr_name:
+                    subject = c.value
+                else:
+                    subject = None
+                if subject is not None and test(subject):
+                    out.append(c)
+            return out
+
+        return attr_pred
+
+    if isinstance(predicate, RelativePredicate):
+        inner_query = predicate.query
+
+        def relative(candidates: list, doc: Document) -> list:
+            inner = compile_query(inner_query)
+            return [c for c in candidates if inner.run(c, doc)]
+
+        return relative
+
+    raise TypeError(f"unexpected predicate: {predicate!r}")
+
+
+# -- step and query compilation ----------------------------------------------
+
+#: Per-document memo of globally filtered descendant candidates: (index
+#: stamp, axis-free filter step) -> (filtered doc-order node list, their
+#: pre numbers).  Per-node predicates commute with subtree restriction,
+#: so ``descendant::t[preds]`` from any context is a bisect slice of the
+#: once-filtered document-wide list — the predicate work is paid once
+#: per document instead of once per context node.
+_FILTER_CACHE: dict[tuple[int, Step], tuple[list, list[int]]] = {}
+_FILTER_CACHE_LIMIT = 100_000
+
+
+def _compile_filtered_descendant(step: Step, leading: tuple, rest: tuple) -> StepFn:
+    """Plan for descendant steps whose leading predicates are per-node."""
+    nodetest = step.nodetest
+    # Key on the normalized (descendant, nodetest, leading) step so e.g.
+    # ``descendant::div[@id="x"][1]`` shares the filtered list with
+    # ``descendant::div[@id="x"]``.
+    filter_step = Step(Axis.DESCENDANT, nodetest, leading)
+    leading_fns = [_compile_predicate(p) for p in leading]
+    rest_fns = [_compile_predicate(p) for p in rest]
+    fallback = _compile_descendant(nodetest)
+
+    def plan(node: Node, doc: Document, index: DocumentIndex) -> list:
+        if not isinstance(node, ElementNode):
+            return []
+        if node._stamp != index.stamp:  # detached: per-candidate filtering
+            candidates = fallback(node, doc, index)
+            for predicate_fn in leading_fns:
+                if not candidates:
+                    break
+                candidates = predicate_fn(candidates, doc)
+        else:
+            key = (index.stamp, filter_step)
+            entry = _FILTER_CACHE.get(key)
+            if entry is None:
+                if len(_FILTER_CACHE) > _FILTER_CACHE_LIMIT:
+                    _FILTER_CACHE.clear()
+                filtered = _indexed_lists(index, nodetest)[0]
+                # Predicate fns are pure (they build fresh lists), so the
+                # index list is never aliased or mutated here: ``leading``
+                # is non-empty for this plan shape.
+                for predicate_fn in leading_fns:
+                    if not filtered:
+                        break
+                    filtered = predicate_fn(filtered, doc)
+                entry = (filtered, [n._pre for n in filtered])
+                _FILTER_CACHE[key] = entry
+            filtered, pres = entry
+            lo = bisect_right(pres, node._pre)
+            hi = bisect_right(pres, node._post)
+            candidates = filtered[lo:hi]
+        for predicate_fn in rest_fns:
+            if not candidates:
+                break
+            candidates = predicate_fn(candidates, doc)
+        return candidates
+
+    return plan
+
+
+def _split_leading_per_node(
+    predicates: tuple,
+) -> tuple[tuple, tuple]:
+    """Split predicates into the leading per-node prefix (everything up
+    to the first positional predicate) and the remainder."""
+    for i, predicate in enumerate(predicates):
+        if isinstance(predicate, PositionalPredicate):
+            return predicates[:i], predicates[i:]
+    return predicates, ()
+
+
+#: Global step-plan memo.  Steps are immutable with memoized hashes, and
+#: the induction generates the same steps over and over across pattern
+#: variants and documents.
+_STEP_CACHE: dict[Step, StepFn] = {}
+_STEP_CACHE_LIMIT = 200_000
+
+
+def compile_step(step: Step) -> StepFn:
+    """The fused (axis × nodetest × predicates) plan for one step."""
+    plan = _STEP_CACHE.get(step)
+    if plan is None:
+        if len(_STEP_CACHE) > _STEP_CACHE_LIMIT:
+            _STEP_CACHE.clear()
+        if not step.predicates:
+            plan = _compile_candidates(step.axis, step.nodetest)
+        else:
+            leading, rest = _split_leading_per_node(step.predicates)
+            if step.axis is Axis.DESCENDANT and leading:
+                plan = _compile_filtered_descendant(step, leading, rest)
+            else:
+                candidates_fn = _compile_candidates(step.axis, step.nodetest)
+                predicate_fns = [_compile_predicate(p) for p in step.predicates]
+
+                def plan(node: Node, doc: Document, index: DocumentIndex) -> list:
+                    candidates = candidates_fn(node, doc, index)
+                    for predicate_fn in predicate_fns:
+                        if not candidates:
+                            break
+                        candidates = predicate_fn(candidates, doc)
+                    return candidates
+
+        _STEP_CACHE[step] = plan
+    return plan
+
+
+class CompiledQuery:
+    """An executable query plan; ``run`` matches the reference evaluator."""
+
+    __slots__ = ("query", "_absolute", "_steps", "_reverse")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self._absolute = query.absolute
+        self._steps = [compile_step(step) for step in query.steps]
+        self._reverse = [step.axis in _REVERSE_AXES for step in query.steps]
+
+    def run(self, context: Node | None, doc: Document) -> list[Node]:
+        """Evaluate from ``context``; results in document order."""
+        index = doc.index
+        if self._absolute or context is None:
+            nodes: list[Node] = [doc.root]
+        else:
+            nodes = [context]
+        for step_fn, is_reverse in zip(self._steps, self._reverse):
+            if not nodes:
+                return []
+            if len(nodes) == 1:
+                # Candidates of a single context node are unique and in
+                # axis order; document order is a (possible) reversal
+                # away, no dedup-sort needed.
+                nodes = list(step_fn(nodes[0], doc, index))
+                if is_reverse:
+                    nodes.reverse()
+            else:
+                results: list[Node] = []
+                for node in nodes:
+                    results.extend(step_fn(node, doc, index))
+                nodes = doc.sort_nodes(results)
+        return nodes
+
+
+#: Global query-plan memo (plans are document independent).
+_QUERY_CACHE: dict[Query, CompiledQuery] = {}
+_QUERY_CACHE_LIMIT = 100_000
+
+
+def compile_query(query: Query) -> CompiledQuery:
+    """Compile (or fetch the memoized plan for) ``query``."""
+    plan = _QUERY_CACHE.get(query)
+    if plan is None:
+        if len(_QUERY_CACHE) > _QUERY_CACHE_LIMIT:
+            _QUERY_CACHE.clear()
+        plan = CompiledQuery(query)
+        _QUERY_CACHE[query] = plan
+    return plan
+
+
+def evaluate_compiled(query: Query, context: Node | None, doc: Document) -> list[Node]:
+    """Drop-in replacement for :func:`repro.xpath.evaluator.evaluate`."""
+    return compile_query(query).run(context, doc)
+
+
+def evaluate_many(query: Query, contexts: Iterable[Node], doc: Document) -> list[Node]:
+    """Union of ``evaluate_compiled`` over several contexts, in doc order.
+
+    The plan is compiled once and reused across all context nodes.
+    """
+    plan = compile_query(query)
+    results: list[Node] = []
+    for context in contexts:
+        results.extend(plan.run(context, doc))
+    return doc.sort_nodes(results)

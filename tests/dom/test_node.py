@@ -151,3 +151,76 @@ class TestDocument:
     def test_node_count(self):
         doc = document(E("html", E("body", E("div"), T("x"))))
         assert doc.node_count() == 5  # #document, html, body, div, text
+
+
+class TestDocumentIndex:
+    def test_pre_post_intervals_cover_subtrees(self):
+        inner = E("span", T("x"))
+        branch = E("div", inner, E("p"))
+        doc = document(E("html", branch, E("footer")))
+        index = doc.index
+        assert index.nodes[branch._pre] is branch
+        subtree = index.nodes[branch._pre + 1 : branch._post + 1]
+        assert subtree == list(branch.descendants())
+
+    def test_node_id_stable_ints(self):
+        a, b = E("a"), E("b")
+        doc = document(E("html", a, b))
+        ids = {doc.node_id(n) for n in doc.all_nodes()}
+        assert ids == set(range(doc.node_count()))
+        assert doc.node_id(a) == doc.node_id(a)
+        assert doc.node_id(a) != doc.node_id(b)
+
+    def test_node_id_attribute_nodes(self):
+        a = E("a", href="/x", class_="k")
+        doc = document(E("html", a))
+        href = a.attribute_node("href")
+        klass = a.attribute_node("class")
+        assert doc.node_id(href) != doc.node_id(klass)
+        assert doc.node_id(href) == doc.node_id(href)  # stable
+        assert doc.node_id(href) >= doc.node_count()
+
+    def test_node_id_rejects_foreign_nodes(self):
+        doc = document(E("html"))
+        with pytest.raises(KeyError):
+            doc.node_id(ElementNode("stranger"))
+
+    def test_tag_and_attr_indexes_in_document_order(self):
+        doc = document(
+            E("html", E("div", E("span", id="s1")), E("div", id="d2"), E("span"))
+        )
+        index = doc.index
+        for bucket in (index.tag_nodes["div"], index.tag_nodes["span"],
+                       index.attr_nodes["id"], index.elements):
+            keys = [doc.order_key(n) for n in bucket]
+            assert keys == sorted(keys)
+        assert [n.tag for n in index.attr_nodes["id"]] == ["span", "div"]
+
+    def test_is_ancestor_interval_test(self):
+        leaf = E("em")
+        mid = E("p", leaf)
+        doc = document(E("html", E("body", mid), E("aside")))
+        doc.index
+        assert doc.is_ancestor(mid, leaf)
+        assert doc.is_ancestor(doc.root, leaf)
+        assert not doc.is_ancestor(leaf, mid)
+        assert not doc.is_ancestor(leaf, leaf)
+
+    def test_invalidate_rebuilds_under_fresh_stamp(self):
+        body = E("body")
+        doc = document(E("html", body))
+        first = doc.index.stamp
+        body.append_child(E("div"))
+        doc.invalidate()
+        assert doc.index.stamp != first
+        assert doc.contains(body.children[0])
+        assert [n._pre for n in doc.all_nodes()] == list(range(doc.node_count()))
+
+    def test_index_in_parent_self_heals_after_mutation(self):
+        a, b, c = E("a"), E("b"), E("c")
+        parent = E("div", a, c)
+        document(E("html", parent))
+        assert c.index_in_parent() == 1
+        parent.insert_child(1, b)  # displaces c without telling it
+        assert b.index_in_parent() == 1
+        assert c.index_in_parent() == 2

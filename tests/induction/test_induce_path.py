@@ -18,8 +18,8 @@ from repro.xpath.ast import Axis, EMPTY_QUERY
 class TestInitTables:
     def test_epsilon_seeded_at_targets(self, imdb_doc):
         targets = [imdb_doc.find(tag="h1")]
-        best = init_tables(targets, k=5, beta=0.5)
-        table = best[id(targets[0])]
+        best = init_tables(imdb_doc, targets, k=5, beta=0.5)
+        table = best[imdb_doc.node_id(targets[0])]
         assert table.best().query == EMPTY_QUERY
         assert table.best().tp == 1
 
@@ -50,7 +50,7 @@ class TestInducePath:
         config = InductionConfig()
         ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
         targets = [imdb_doc.find(tag="h1")]
-        best = init_tables(targets, config.k, config.beta)
+        best = init_tables(imdb_doc, targets, config.k, config.beta)
         table = induce_path(ctx, imdb_doc.root, targets, Axis.CHILD, best, {})
         assert len(table) > 0
         keys = [rank_key(i) for i in table.items]
@@ -60,17 +60,17 @@ class TestInducePath:
         config = InductionConfig()
         ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
         span = imdb_doc.find(tag="span")
-        best = init_tables([span], config.k, config.beta)
+        best = init_tables(imdb_doc, [span], config.k, config.beta)
         induce_path(ctx, imdb_doc.root, [span], Axis.CHILD, best, {})
         main = imdb_doc.find(id="main")
-        assert id(main) in best
-        assert len(best[id(main)]) > 0
+        assert imdb_doc.node_id(main) in best
+        assert len(best[imdb_doc.node_id(main)]) > 0
 
     def test_step_pattern_cache_reused(self, imdb_doc):
         config = InductionConfig()
         ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
         tds = list(imdb_doc.root.iter_find(tag="td", class_="name"))
-        best = init_tables(tds, config.k, config.beta)
+        best = init_tables(imdb_doc, tds, config.k, config.beta)
         induce_path(ctx, imdb_doc.root, tds, Axis.CHILD, best, {})
         assert len(ctx.step_cache) > 0
 
@@ -78,7 +78,7 @@ class TestInducePath:
         config = InductionConfig()
         ctx = PathInductionContext.for_doc(imdb_doc, config, ScoringParams())
         h1 = imdb_doc.find(tag="h1")
-        best = init_tables([h1], config.k, config.beta)
+        best = init_tables(imdb_doc, [h1], config.k, config.beta)
         table = induce_path(ctx, imdb_doc.root, [h1], Axis.CHILD, best, {})
         top = table.best()
         assert top.fp == 0 and top.fn == 0

@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.dom import parse_html
+from repro.dom import E, document, parse_html
 from repro.induction.spine import (
     base_axis_between,
     common_base_axis,
+    is_ancestor_of,
     lca,
     spine,
     targets_reachable,
@@ -112,5 +113,25 @@ class TestTargetsReachable:
     def test_child_axis(self, doc):
         div = doc.find(id="a")
         targets = [doc.find(id="p1"), doc.find(id="e")]
-        reachable = targets_reachable(div, targets, Axis.CHILD)
-        assert reachable == frozenset({id(targets[0])})
+        reachable = targets_reachable(div, targets, Axis.CHILD, doc)
+        assert reachable == frozenset({doc.node_id(targets[0])})
+
+
+class TestIsAncestorAfterInvalidate:
+    def test_moved_node_reports_new_ancestry(self):
+        """Regression: the interval fast path must not answer from a
+        stale index after Document.invalidate()."""
+        c = E("c")
+        a = E("a", c)
+        b = E("b")
+        doc = document(E("html", a, b))
+        doc.index  # build + stamp under the old shape
+        assert is_ancestor_of(a, c) and not is_ancestor_of(b, c)
+        a.remove_child(c)
+        b.append_child(c)
+        doc.invalidate()
+        assert not is_ancestor_of(a, c)
+        assert is_ancestor_of(b, c)
+        doc.index  # rebuilt: fast path live again under fresh stamps
+        assert not is_ancestor_of(a, c)
+        assert is_ancestor_of(b, c)

@@ -43,7 +43,7 @@ class TestCachedEvaluator:
         head_matches = evaluator.evaluate(head, imdb_doc.root)
         nodes = evaluator.evaluate_concat(head_matches, tail)
         ids = evaluator.evaluate_concat_ids(head_matches, tail)
-        assert ids == frozenset(id(n) for n in nodes)
+        assert ids == frozenset(imdb_doc.node_id(n) for n in nodes)
 
     def test_empty_tail_returns_heads(self, imdb_doc):
         evaluator = CachedEvaluator(imdb_doc)

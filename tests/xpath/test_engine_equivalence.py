@@ -1,0 +1,238 @@
+"""Differential tests: compiled engine ≡ reference evaluator.
+
+Random documents × random dsXPath queries (including the evaluator-only
+``following``/``preceding`` axes, positional predicates, and nested
+relative predicates) are evaluated by both engines; results must agree
+node-for-node in document order.  The suite sweeps well over 1000
+(document, query) pairs deterministically.
+
+The ``following``/``preceding`` axes are additionally checked against
+naive pure-tree implementations, since the reference evaluator itself
+runs on the rewritten interval-arithmetic axes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dom.builder import E, T, document
+from repro.dom.node import Document, ElementNode, Node, TextNode
+from repro.xpath.ast import (
+    ANY,
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    NODE,
+    NodeTest,
+    PositionalPredicate,
+    Query,
+    RelativePredicate,
+    Step,
+    StringPredicate,
+    TEXT,
+    TextSubject,
+    name_test,
+)
+from repro.xpath.axes import axis_candidates
+from repro.xpath.compile import compile_query, evaluate_compiled
+from repro.xpath.compile import evaluate_many as evaluate_many_compiled
+from repro.xpath.evaluator import evaluate, evaluate_many
+
+TAGS = ["div", "span", "p", "a", "ul", "li", "td", "h2"]
+CLASSES = ["row", "item", "name", "hd", "txt-block"]
+WORDS = ["alpha", "beta", "Director:", "42", "x"]
+
+
+def random_doc(rng: random.Random, depth: int = 5, breadth: int = 3) -> Document:
+    def build(level: int) -> ElementNode:
+        attrs = {}
+        if rng.random() < 0.6:
+            attrs["class"] = rng.choice(CLASSES)
+        if rng.random() < 0.2:
+            attrs["id"] = f"id{rng.randrange(40)}"
+        node = ElementNode(rng.choice(TAGS), attrs)
+        if level < depth:
+            for _ in range(rng.randrange(breadth + 1)):
+                if rng.random() < 0.3:
+                    node.append_child(TextNode(rng.choice(WORDS)))
+                else:
+                    node.append_child(build(level + 1))
+        return node
+
+    body = E("body")
+    for _ in range(3):
+        body.append_child(build(0))
+    return document(E("html", body))
+
+
+def random_nodetest(rng: random.Random) -> NodeTest:
+    roll = rng.random()
+    if roll < 0.5:
+        return name_test(rng.choice(TAGS))
+    if roll < 0.7:
+        return ANY
+    if roll < 0.85:
+        return NODE
+    return TEXT
+
+
+def random_predicate(rng: random.Random, allow_relative: bool = True):
+    roll = rng.random()
+    if roll < 0.3:
+        if rng.random() < 0.5:
+            return PositionalPredicate(index=rng.randrange(1, 5))
+        return PositionalPredicate(from_last=rng.randrange(0, 3))
+    if roll < 0.5:
+        return AttributePredicate(rng.choice(["class", "id", "missing"]))
+    if roll < 0.85:
+        subject = TextSubject() if rng.random() < 0.5 else AttrSubject(rng.choice(["class", "id"]))
+        function = rng.choice(["equals", "contains", "starts-with", "ends-with"])
+        value = rng.choice(CLASSES + WORDS)
+        return StringPredicate(function, subject, value)
+    if allow_relative:
+        inner = random_query(rng, max_steps=1, allow_relative=False)
+        if inner.steps:
+            return RelativePredicate(inner)
+    return AttributePredicate("class")
+
+
+def random_step(rng: random.Random, allow_relative: bool = True) -> Step:
+    axis = rng.choice(list(Axis))
+    if axis is Axis.ATTRIBUTE and rng.random() < 0.7:
+        nodetest = name_test(rng.choice(["class", "id", "missing"]))
+    else:
+        nodetest = random_nodetest(rng)
+    predicates = tuple(
+        random_predicate(rng, allow_relative)
+        for _ in range(rng.choices([0, 1, 2], weights=[5, 3, 1])[0])
+    )
+    return Step(axis, nodetest, predicates)
+
+
+def random_query(rng: random.Random, max_steps: int = 4, allow_relative: bool = True) -> Query:
+    steps = tuple(
+        random_step(rng, allow_relative) for _ in range(rng.randrange(1, max_steps + 1))
+    )
+    return Query(steps, absolute=rng.random() < 0.3)
+
+
+def ids(nodes: list[Node]) -> list[int]:
+    return [id(n) for n in nodes]
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("doc_seed", range(25))
+    def test_random_docs_random_queries(self, doc_seed):
+        """25 docs × 25 queries × several contexts ≥ 1500 pairs overall."""
+        rng = random.Random(1000 + doc_seed)
+        doc = random_doc(rng)
+        all_nodes = list(doc.all_nodes())
+        contexts = [doc.root] + rng.sample(all_nodes, min(4, len(all_nodes)))
+        for _ in range(25):
+            query = random_query(rng)
+            for context in contexts:
+                reference = evaluate(query, context, doc)
+                compiled = evaluate_compiled(query, context, doc)
+                assert ids(compiled) == ids(reference), (
+                    f"engines disagree on {query} from {context!r}"
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_following_preceding_and_positional(self, seed):
+        """Focused sweep over the extension axes and positional forms."""
+        rng = random.Random(7000 + seed)
+        doc = random_doc(rng)
+        all_nodes = list(doc.all_nodes())
+        contexts = [doc.root] + rng.sample(all_nodes, min(5, len(all_nodes)))
+        for axis in (Axis.FOLLOWING, Axis.PRECEDING):
+            for nodetest in (NODE, ANY, TEXT, name_test("div"), name_test("li")):
+                for predicates in (
+                    (),
+                    (PositionalPredicate(index=2),),
+                    (PositionalPredicate(from_last=0),),
+                    (AttributePredicate("class"), PositionalPredicate(index=1)),
+                ):
+                    query = Query((Step(axis, nodetest, predicates),))
+                    for context in contexts:
+                        reference = evaluate(query, context, doc)
+                        compiled = evaluate_compiled(query, context, doc)
+                        assert ids(compiled) == ids(reference)
+
+    def test_evaluate_many_agrees(self):
+        rng = random.Random(99)
+        doc = random_doc(rng)
+        contexts = list(doc.all_nodes())[:10]
+        for _ in range(50):
+            query = random_query(rng)
+            reference = evaluate_many(query, contexts, doc)
+            compiled = evaluate_many_compiled(query, contexts, doc)
+            assert ids(compiled) == ids(reference)
+
+    def test_equivalence_survives_mutation_and_invalidate(self):
+        rng = random.Random(4242)
+        doc = random_doc(rng)
+        for round_ in range(10):
+            elements = [
+                n for n in doc.all_nodes()
+                if isinstance(n, ElementNode) and not n.tag.startswith("#")
+            ]
+            victim = rng.choice(elements)
+            if victim.parent is not None and rng.random() < 0.5:
+                victim.parent.remove_child(victim)
+            else:
+                victim.append_child(E(rng.choice(TAGS), T("new"), class_="added"))
+            doc.invalidate()
+            for _ in range(20):
+                query = random_query(rng)
+                reference = evaluate(query, doc.root, doc)
+                compiled = evaluate_compiled(query, doc.root, doc)
+                assert ids(compiled) == ids(reference)
+
+    def test_compiled_plans_are_memoized(self):
+        rng = random.Random(5)
+        query = random_query(rng)
+        assert compile_query(query) is compile_query(query)
+
+
+class TestAxisRewriteAgainstNaive:
+    """The interval-arithmetic following/preceding axes vs a tree walk."""
+
+    @staticmethod
+    def naive_following(node: Node, doc: Document) -> list[Node]:
+        all_nodes = list(doc.all_nodes())
+        start = next(i for i, n in enumerate(all_nodes) if n is node)
+        descendants = (
+            {id(d) for d in node.descendants()} if isinstance(node, ElementNode) else set()
+        )
+        return [n for n in all_nodes[start + 1 :] if id(n) not in descendants]
+
+    @staticmethod
+    def naive_preceding(node: Node, doc: Document) -> list[Node]:
+        all_nodes = list(doc.all_nodes())
+        start = next(i for i, n in enumerate(all_nodes) if n is node)
+        ancestors = {id(a) for a in node.ancestors()}
+        return list(reversed([n for n in all_nodes[:start] if id(n) not in ancestors]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_following_preceding_match_naive(self, seed):
+        rng = random.Random(31337 + seed)
+        doc = random_doc(rng)
+        for node in doc.all_nodes():
+            assert ids(axis_candidates(node, Axis.FOLLOWING, doc)) == ids(
+                self.naive_following(node, doc)
+            )
+            assert ids(axis_candidates(node, Axis.PRECEDING, doc)) == ids(
+                self.naive_preceding(node, doc)
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_descendant_matches_tree_walk(self, seed):
+        rng = random.Random(99991 + seed)
+        doc = random_doc(rng)
+        for node in doc.all_nodes():
+            if isinstance(node, ElementNode):
+                assert ids(axis_candidates(node, Axis.DESCENDANT, doc)) == ids(
+                    list(node.descendants())
+                )
