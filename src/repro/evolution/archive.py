@@ -30,15 +30,30 @@ class SyntheticArchive:
         n_snapshots: int = 110,
         interval_days: int = 20,
         cache_size: int = 8,
+        seed: int | None = None,
     ) -> None:
         if n_snapshots < 1:
             raise ValueError("an archive needs at least one snapshot")
         self.spec = spec
         self.n_snapshots = n_snapshots
         self.interval_days = interval_days
-        self._states = [initial_state(spec.profile, spec.initial_rng())]
+        #: Root seed for every RNG this archive derives.  Defaults to the
+        #: site seed (same trajectory as the published corpus); an
+        #: explicit override replays the *same site* under an alternate
+        #: deterministic history without touching the global RNG.
+        self.seed = spec.seed if seed is None else seed
+        self._states = [initial_state(spec.profile, self._rng())]
         self._doc_cache: OrderedDict[int, Document] = OrderedDict()
         self._cache_size = cache_size
+
+    def _rng(self, *parts) -> random.Random:
+        """A deterministic RNG derived from the archive's single root seed.
+
+        Every stochastic call site (initial state, per-step evolution,
+        per-snapshot rendering) draws from its own derived stream, so
+        snapshots are identical regardless of materialization order.
+        """
+        return seeded_rng(self.seed, self.spec.site_id, *parts)
 
     # -- state / snapshot access ------------------------------------------
 
@@ -47,7 +62,7 @@ class SyntheticArchive:
             raise IndexError(f"snapshot {index} out of range")
         while len(self._states) <= index:
             step = len(self._states)
-            rng = seeded_rng(self.spec.seed, self.spec.site_id, step)
+            rng = self._rng(step)
             self._states.append(
                 evolve_state(
                     self.spec.profile,
@@ -75,7 +90,7 @@ class SyntheticArchive:
         if state.broken:
             doc = _broken_page(self.spec.url)
         else:
-            rng = seeded_rng(self.spec.seed, self.spec.site_id, "render", index)
+            rng = self._rng("render", index)
             doc = self.spec.build(RenderContext(state, rng, site=self.spec.site_id))
             doc.url = self.spec.url
         self._doc_cache[index] = doc

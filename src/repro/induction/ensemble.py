@@ -107,6 +107,26 @@ class EnsembleWrapper:
         if self.quorum is None:
             self.quorum = len(self.members) // 2 + 1
 
+    @classmethod
+    def from_texts(
+        cls, texts: Iterable[str], quorum: Optional[int] = None
+    ) -> "EnsembleWrapper":
+        """Rebuild an ensemble from canonical query texts (artifact loading)."""
+        from repro.xpath.parser import parse_query
+
+        return cls(tuple(parse_query(text) for text in texts), quorum=quorum)
+
+    def member_texts(self) -> tuple[str, ...]:
+        """Canonical texts of the members (the serializable form)."""
+        return tuple(str(member) for member in self.members)
+
+    def member_results(self, doc: Document) -> list[list[Node]]:
+        """Each member's result set on ``doc`` (drift detectors compare them)."""
+        return [
+            doc.sort_nodes(list(evaluate_compiled(member, doc.root, doc)))
+            for member in self.members
+        ]
+
     def select(self, doc: Document) -> list[Node]:
         votes: dict[int, int] = {}
         nodes: dict[int, Node] = {}

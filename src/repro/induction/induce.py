@@ -56,6 +56,27 @@ class InductionResult:
     def __iter__(self):
         return iter(self.instances)
 
+    def export(self, limit: Optional[int] = None) -> list[dict]:
+        """Serializable view of the ranking (the artifact export hook).
+
+        Each entry carries the canonical query text, the robustness
+        score, and the accuracy counts — everything
+        :class:`repro.runtime.artifact.WrapperArtifact` persists per
+        candidate, and everything needed to reconstruct the rank order.
+        """
+        instances = self.instances if limit is None else self.instances[:limit]
+        return [
+            {
+                "query": str(instance.query),
+                "score": instance.score,
+                "tp": instance.tp,
+                "fp": instance.fp,
+                "fn": instance.fn,
+                "f_beta": instance.f_beta(self.beta),
+            }
+            for instance in instances
+        ]
+
 
 def _induce_sample(
     sample: QuerySample, config: InductionConfig, params: ScoringParams

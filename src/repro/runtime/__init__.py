@@ -1,0 +1,69 @@
+"""Wrapper lifecycle runtime: the save → serve → drift → repair loop.
+
+Induction (:mod:`repro.induction`) produces in-memory
+:class:`~repro.induction.induce.InductionResult`s; a production
+deployment needs wrappers that *outlive* the process that induced them.
+This package provides that layer:
+
+* :mod:`repro.runtime.artifact` — versioned, JSON-serializable
+  :class:`WrapperArtifact`\\ s bundling the ranked queries, the ensemble
+  committee, and the annotated samples they were induced from, with a
+  lossless round trip through the dsXPath canonical text;
+* :mod:`repro.runtime.extractor` — a batch extraction engine evaluating
+  many (wrapper, page) pairs with one parse + one document index per
+  page and an optional process-pool fan-out;
+* :mod:`repro.runtime.drift` — drift detection (empty results,
+  canonical-path c-changes, ensemble disagreement votes) and automatic
+  re-induction from the stored samples plus the drifted page;
+* ``python -m repro.runtime`` — an ``induce`` / ``extract`` / ``check``
+  CLI driving the loop over the synthetic archive corpus.
+
+See docs/RUNTIME.md for the artifact format and the drift protocol.
+"""
+
+from repro.runtime.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    RankedQuery,
+    StoredSample,
+    WrapperArtifact,
+)
+from repro.runtime.corpus import induce_corpus_task, snapshot0_annotation
+from repro.runtime.drift import (
+    DriftConfig,
+    DriftDetector,
+    DriftReport,
+    MaintenanceRecord,
+    maintain_over_archive,
+    reinduce,
+)
+from repro.runtime.extractor import (
+    BatchExtractor,
+    ExtractionRecord,
+    PageJob,
+    extract_document,
+    extract_serial,
+    jobs_for_artifacts,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "BatchExtractor",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReport",
+    "ExtractionRecord",
+    "MaintenanceRecord",
+    "PageJob",
+    "RankedQuery",
+    "StoredSample",
+    "WrapperArtifact",
+    "extract_document",
+    "extract_serial",
+    "induce_corpus_task",
+    "jobs_for_artifacts",
+    "maintain_over_archive",
+    "reinduce",
+    "snapshot0_annotation",
+]

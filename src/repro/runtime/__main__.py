@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.runtime``."""
+
+import sys
+
+from repro.runtime.cli import main
+
+sys.exit(main())

@@ -1,0 +1,433 @@
+"""Versioned, JSON-serializable wrapper artifacts.
+
+A :class:`WrapperArtifact` is everything a serving/maintenance process
+needs to know about one induced wrapper:
+
+* the ranked queries (canonical dsXPath text + accuracy counts + the
+  robustness score each was ranked by);
+* the feature-diverse ensemble committee and its quorum;
+* the canonical-path fingerprint of the targets at induction time (the
+  baseline for c-change drift detection);
+* the annotated samples themselves — page HTML plus canonical paths of
+  the target/context nodes — so a degraded wrapper can be *re-induced*
+  without access to the original annotation session;
+* provenance (site/task ids, snapshot, config, repair generation).
+
+Queries round-trip through their canonical text
+(``str(query)`` → :func:`repro.xpath.parser.parse_query`), which is
+lossless for everything the induction emits; a reloaded artifact
+therefore compiles to the exact same plan and selects the exact same
+node sets (enforced by ``tests/runtime/test_artifact.py``).  Samples
+round-trip through :func:`repro.dom.serialize.to_html` /
+:func:`repro.dom.parser.parse_html`; target nodes are re-located by
+evaluating their canonical paths on the reparsed page, and volatile
+(data, non-template) text is re-marked by value so re-induction obeys
+the same no-data-predicates protocol as the original run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields, replace
+from typing import Optional, Sequence
+
+from repro.dom.node import Document, Node
+from repro.dom.parser import parse_html
+from repro.dom.serialize import to_html
+from repro.induction.config import InductionConfig
+from repro.induction.ensemble import EnsembleWrapper, build_ensemble
+from repro.induction.induce import InductionResult
+from repro.induction.samples import QuerySample
+from repro.xpath.ast import Query
+from repro.xpath.canonical import canonical_key, canonical_path
+from repro.xpath.compile import evaluate_compiled
+from repro.xpath.parser import parse_query
+
+#: Current artifact format version.  Bump on any incompatible change to
+#: the JSON payload; ``from_payload`` refuses versions it does not know.
+ARTIFACT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A wrapper artifact could not be built, parsed, or restored."""
+
+
+@dataclass(frozen=True)
+class RankedQuery:
+    """One ranked induction candidate in serializable form.
+
+    ``text`` is the canonical dsXPath text; ``score`` the robustness
+    score; ``tp``/``fp``/``fn`` the accuracy counts against the samples
+    the wrapper was induced from.
+    """
+
+    text: str
+    score: float
+    tp: int
+    fp: int
+    fn: int
+
+    def parse(self) -> Query:
+        return parse_query(self.text)
+
+    def to_payload(self) -> dict:
+        return {
+            "query": self.text,
+            "score": self.score,
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RankedQuery":
+        try:
+            return cls(
+                text=str(payload["query"]),
+                score=float(payload["score"]),
+                tp=int(payload["tp"]),
+                fp=int(payload["fp"]),
+                fn=int(payload["fn"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"malformed ranked query payload: {payload!r}") from exc
+
+
+def config_to_payload(config: InductionConfig) -> dict:
+    """Serialize the *complete* induction configuration.
+
+    Repairs must re-induce under exactly the settings the deployment
+    signed off on (a forbidden text predicate resurfacing on repair is a
+    silent protocol violation), so every field is persisted — set-valued
+    fields as sorted lists for JSON.
+    """
+    payload = asdict(config)
+    payload["skipped_attributes"] = sorted(config.skipped_attributes)
+    return payload
+
+
+def config_from_payload(payload: dict) -> InductionConfig:
+    """Rebuild an :class:`InductionConfig`, tolerating missing keys
+    (fields added after the artifact was written keep their defaults)."""
+    known = {f.name for f in dataclass_fields(InductionConfig)}
+    kwargs = {key: value for key, value in payload.items() if key in known}
+    if "skipped_attributes" in kwargs:
+        kwargs["skipped_attributes"] = frozenset(kwargs["skipped_attributes"])
+    return InductionConfig(**kwargs)
+
+
+def _resolve_path(doc: Document, path: str) -> Node:
+    """Evaluate a canonical path; it must select exactly one node."""
+    matches = evaluate_compiled(parse_query(path), doc.root, doc)
+    if len(matches) != 1:
+        raise ArtifactError(
+            f"canonical path {path!r} selects {len(matches)} nodes on the stored page"
+        )
+    return matches[0]
+
+
+@dataclass(frozen=True)
+class StoredSample:
+    """One annotated sample in serializable form.
+
+    ``context_path`` is ``None`` when the context is the document node
+    (the overwhelmingly common case).  ``volatile_texts`` holds the
+    normalized values of the page's volatile (data) text nodes: the
+    ``meta`` marks do not survive HTML serialization, so on restore any
+    text node *containing* one of these values is re-marked volatile —
+    a conservative re-marking (template text that merely embeds a data
+    value is data-bearing too) that keeps re-induction from anchoring
+    wrappers on page data.  ``volatile_key`` records which ``meta`` key
+    the marks were captured from, so restore re-marks under the same
+    key the (possibly customized) induction config reads.
+    """
+
+    html: str
+    target_paths: tuple[str, ...]
+    context_path: Optional[str] = None
+    volatile_texts: tuple[str, ...] = ()
+    volatile_key: str = "volatile"
+
+    @classmethod
+    def from_sample(cls, sample: QuerySample, volatile_meta_key: str = "volatile") -> "StoredSample":
+        doc = sample.doc
+        target_paths = tuple(str(canonical_path(node)) for node in sample.targets)
+        context_path = (
+            None if sample.context is doc.root else str(canonical_path(sample.context))
+        )
+        volatile = {
+            doc.normalized_text(node)
+            for node in doc.index.texts
+            if node.meta.get(volatile_meta_key)
+        }
+        stored = cls(
+            html=to_html(doc),
+            target_paths=target_paths,
+            context_path=context_path,
+            volatile_texts=tuple(sorted(v for v in volatile if v)),
+            volatile_key=volatile_meta_key,
+        )
+        stored.restore()  # fail at build time, not at repair time
+        return stored
+
+    def restore(self) -> QuerySample:
+        """Reparse the page and re-locate targets/context/volatile text."""
+        doc = parse_html(self.html)
+        if self.volatile_texts:
+            for node in doc.index.texts:
+                text = doc.normalized_text(node)
+                if any(value in text for value in self.volatile_texts):
+                    node.meta[self.volatile_key] = True
+        targets = [_resolve_path(doc, path) for path in self.target_paths]
+        context = (
+            _resolve_path(doc, self.context_path)
+            if self.context_path is not None
+            else None
+        )
+        return QuerySample(doc, targets, context)
+
+    def to_payload(self) -> dict:
+        payload = {
+            "html": self.html,
+            "targets": list(self.target_paths),
+            "volatile_texts": list(self.volatile_texts),
+            "volatile_key": self.volatile_key,
+        }
+        if self.context_path is not None:
+            payload["context"] = self.context_path
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StoredSample":
+        try:
+            return cls(
+                html=str(payload["html"]),
+                target_paths=tuple(str(p) for p in payload["targets"]),
+                context_path=payload.get("context"),
+                volatile_texts=tuple(str(v) for v in payload.get("volatile_texts", ())),
+                volatile_key=str(payload.get("volatile_key", "volatile")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError("malformed stored sample payload") from exc
+
+
+@dataclass(frozen=True)
+class WrapperArtifact:
+    """A deployable wrapper: ranked queries + ensemble + samples + provenance."""
+
+    task_id: str
+    site_id: str
+    role: str
+    queries: tuple[RankedQuery, ...]
+    ensemble: tuple[str, ...]
+    quorum: int
+    baseline_paths: tuple[str, ...]
+    samples: tuple[StoredSample, ...]
+    beta: float = 0.5
+    generation: int = 0
+    provenance: dict = field(default_factory=dict)
+    #: The full induction configuration the wrapper was built with;
+    #: re-induction reuses it so a repair ranks exactly the candidate
+    #: space the original induction did.
+    config: dict = field(default_factory=dict)
+    version: int = ARTIFACT_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ArtifactError("an artifact needs at least one ranked query")
+        if not self.ensemble:
+            raise ArtifactError("an artifact needs at least one ensemble member")
+        if not 1 <= self.quorum <= len(self.ensemble):
+            # quorum 0 degrades the vote to a union; quorum > members can
+            # never pass — both silently corrupt drift detection/repair.
+            raise ArtifactError(
+                f"quorum {self.quorum} out of range for {len(self.ensemble)} members"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_induction(
+        cls,
+        result: InductionResult,
+        samples: Sequence[QuerySample],
+        *,
+        task_id: str,
+        site_id: str,
+        role: str = "",
+        ensemble_size: int = 3,
+        max_queries: int = 10,
+        generation: int = 0,
+        provenance: Optional[dict] = None,
+        config: Optional[InductionConfig] = None,
+    ) -> "WrapperArtifact":
+        """Package an induction result and its samples for deployment."""
+        if result.best is None:
+            raise ArtifactError(f"induction produced no wrapper for {task_id}")
+        if not samples:
+            raise ArtifactError("an artifact needs at least one sample")
+        for sample in samples:
+            # The serving stack (extractor, drift detector, repair) always
+            # evaluates from the document node; a non-root-context sample
+            # would fingerprint one context and serve another.
+            if sample.context is not sample.doc.root:
+                raise ArtifactError(
+                    f"{task_id}: runtime artifacts require document-node "
+                    "contexts (got a non-root sample context)"
+                )
+        ensemble = build_ensemble(result, size=ensemble_size)
+        config = config or InductionConfig()
+        volatile_key = config.volatile_meta_key
+        return cls(
+            task_id=task_id,
+            site_id=site_id,
+            role=role,
+            queries=tuple(
+                RankedQuery.from_payload(entry)
+                for entry in result.export(limit=max_queries)
+            ),
+            ensemble=ensemble.member_texts(),
+            quorum=ensemble.quorum or 1,
+            # Fingerprint what the deployed query *actually selects* on the
+            # newest sample page (not the annotation targets): a wrapper
+            # induced from noisy annotations (fp/fn > 0) would otherwise
+            # report a canonical change on every page, including unchanged
+            # ones.  The newest sample keeps repaired artifacts monitoring
+            # against the page version they were repaired on.
+            baseline_paths=canonical_key(
+                evaluate_compiled(
+                    result.best.query, samples[-1].context, samples[-1].doc
+                )
+            ),
+            samples=tuple(
+                StoredSample.from_sample(s, volatile_meta_key=volatile_key)
+                for s in samples
+            ),
+            beta=result.beta,
+            generation=generation,
+            provenance=dict(provenance or {}),
+            config=config_to_payload(config),
+        )
+
+    def induction_config(self) -> InductionConfig:
+        """The induction settings this wrapper was built with — repairs
+        re-induce under exactly the configuration of the original run."""
+        return config_from_payload(self.config)
+
+    # -- deployment views ---------------------------------------------------
+
+    @property
+    def best(self) -> RankedQuery:
+        return self.queries[0]
+
+    def best_query(self) -> Query:
+        """The top-ranked wrapper, parsed once and memoized (drift checks
+        run per served page; re-parsing per check would dominate)."""
+        try:
+            return self._best_query
+        except AttributeError:
+            query = self.best.parse()
+            object.__setattr__(self, "_best_query", query)
+            return query
+
+    def all_queries(self) -> list[Query]:
+        return [ranked.parse() for ranked in self.queries]
+
+    def ensemble_wrapper(self) -> EnsembleWrapper:
+        """The committee, parsed once and memoized (see :meth:`best_query`)."""
+        try:
+            return self._ensemble_wrapper
+        except AttributeError:
+            wrapper = EnsembleWrapper.from_texts(self.ensemble, quorum=self.quorum)
+            object.__setattr__(self, "_ensemble_wrapper", wrapper)
+            return wrapper
+
+    def restore_samples(self) -> list[QuerySample]:
+        """Rebuild the annotated samples this wrapper was induced from."""
+        return [sample.restore() for sample in self.samples]
+
+    def with_provenance(self, **entries) -> "WrapperArtifact":
+        return replace(self, provenance={**self.provenance, **entries})
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "version": self.version,
+            "task_id": self.task_id,
+            "site_id": self.site_id,
+            "role": self.role,
+            "beta": self.beta,
+            "generation": self.generation,
+            "queries": [ranked.to_payload() for ranked in self.queries],
+            "ensemble": {"members": list(self.ensemble), "quorum": self.quorum},
+            "baseline_paths": list(self.baseline_paths),
+            "samples": [sample.to_payload() for sample in self.samples],
+            "provenance": self.provenance,
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WrapperArtifact":
+        if not isinstance(payload, dict):
+            raise ArtifactError("artifact payload must be a JSON object")
+        version = payload.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact version {version!r} (supported: {ARTIFACT_VERSION})"
+            )
+        try:
+            ensemble = payload["ensemble"]
+            artifact = cls(
+                task_id=str(payload["task_id"]),
+                site_id=str(payload["site_id"]),
+                role=str(payload.get("role", "")),
+                queries=tuple(
+                    RankedQuery.from_payload(q) for q in payload["queries"]
+                ),
+                ensemble=tuple(str(m) for m in ensemble["members"]),
+                quorum=int(ensemble["quorum"]),
+                baseline_paths=tuple(str(p) for p in payload["baseline_paths"]),
+                samples=tuple(
+                    StoredSample.from_payload(s) for s in payload["samples"]
+                ),
+                beta=float(payload.get("beta", 0.5)),
+                generation=int(payload.get("generation", 0)),
+                provenance=dict(payload.get("provenance", {})),
+                config=dict(payload.get("config", {})),
+                version=int(version),
+            )
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"malformed artifact payload: {exc}") from exc
+        # Every query must parse — catch corruption at load time.
+        for ranked in artifact.queries:
+            ranked.parse()
+        artifact.ensemble_wrapper()
+        return artifact
+
+    def dumps(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "WrapperArtifact":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"artifact is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps() + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "WrapperArtifact":
+        with open(path, encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+    def filename(self) -> str:
+        """A filesystem-safe name for this artifact (task id based)."""
+        return self.task_id.replace("/", "__") + ".json"

@@ -1,0 +1,253 @@
+"""``python -m repro.runtime`` — the wrapper lifecycle CLI.
+
+Three subcommands drive the save → serve → drift → repair loop over the
+synthetic archive corpus:
+
+* ``induce`` — induce wrappers for corpus tasks at snapshot 0 and save
+  them as JSON artifacts;
+* ``extract`` — load an artifact directory, render a later snapshot of
+  every covered site, and run the batch extraction engine over all
+  (wrapper, page) pairs;
+* ``check`` — replay each wrapper across archive snapshots, report the
+  first drift (signals + snapshot), and optionally auto-repair by
+  re-induction from the stored samples.
+
+All output is deterministic for a fixed corpus seed, so the CLI doubles
+as a smoke harness.  See docs/RUNTIME.md for examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.dom.serialize import to_html
+from repro.evolution.archive import SyntheticArchive
+from repro.induction import InductionConfig, WrapperInducer
+from repro.runtime.artifact import ArtifactError, WrapperArtifact
+from repro.runtime.corpus import induce_corpus_task
+from repro.runtime.drift import DriftConfig, DriftDetector, maintain_over_archive
+from repro.runtime.extractor import BatchExtractor, jobs_for_artifacts
+from repro.sites.corpus import CorpusTask, multi_node_tasks, single_node_tasks
+
+
+def _corpus_tasks(include_multi: bool) -> list[CorpusTask]:
+    tasks = single_node_tasks()
+    if include_multi:
+        tasks += multi_node_tasks()
+    return tasks
+
+
+def _load_artifacts(directory: pathlib.Path) -> list[WrapperArtifact]:
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise SystemExit(f"no artifacts found in {directory}")
+    artifacts = []
+    for path in paths:
+        try:
+            artifacts.append(WrapperArtifact.load(path))
+        except ArtifactError as exc:
+            raise SystemExit(f"{path}: {exc}")
+    return artifacts
+
+
+def _site_specs(artifacts: Sequence[WrapperArtifact]):
+    from repro.sites.corpus import build_corpus
+
+    by_id = {spec.site_id: spec for spec in build_corpus()}
+    missing = sorted({a.site_id for a in artifacts} - by_id.keys())
+    if missing:
+        raise SystemExit(f"unknown site ids in artifacts: {', '.join(missing)}")
+    return by_id
+
+
+def cmd_induce(args: argparse.Namespace) -> int:
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    tasks = _corpus_tasks(args.multi)
+    if args.task:
+        wanted = set(args.task)
+        tasks = [t for t in tasks if t.task_id in wanted]
+        unknown = wanted - {t.task_id for t in tasks}
+        if unknown:
+            raise SystemExit(f"unknown task ids: {', '.join(sorted(unknown))}")
+    if args.limit is not None:
+        tasks = tasks[: args.limit]
+
+    config = InductionConfig(k=args.k)
+    inducer = WrapperInducer(k=args.k, config=config)
+    started = time.perf_counter()
+    written = 0
+    for corpus_task in tasks:
+        spec, task = corpus_task.spec, corpus_task.task
+        induced = induce_corpus_task(corpus_task, inducer)
+        if induced is None:
+            print(f"skip  {task.task_id}: no targets at snapshot 0")
+            continue
+        result, sample = induced
+        artifact = WrapperArtifact.from_induction(
+            result,
+            [sample],
+            task_id=task.task_id,
+            site_id=spec.site_id,
+            role=task.role,
+            ensemble_size=args.ensemble_size,
+            provenance={
+                "url": spec.url,
+                "vertical": spec.vertical,
+                "snapshot": 0,
+                "n_targets": len(sample.targets),
+            },
+            config=config,
+        )
+        artifact.save(out / artifact.filename())
+        written += 1
+        best = artifact.best
+        print(
+            f"saved {task.task_id}: {best.text}  "
+            f"[score={best.score:g} tp={best.tp} fp={best.fp} fn={best.fn}]"
+        )
+    elapsed = time.perf_counter() - started
+    print(f"\n{written} artifacts written to {out} in {elapsed:.2f}s")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    artifacts = _load_artifacts(pathlib.Path(args.artifacts))
+    specs = _site_specs(artifacts)
+    site_ids = sorted({a.site_id for a in artifacts})
+    page_html = {}
+    for site_id in site_ids:
+        archive = SyntheticArchive(specs[site_id], n_snapshots=args.snapshot + 1)
+        if archive.is_broken(args.snapshot):
+            print(f"skip  {site_id}: snapshot {args.snapshot} is a broken capture")
+            continue
+        page_html[site_id] = to_html(archive.snapshot(args.snapshot))
+    jobs = jobs_for_artifacts(
+        artifacts, page_html, include_ensemble=not args.no_ensemble
+    )
+    pairs = sum(len(job.wrappers) for job in jobs)
+    started = time.perf_counter()
+    records = BatchExtractor(workers=args.workers).extract(jobs)
+    elapsed = time.perf_counter() - started
+
+    empty = sum(record.is_empty for record in records)
+    for record in records:
+        preview = "; ".join(record.values[:2])
+        if len(preview) > 60:
+            preview = preview[:57] + "..."
+        print(f"{record.page_id}  {record.wrapper_id}: {record.count} node(s)  {preview}")
+    print(
+        f"\n{pairs} (wrapper, page) pairs over {len(jobs)} pages with "
+        f"{args.workers} worker(s) in {elapsed:.2f}s; {empty} empty results"
+    )
+    if args.json:
+        payload = [
+            {
+                "page_id": r.page_id,
+                "wrapper_id": r.wrapper_id,
+                "paths": list(r.paths),
+                "values": list(r.values),
+            }
+            for r in records
+        ]
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"records written to {args.json}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    artifacts = _load_artifacts(pathlib.Path(args.artifacts))
+    specs = _site_specs(artifacts)
+    detector = DriftDetector(
+        DriftConfig(canonical_change_is_hard=args.strict_canonical)
+    )
+    drifted = repaired = failed = 0
+    archives: dict[str, SyntheticArchive] = {}  # co-located tasks share
+    for artifact in artifacts:
+        archive = archives.get(artifact.site_id)
+        if archive is None:
+            archive = SyntheticArchive(specs[artifact.site_id], n_snapshots=args.snapshots)
+            archives[artifact.site_id] = archive
+        record = maintain_over_archive(
+            artifact,
+            archive,
+            snapshots=range(1, args.snapshots),
+            detector=detector,
+            repair=args.repair,
+        )
+        if not record.drifted:
+            print(f"ok    {artifact.task_id}: healthy over {len(record.checked)} snapshots")
+            continue
+        drifted += 1
+        signals = ",".join(record.drift_signals)
+        line = f"DRIFT {artifact.task_id} @ snapshot {record.drift_snapshot} [{signals}]"
+        if args.repair:
+            if record.repaired is not None:
+                repaired += 1
+                line += f" -> repaired (gen {record.repaired.generation}): {record.repaired.best.text}"
+                if args.out:
+                    out = pathlib.Path(args.out)
+                    out.mkdir(parents=True, exist_ok=True)
+                    record.repaired.save(out / record.repaired.filename())
+            else:
+                failed += 1
+                line += f" -> repair failed: {record.repair_error}"
+        print(line)
+    print(
+        f"\n{len(artifacts)} wrappers checked over {args.snapshots - 1} snapshots: "
+        f"{drifted} drifted"
+        + (f", {repaired} repaired, {failed} need re-annotation" if args.repair else "")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Wrapper lifecycle runtime: induce, batch-extract, drift-check.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    induce = sub.add_parser("induce", help="induce corpus wrappers into JSON artifacts")
+    induce.add_argument("--out", required=True, help="artifact output directory")
+    induce.add_argument("--task", action="append", help="task id (repeatable); default: all")
+    induce.add_argument("--limit", type=int, default=None, help="max tasks")
+    induce.add_argument("--multi", action="store_true", help="include multi-node tasks")
+    induce.add_argument("--k", type=int, default=10, help="K-best table size")
+    induce.add_argument("--ensemble-size", type=int, default=3)
+    induce.set_defaults(func=cmd_induce)
+
+    extract = sub.add_parser("extract", help="batch-extract artifacts against a snapshot")
+    extract.add_argument("--artifacts", required=True, help="artifact directory")
+    extract.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")
+    extract.add_argument("--workers", type=int, default=1)
+    extract.add_argument("--no-ensemble", action="store_true", help="top queries only")
+    extract.add_argument("--json", help="write extraction records to this file")
+    extract.set_defaults(func=cmd_extract)
+
+    check = sub.add_parser("check", help="replay snapshots, report drift, optionally repair")
+    check.add_argument("--artifacts", required=True, help="artifact directory")
+    check.add_argument("--snapshots", type=int, default=20, help="snapshots to replay")
+    check.add_argument("--repair", action="store_true", help="auto re-induce on drift")
+    check.add_argument("--out", help="directory for repaired artifacts")
+    check.add_argument(
+        "--strict-canonical",
+        action="store_true",
+        help="treat canonical-path changes as drift",
+    )
+    check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

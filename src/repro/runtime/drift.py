@@ -1,0 +1,240 @@
+"""Drift detection and automatic re-induction.
+
+A deployed wrapper degrades silently: the page keeps serving, the
+wrapper keeps returning *something* (or nothing), and no exception is
+ever raised.  The detector watches three signals on every served page:
+
+* ``empty_result`` — the top query selects nothing.  The strongest
+  signal; a wrapper that finds nothing is broken (or the data left the
+  page, which the repair loop discovers when re-induction fails too).
+* ``ensemble_disagreement`` — the feature-diverse committee members no
+  longer agree with the top query's result set.  Members anchor on
+  *independent* features (Sec. 7's future-work item, implemented in
+  :mod:`repro.induction.ensemble`), so a class rename breaks some
+  members but not others: disagreement above the configured fraction
+  means the page moved under the wrapper even while the top query still
+  returns a plausible-looking result.
+* ``canonical_change`` — the canonical paths of the selected nodes
+  differ from the fingerprint stored at induction time (the paper's
+  c-change measure, Sec. 2).  Soft by default: positional churn is
+  routine (avg ≈ 4.1 c-changes per surviving wrapper, Sec. 6.2) and a
+  robust wrapper is *supposed* to absorb it — the signal is recorded
+  for monitoring but does not alone flag drift.
+
+On drift, :func:`reinduce` rebuilds the wrapper from the artifact's
+stored samples plus the drifted page: labels for the new page come from
+the surviving ensemble majority (or an explicit re-annotation), and the
+multi-sample aggregation of Algorithm 3 then favors queries accurate on
+*both* page versions — the features that survived the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.dom.node import Document, Node
+from repro.induction.induce import WrapperInducer
+from repro.induction.samples import QuerySample
+from repro.runtime.artifact import ArtifactError, WrapperArtifact
+from repro.xpath.canonical import canonical_key
+from repro.xpath.compile import evaluate_compiled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evolution.archive import SyntheticArchive
+
+#: Signal names (stable identifiers — they appear in reports and logs).
+EMPTY_RESULT = "empty_result"
+ENSEMBLE_DISAGREEMENT = "ensemble_disagreement"
+CANONICAL_CHANGE = "canonical_change"
+
+#: Signals that flag a wrapper as drifted (vs. merely monitored).
+HARD_SIGNALS = frozenset({EMPTY_RESULT, ENSEMBLE_DISAGREEMENT})
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Detector thresholds.
+
+    ``disagreement_threshold`` is the fraction of ensemble members that
+    must disagree with the top query before the ensemble signal fires;
+    with the default 0.5 a single broken member of a 3-committee stays
+    quiet (expected: members break independently by design) while a
+    majority break fires.  ``canonical_change_is_hard`` promotes the
+    c-change signal to a drift trigger for paranoid deployments.
+    """
+
+    disagreement_threshold: float = 0.5
+    canonical_change_is_hard: bool = False
+
+    def hard_signals(self) -> frozenset[str]:
+        if self.canonical_change_is_hard:
+            return HARD_SIGNALS | {CANONICAL_CHANGE}
+        return HARD_SIGNALS
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Detector verdict for one (wrapper, page) check."""
+
+    task_id: str
+    signals: tuple[str, ...]
+    drifted: bool
+    snapshot: Optional[int] = None
+    result_count: int = 0
+    disagreeing_members: int = 0
+    member_count: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.signals
+
+
+class DriftDetector:
+    """Check deployed wrappers for drift on served pages."""
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        self.config = config or DriftConfig()
+
+    def check(
+        self,
+        artifact: WrapperArtifact,
+        doc: Document,
+        snapshot: Optional[int] = None,
+    ) -> DriftReport:
+        signals: list[str] = []
+        result = evaluate_compiled(artifact.best_query(), doc.root, doc)
+        if not result:
+            signals.append(EMPTY_RESULT)
+        elif canonical_key(result) != artifact.baseline_paths:
+            signals.append(CANONICAL_CHANGE)
+
+        ensemble = artifact.ensemble_wrapper()
+        result_ids = doc.node_ids(iter(result))
+        disagreeing = sum(
+            1
+            for members in ensemble.member_results(doc)
+            if doc.node_ids(iter(members)) != result_ids
+        )
+        member_count = len(ensemble.members)
+        if member_count and disagreeing / member_count >= self.config.disagreement_threshold:
+            signals.append(ENSEMBLE_DISAGREEMENT)
+
+        hard = self.config.hard_signals()
+        return DriftReport(
+            task_id=artifact.task_id,
+            signals=tuple(signals),
+            drifted=any(signal in hard for signal in signals),
+            snapshot=snapshot,
+            result_count=len(result),
+            disagreeing_members=disagreeing,
+            member_count=member_count,
+        )
+
+
+def reinduce(
+    artifact: WrapperArtifact,
+    doc: Document,
+    targets: Optional[Sequence[Node]] = None,
+    inducer: Optional[WrapperInducer] = None,
+    snapshot: Optional[int] = None,
+) -> WrapperArtifact:
+    """Repair a drifted wrapper: re-induce from stored samples + the new page.
+
+    ``targets`` labels the new page explicitly (a re-annotation event);
+    when omitted, the surviving ensemble majority labels it (automatic
+    repair).  Raises :class:`ArtifactError` when no labels can be
+    produced — the caller then knows human re-annotation is required.
+    """
+    labels = "explicit"
+    if targets is None:
+        labels = "ensemble_vote"
+        targets = artifact.ensemble_wrapper().select(doc)
+    if not targets:
+        source = "ensemble vote is empty" if labels == "ensemble_vote" else "no labels given"
+        raise ArtifactError(
+            f"{artifact.task_id}: {source} on the drifted page; re-annotation required"
+        )
+    samples = artifact.restore_samples()
+    samples.append(QuerySample(doc, list(targets)))
+    if inducer is None:
+        # Repair under the settings the wrapper was originally induced
+        # with — a different k or volatile key would rank a different
+        # candidate pool than the deployment signed off on.
+        config = artifact.induction_config()
+        inducer = WrapperInducer(k=config.k, config=config)
+    result = inducer.induce(samples)
+    if result.best is None:
+        raise ArtifactError(f"{artifact.task_id}: re-induction produced no wrapper")
+    repaired = WrapperArtifact.from_induction(
+        result,
+        samples,
+        task_id=artifact.task_id,
+        site_id=artifact.site_id,
+        role=artifact.role,
+        ensemble_size=max(1, len(artifact.ensemble)),
+        max_queries=max(1, len(artifact.queries)),
+        generation=artifact.generation + 1,
+        provenance={
+            **artifact.provenance,
+            "repaired_from_generation": artifact.generation,
+            "repaired_at_snapshot": snapshot,
+            "repair_labels": labels,
+        },
+        config=inducer.config,
+    )
+    return repaired
+
+
+@dataclass
+class MaintenanceRecord:
+    """Outcome of replaying one wrapper across archive snapshots."""
+
+    task_id: str
+    checked: list[DriftReport] = field(default_factory=list)
+    drift_snapshot: Optional[int] = None
+    drift_signals: tuple[str, ...] = ()
+    repaired: Optional[WrapperArtifact] = None
+    repair_error: str = ""
+
+    @property
+    def drifted(self) -> bool:
+        return self.drift_snapshot is not None
+
+
+def maintain_over_archive(
+    artifact: WrapperArtifact,
+    archive: "SyntheticArchive",
+    snapshots: Sequence[int],
+    detector: Optional[DriftDetector] = None,
+    repair: bool = True,
+    inducer: Optional[WrapperInducer] = None,
+) -> MaintenanceRecord:
+    """Replay snapshots until the wrapper drifts; optionally repair it.
+
+    Broken archive captures are skipped (an erroneous snapshot says
+    nothing about the wrapper).  The replay stops at the first hard
+    drift; with ``repair=True`` an automatic re-induction from the
+    stored samples against that snapshot is attempted, labels coming
+    from the ensemble vote.
+    """
+    detector = detector or DriftDetector()
+    record = MaintenanceRecord(task_id=artifact.task_id)
+    for index in snapshots:
+        if archive.is_broken(index):
+            continue
+        doc = archive.snapshot(index)
+        report = detector.check(artifact, doc, snapshot=index)
+        record.checked.append(report)
+        if report.drifted:
+            record.drift_snapshot = index
+            record.drift_signals = report.signals
+            if repair:
+                try:
+                    record.repaired = reinduce(
+                        artifact, doc, inducer=inducer, snapshot=index
+                    )
+                except ArtifactError as exc:
+                    record.repair_error = str(exc)
+            break
+    return record

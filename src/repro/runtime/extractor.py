@@ -1,0 +1,199 @@
+"""Batch extraction: many (wrapper, page) pairs, amortized per page.
+
+The naive deployment loop (:func:`extract_serial`) treats every
+(wrapper, page) pair independently: parse the page, build its document
+index, evaluate one query.  Parsing + indexing dominate single-query
+evaluation, so when several wrappers target the same page — every site
+runs multiple extraction tasks, and every artifact carries an ensemble —
+that loop re-pays the dominant cost per *pair*.
+
+:class:`BatchExtractor` groups the pairs by page: one parse + one
+document index + one :class:`~repro.xpath.cache.CachedEvaluator` per
+page, all queries evaluated against it through the globally memoized
+compiled-plan cache (:func:`repro.xpath.compile.compile_query`, shared
+across pages since plans are document independent).  With ``workers >
+1`` page groups fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+jobs and records are plain picklable values (HTML text in, canonical
+paths + normalized text out), so nothing heavier than strings crosses
+process boundaries.
+
+``benchmarks/bench_runtime.py`` records the speedup over the serial
+loop on the full corpus in ``BENCH_runtime.json``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.dom.node import AttributeNode, Document, Node
+from repro.dom.parser import parse_html
+from repro.xpath.canonical import canonical_path
+from repro.xpath.cache import CachedEvaluator
+from repro.xpath.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.artifact import WrapperArtifact
+
+
+@dataclass(frozen=True)
+class PageJob:
+    """One page with every wrapper that should run against it.
+
+    ``wrappers`` maps wrapper ids to canonical dsXPath text — ids are
+    caller-chosen (task ids, ``task#member2``, ...) and flow through to
+    the records unchanged.
+    """
+
+    page_id: str
+    html: str
+    wrappers: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class ExtractionRecord:
+    """What one wrapper extracted from one page.
+
+    ``paths`` are the canonical paths of the matched nodes (attribute
+    matches use a trailing ``attribute::name`` step), ``values`` their
+    normalized text — the portable representation of a result set.
+    """
+
+    page_id: str
+    wrapper_id: str
+    paths: tuple[str, ...]
+    values: tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.paths)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.paths
+
+
+def _node_reference(doc: Document, node: Node) -> tuple[str, str]:
+    """(canonical path, normalized text) of a result node."""
+    if isinstance(node, AttributeNode):
+        return str(canonical_path(node)), node.value
+    return str(canonical_path(node)), doc.normalized_text(node)
+
+
+def extract_document(
+    doc: Document, wrappers: Sequence[tuple[str, str]], page_id: str = ""
+) -> list[ExtractionRecord]:
+    """Evaluate several wrappers against one already-parsed document."""
+    evaluator = CachedEvaluator(doc)
+    records: list[ExtractionRecord] = []
+    for wrapper_id, text in wrappers:
+        matches = evaluator.evaluate(parse_query(text), doc.root)
+        references = [_node_reference(doc, node) for node in matches]
+        records.append(
+            ExtractionRecord(
+                page_id=page_id,
+                wrapper_id=wrapper_id,
+                paths=tuple(path for path, _ in references),
+                values=tuple(value for _, value in references),
+            )
+        )
+    return records
+
+
+def extract_serial(jobs: Iterable[PageJob]) -> list[ExtractionRecord]:
+    """The naive per-pair loop: one parse per (wrapper, page) pair.
+
+    This is the baseline the batch engine is measured against — exactly
+    what a deployment gets by calling "extract(wrapper, html)" in a loop
+    over its wrapper store.
+    """
+    records: list[ExtractionRecord] = []
+    for job in jobs:
+        for wrapper_id, text in job.wrappers:
+            doc = parse_html(job.html)
+            records.extend(extract_document(doc, [(wrapper_id, text)], job.page_id))
+    return records
+
+
+def _extract_chunk(chunk: list[tuple[str, str, tuple[tuple[str, str], ...]]]) -> list[tuple]:
+    """Worker: parse each page once, run all its wrappers (picklable I/O)."""
+    out: list[tuple] = []
+    for page_id, html, wrappers in chunk:
+        doc = parse_html(html)
+        for record in extract_document(doc, wrappers, page_id):
+            out.append((record.page_id, record.wrapper_id, record.paths, record.values))
+    return out
+
+
+class BatchExtractor:
+    """Evaluate many (wrapper, page) pairs with per-page amortization.
+
+    ``workers=1`` runs in-process; ``workers>1`` splits the page list
+    into contiguous chunks and fans them out over a process pool.
+    Record order always matches the job order (per page, wrappers in
+    job order), so callers can zip results against their inputs.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def extract(self, jobs: Sequence[PageJob]) -> list[ExtractionRecord]:
+        payload = [(job.page_id, job.html, job.wrappers) for job in jobs]
+        if self.workers == 1 or len(jobs) < 2:
+            raw = _extract_chunk(payload)
+        else:
+            chunks = self._chunk(payload, min(self.workers, len(payload)))
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                raw = [row for part in pool.map(_extract_chunk, chunks) for row in part]
+        return [
+            ExtractionRecord(page_id=p, wrapper_id=w, paths=paths, values=values)
+            for p, w, paths, values in raw
+        ]
+
+    @staticmethod
+    def _chunk(payload: list, n: int) -> list[list]:
+        size, extra = divmod(len(payload), n)
+        chunks, start = [], 0
+        for i in range(n):
+            end = start + size + (1 if i < extra else 0)
+            if end > start:
+                chunks.append(payload[start:end])
+            start = end
+        return chunks
+
+
+def jobs_for_artifacts(
+    artifacts: Sequence["WrapperArtifact"],
+    page_html: dict[str, str],
+    include_ensemble: bool = True,
+    page_suffix: str = "",
+) -> list[PageJob]:
+    """Group artifacts by site page into batch jobs.
+
+    ``page_html`` maps site ids to page HTML (e.g. rendered archive
+    snapshots).  Each artifact contributes its top query under its task
+    id and, when ``include_ensemble``, its committee members under
+    ``<task_id>#m<i>``.  Artifacts whose site has no page are skipped.
+    """
+    by_site: dict[str, list[tuple[str, str]]] = {}
+    for artifact in artifacts:
+        if artifact.site_id not in page_html:
+            continue
+        wrappers = by_site.setdefault(artifact.site_id, [])
+        wrappers.append((artifact.task_id, artifact.best.text))
+        if include_ensemble:
+            wrappers.extend(
+                (f"{artifact.task_id}#m{i}", text)
+                for i, text in enumerate(artifact.ensemble)
+            )
+    return [
+        PageJob(
+            page_id=site_id + page_suffix,
+            html=page_html[site_id],
+            wrappers=tuple(wrappers),
+        )
+        for site_id, wrappers in sorted(by_site.items())
+    ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.dom.node import Document, ElementNode, Node, TextNode
+from repro.dom.node import AttributeNode, Document, ElementNode, Node, TextNode
 from repro.xpath.ast import (
     Axis,
     NodeTest,
@@ -56,9 +56,17 @@ def canonical_path(node: Node, doc: Optional[Document] = None) -> Query:
     ``canon(root) = /``; otherwise ``canon(parent)/t[k]`` where ``t`` is
     the node test for the node and ``k`` its position among same-test
     siblings.
+
+    Attribute nodes canonicalize as their owner's path plus a trailing
+    ``attribute::name`` step — they have no sibling position, and the
+    step selects exactly the one attribute when evaluated.
     """
     steps: list[Step] = []
     current: Node = node
+    if isinstance(current, AttributeNode):
+        assert current.parent is not None
+        steps.append(Step(Axis.ATTRIBUTE, name_test(current.name)))
+        current = current.parent
     while current.parent is not None:
         steps.append(
             Step(

@@ -1,0 +1,61 @@
+"""Regenerate the golden induction corpus (``tests/golden/induction.json``).
+
+Run after any *intentional* change to induction ranking or scoring:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+then review the diff — every changed line is a behavior change the PR
+must justify.  The file freezes, for every single-node corpus task, the
+canonical text, robustness score, and accuracy counts of the best
+induced query at snapshot 0; ``tests/integration/test_golden_corpus.py``
+asserts induction reproduces them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "induction.json"
+
+
+def build_golden() -> dict:
+    from repro.runtime.corpus import induce_corpus_task
+    from repro.sites import single_node_tasks
+
+    entries: dict[str, dict] = {}
+    for corpus_task in single_node_tasks():
+        induced = induce_corpus_task(corpus_task)
+        if induced is None:
+            raise SystemExit(f"{corpus_task.task_id}: no targets at snapshot 0")
+        best = induced[0].best
+        if best is None:
+            raise SystemExit(f"{corpus_task.task_id}: induction produced no wrapper")
+        entries[corpus_task.task_id] = {
+            "query": str(best.query),
+            "score": best.score,
+            "tp": best.tp,
+            "fp": best.fp,
+            "fn": best.fn,
+        }
+    return {
+        "description": (
+            "Frozen best induced query per single-node corpus task "
+            "(snapshot 0, WrapperInducer(k=10), default scoring params). "
+            "Regenerate with: PYTHONPATH=src python tests/golden/regenerate.py"
+        ),
+        "inducer": {"k": 10, "beta": 0.5},
+        "tasks": entries,
+    }
+
+
+def main() -> int:
+    payload = build_golden()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"{len(payload['tasks'])} tasks frozen to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Golden regression corpus: induction must reproduce frozen results.
+
+``tests/golden/induction.json`` freezes the best induced query
+(canonical text + robustness score + accuracy counts) for **every**
+single-node corpus task.  Any change to candidate generation, scoring,
+or ranking that silently moves a single top-1 result fails here —
+bit-for-bit, not approximately.
+
+Intentional changes regenerate the file
+(``PYTHONPATH=src python tests/golden/regenerate.py``) and justify the
+diff in the PR.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.runtime.corpus import induce_corpus_task
+from repro.sites import single_node_tasks
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "golden" / "induction.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["tasks"]
+TASKS = single_node_tasks()
+
+
+class TestGoldenCoverage:
+    def test_every_single_node_task_is_frozen(self):
+        """New tasks must be added to the golden corpus (regenerate it)."""
+        missing = {t.task_id for t in TASKS} - GOLDEN.keys()
+        assert not missing, f"tasks missing from golden corpus: {sorted(missing)}"
+
+    def test_no_stale_golden_entries(self):
+        """Removed tasks must leave the golden corpus (regenerate it)."""
+        stale = GOLDEN.keys() - {t.task_id for t in TASKS}
+        assert not stale, f"golden entries for unknown tasks: {sorted(stale)}"
+
+    def test_corpus_is_complete(self):
+        assert len(GOLDEN) >= 50  # the paper's single-node dataset size
+
+
+@pytest.mark.parametrize("corpus_task", TASKS, ids=lambda t: t.task_id)
+def test_induction_reproduces_golden(corpus_task):
+    golden = GOLDEN[corpus_task.task_id]
+    induced = induce_corpus_task(corpus_task)
+    assert induced is not None
+    best = induced[0].best
+    assert best is not None
+    assert str(best.query) == golden["query"]
+    assert best.score == golden["score"]
+    assert (best.tp, best.fp, best.fn) == (golden["tp"], golden["fp"], golden["fn"])

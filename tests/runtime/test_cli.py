@@ -1,0 +1,98 @@
+"""The ``python -m repro.runtime`` CLI: induce → extract → check."""
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifacts")
+    assert main(["induce", "--out", str(out), "--limit", "3"]) == 0
+    return out
+
+
+class TestInduce:
+    def test_writes_one_artifact_per_task(self, artifact_dir):
+        assert len(list(artifact_dir.glob("*.json"))) == 3
+
+    def test_artifacts_are_loadable(self, artifact_dir):
+        from repro.runtime import WrapperArtifact
+
+        for path in artifact_dir.glob("*.json"):
+            artifact = WrapperArtifact.load(path)
+            assert artifact.queries and artifact.samples
+
+    def test_specific_task_selection(self, tmp_path, capsys):
+        out = tmp_path / "one"
+        assert main(["induce", "--out", str(out), "--task", "movies-0/director"]) == 0
+        assert [p.name for p in out.glob("*.json")] == ["movies-0__director.json"]
+        assert "movies-0/director" in capsys.readouterr().out
+
+    def test_unknown_task_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["induce", "--out", str(tmp_path), "--task", "no-such/task"])
+
+
+class TestExtract:
+    def test_extracts_against_later_snapshot(self, artifact_dir, tmp_path, capsys):
+        records_path = tmp_path / "records.json"
+        rc = main(
+            [
+                "extract",
+                "--artifacts",
+                str(artifact_dir),
+                "--snapshot",
+                "1",
+                "--workers",
+                "2",
+                "--json",
+                str(records_path),
+            ]
+        )
+        assert rc == 0
+        records = json.loads(records_path.read_text())
+        assert records
+        assert {"page_id", "wrapper_id", "paths", "values"} <= records[0].keys()
+        assert "(wrapper, page) pairs" in capsys.readouterr().out
+
+    def test_empty_artifact_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no artifacts"):
+            main(["extract", "--artifacts", str(tmp_path / "nothing_here")])
+
+
+class TestCheck:
+    def test_reports_health_over_snapshots(self, artifact_dir, capsys):
+        rc = main(
+            ["check", "--artifacts", str(artifact_dir), "--snapshots", "6", "--repair"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrappers checked over 5 snapshots" in out
+
+    def test_drifting_wrapper_is_repaired(self, tmp_path, capsys):
+        out_dir = tmp_path / "weather"
+        repaired_dir = tmp_path / "repaired"
+        assert main(["induce", "--out", str(out_dir), "--task", "weather-1/temp"]) == 0
+        rc = main(
+            [
+                "check",
+                "--artifacts",
+                str(out_dir),
+                "--snapshots",
+                "16",
+                "--repair",
+                "--out",
+                str(repaired_dir),
+            ]
+        )
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "DRIFT weather-1/temp" in output
+        assert "repaired (gen 1)" in output
+        from repro.runtime import WrapperArtifact
+
+        (path,) = repaired_dir.glob("*.json")
+        assert WrapperArtifact.load(path).generation == 1

@@ -1,0 +1,122 @@
+"""Batch extraction engine: equivalence with the serial loop, worker
+fan-out, grouping, and node-reference fidelity."""
+
+import pytest
+
+from repro.dom.builder import E, T, document
+from repro.dom.serialize import to_html
+from repro.evolution import SyntheticArchive
+from repro.induction import QuerySample, WrapperInducer
+from repro.runtime import (
+    BatchExtractor,
+    PageJob,
+    WrapperArtifact,
+    extract_document,
+    extract_serial,
+    jobs_for_artifacts,
+)
+from repro.sites import single_node_tasks
+
+
+@pytest.fixture(scope="module")
+def corpus_jobs():
+    """Real corpus pages with every task wrapper of the site on them."""
+    inducer = WrapperInducer(k=10)
+    artifacts, page_html = [], {}
+    for corpus_task in single_node_tasks(limit=8):
+        archive = SyntheticArchive(corpus_task.spec, n_snapshots=1)
+        doc = archive.snapshot(0)
+        targets = archive.targets(doc, corpus_task.task.role)
+        result = inducer.induce_one(doc, targets)
+        artifacts.append(
+            WrapperArtifact.from_induction(
+                result,
+                [QuerySample(doc, targets)],
+                task_id=corpus_task.task_id,
+                site_id=corpus_task.spec.site_id,
+                role=corpus_task.task.role,
+            )
+        )
+        page_html[corpus_task.spec.site_id] = to_html(doc)
+    return jobs_for_artifacts(artifacts, page_html)
+
+
+class TestSerialBatchEquivalence:
+    def test_batch_matches_serial_loop(self, corpus_jobs):
+        assert BatchExtractor(workers=1).extract(corpus_jobs) == extract_serial(
+            corpus_jobs
+        )
+
+    def test_worker_fanout_matches_inprocess(self, corpus_jobs):
+        in_process = BatchExtractor(workers=1).extract(corpus_jobs)
+        fanned_out = BatchExtractor(workers=2).extract(corpus_jobs)
+        assert fanned_out == in_process
+
+    def test_record_order_follows_job_order(self, corpus_jobs):
+        records = BatchExtractor(workers=2).extract(corpus_jobs)
+        expected = [
+            (job.page_id, wrapper_id)
+            for job in corpus_jobs
+            for wrapper_id, _ in job.wrappers
+        ]
+        assert [(r.page_id, r.wrapper_id) for r in records] == expected
+
+    def test_results_are_nonempty_on_snapshot0(self, corpus_jobs):
+        records = BatchExtractor(workers=1).extract(corpus_jobs)
+        assert records and all(not r.is_empty for r in records)
+
+
+class TestNodeReferences:
+    def test_values_and_paths_describe_matches(self):
+        doc = document(
+            E("html", E("body", E("div", E("span", "hello", class_="x"))))
+        )
+        records = extract_document(doc, [("w", 'descendant::span[@class="x"]')], "p")
+        (record,) = records
+        assert record.count == 1
+        assert record.values == ("hello",)
+        assert record.paths == (
+            "/child::html[1]/child::body[1]/child::div[1]/child::span[1]",
+        )
+
+    def test_attribute_results_use_attribute_step(self):
+        doc = document(E("html", E("body", E("a", "x", href="/target"))))
+        (record,) = extract_document(doc, [("w", "descendant::a/attribute::href")], "p")
+        assert record.values == ("/target",)
+        assert record.paths[0].endswith("/attribute::href")
+
+    def test_empty_result_is_recorded_not_dropped(self):
+        doc = document(E("html", E("body", E("p", "x"))))
+        (record,) = extract_document(doc, [("w", "descendant::table")], "p")
+        assert record.is_empty and record.count == 0
+
+    def test_text_node_results(self):
+        doc = document(E("html", E("body", E("p", T("only text")))))
+        (record,) = extract_document(doc, [("w", "descendant::p/child::text()")], "p")
+        assert record.values == ("only text",)
+
+
+class TestJobConstruction:
+    def test_jobs_group_by_site_and_include_ensemble(self, corpus_jobs):
+        for job in corpus_jobs:
+            ids = [wrapper_id for wrapper_id, _ in job.wrappers]
+            tops = [i for i in ids if "#m" not in i]
+            assert tops, job.page_id
+            members = [i for i in ids if "#m" in i]
+            assert members, "ensemble members missing from jobs"
+
+    def test_chunking_covers_all_jobs_without_overlap(self):
+        payload = list(range(7))
+        chunks = BatchExtractor._chunk(payload, 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert [x for chunk in chunks for x in chunk] == payload
+
+    def test_more_workers_than_jobs(self):
+        doc_html = to_html(document(E("html", E("body", E("p", "x")))))
+        jobs = [PageJob("p1", doc_html, (("w", "descendant::p"),))] * 2
+        records = BatchExtractor(workers=8).extract(jobs)
+        assert len(records) == 2
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExtractor(workers=0)

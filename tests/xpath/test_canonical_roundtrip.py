@@ -1,0 +1,196 @@
+"""Property-based canonical-text round trips: ``parse(str(q)) ≡ q``.
+
+Wrapper artifacts persist queries as canonical dsXPath text
+(:mod:`repro.runtime.artifact`), so the printer/parser pair must be
+lossless over everything induction can emit.  Queries are drawn from
+the induction step-pattern space (the axes, node tests, and predicate
+shapes of :mod:`repro.induction.step_pattern` /
+:mod:`repro.induction.node_pattern`): base + transitive axes, a
+terminal attribute step, positional / attribute-existence / string
+predicates over ``normalize-space(.)`` or an attribute.
+
+String constants exclude the backslash, matching the synthetic corpus'
+data space (the printer escapes only quotes, so a value ending in a
+backslash would swallow its closing quote; induction never sees one).
+
+Also covered: canonical *paths* — for any node of a corpus document,
+evaluating ``parse(str(canonical_path(node)))`` selects exactly that
+node again, the invariant artifact sample restoration stands on.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evolution import SyntheticArchive
+from repro.sites.verticals import VERTICAL_FACTORIES
+from repro.xpath.ast import (
+    ANY,
+    NODE,
+    TEXT,
+    AttrSubject,
+    AttributePredicate,
+    Axis,
+    PositionalPredicate,
+    Query,
+    Step,
+    StringPredicate,
+    TextSubject,
+    name_test,
+)
+from repro.xpath.compile import evaluate_compiled
+from repro.xpath.canonical import canonical_path
+from repro.xpath.parser import parse_query
+
+# -- strategies -------------------------------------------------------------
+
+_NAMES = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,11}", fullmatch=True)
+
+#: Values as induction draws them: document words / full text values /
+#: attribute values.  Printable, no backslash (see module docstring).
+_VALUE_ALPHABET = (
+    string.ascii_letters + string.digits + " .,:;!?'\"()-_/@#%&*+=<>[]{}|~^$"
+)
+_VALUES = st.text(alphabet=_VALUE_ALPHABET, min_size=0, max_size=24)
+
+_NODETESTS = st.one_of(
+    st.just(ANY),
+    st.just(NODE),
+    st.just(TEXT),
+    _NAMES.map(name_test),
+)
+
+_POSITIONAL = st.one_of(
+    st.integers(min_value=1, max_value=40).map(lambda n: PositionalPredicate(index=n)),
+    st.integers(min_value=0, max_value=6).map(
+        lambda n: PositionalPredicate(from_last=n)
+    ),
+)
+
+_SUBJECTS = st.one_of(st.just(TextSubject()), _NAMES.map(AttrSubject))
+
+_STRING_PREDICATES = st.builds(
+    StringPredicate,
+    function=st.sampled_from(("equals", "contains", "starts-with", "ends-with")),
+    subject=_SUBJECTS,
+    value=_VALUES,
+)
+
+_PREDICATES = st.one_of(_POSITIONAL, _NAMES.map(AttributePredicate), _STRING_PREDICATES)
+
+#: The axes induction steps use (BASE_AXES plus their transitive forms).
+_STEP_AXES = st.sampled_from(
+    (
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+    )
+)
+
+_STEPS = st.builds(
+    Step,
+    axis=_STEP_AXES,
+    nodetest=_NODETESTS,
+    predicates=st.lists(_PREDICATES, max_size=3).map(tuple),
+)
+
+_ATTR_STEPS = st.builds(
+    Step,
+    axis=st.just(Axis.ATTRIBUTE),
+    nodetest=st.one_of(st.just(ANY), _NAMES.map(name_test)),
+    predicates=st.just(()),
+)
+
+
+@st.composite
+def induction_queries(draw) -> Query:
+    """Relative queries shaped like induction output: navigational steps,
+    optionally ending in an attribute step."""
+    steps = draw(st.lists(_STEPS, min_size=0, max_size=4))
+    if draw(st.booleans()):
+        steps.append(draw(_ATTR_STEPS))
+    return Query(tuple(steps))
+
+
+# -- AST round trip ---------------------------------------------------------
+
+
+class TestAstRoundTrip:
+    @settings(max_examples=300, derandomize=True, deadline=None)
+    @given(query=induction_queries())
+    def test_parse_canonical_text_is_identity(self, query):
+        text = str(query)
+        reparsed = parse_query(text)
+        assert reparsed == query
+        assert hash(reparsed) == hash(query)
+        assert str(reparsed) == text  # printing is a fixed point
+
+    def test_empty_query_round_trips(self):
+        assert parse_query(str(Query(()))) == Query(())
+
+    def test_document_node_query_round_trips(self):
+        root = Query((), absolute=True)
+        assert parse_query(str(root)) == root
+
+
+# -- evaluation equality on corpus documents --------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_doc():
+    spec = VERTICAL_FACTORIES["movies"](0)
+    return SyntheticArchive(spec, n_snapshots=1).snapshot(0)
+
+
+class TestEvaluationEquality:
+    @settings(max_examples=60, derandomize=True, deadline=None)
+    @given(query=induction_queries())
+    def test_reparsed_query_selects_identical_nodes(self, query, corpus_doc):
+        doc = corpus_doc
+        original = evaluate_compiled(query, doc.root, doc)
+        reparsed = evaluate_compiled(parse_query(str(query)), doc.root, doc)
+        assert [id(n) for n in original] == [id(n) for n in reparsed]
+
+
+class TestCanonicalPathRoundTrip:
+    @settings(max_examples=120, derandomize=True, deadline=None)
+    @given(pick=st.integers(min_value=0, max_value=10**9))
+    def test_canonical_path_relocates_exactly_the_node(self, pick, corpus_doc):
+        doc = corpus_doc
+        nodes = doc.index.nodes
+        node = nodes[1 + pick % (len(nodes) - 1)]  # skip the #document node
+        path = canonical_path(node)
+        matches = evaluate_compiled(parse_query(str(path)), doc.root, doc)
+        assert len(matches) == 1
+        assert matches[0] is node
+
+    def test_attribute_node_paths_relocate(self, corpus_doc):
+        """Attribute nodes canonicalize with a trailing attribute step and
+        re-locate exactly (wrappers may extract attribute values)."""
+        doc = corpus_doc
+        checked = 0
+        for element in doc.root.descendant_elements():
+            for attr in element.attribute_nodes():
+                path = canonical_path(attr)
+                assert str(path).rpartition("/")[2] == f"attribute::{attr.name}"
+                matches = evaluate_compiled(parse_query(str(path)), doc.root, doc)
+                assert matches == [attr]
+                checked += 1
+            if checked >= 25:
+                return
+        assert checked
+
+    def test_every_target_node_relocates(self, corpus_doc):
+        doc = corpus_doc
+        targets = [n for n in doc.all_nodes() if n.meta.get("role")]
+        assert targets
+        for node in targets:
+            matches = evaluate_compiled(
+                parse_query(str(canonical_path(node))), doc.root, doc
+            )
+            assert matches == [node]
