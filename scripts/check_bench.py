@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI bench-regression gate over the BENCH_*.json files.
+
+PRs 1–3 each leave a machine-readable benchmark behind
+(``BENCH_xpath.json``, ``BENCH_runtime.json``, ``BENCH_serving.json``)
+but nothing compared them across commits — a PR could quietly halve the
+engine speedup and CI would stay green.  This script closes that gap:
+
+* the **baseline** is the committed snapshot under
+  ``benchmarks/baselines/`` (refresh it when a PR intentionally moves a
+  number; CI can also point ``--baseline-dir`` at the previous run's
+  downloaded ``bench-json`` artifact instead);
+* the **current** numbers are the files the smoke benchmarks just wrote
+  at the repository root (or ``--current-dir``);
+* only the **headline ratios** are compared — the ``speedup`` /
+  ``throughput`` sections, which divide two measurements from the *same*
+  machine and are therefore far more stable across hardware than raw
+  wall-clock times;
+* a headline ratio may regress by at most ``--tolerance`` (default 20%);
+  anything worse fails the job.  Ratios missing from the current run
+  also fail (a silently dropped metric is a regression in coverage);
+  ratios new in the current run are reported but not gated.
+
+One carve-out: ``BENCH_xpath.json`` ratios divide *fixed seed-era
+constants* by the current run's wall-clock, so they scale inversely
+with host speed (and its axis micro-benchmarks sit in the sub-ms noise
+floor).  Those get a wide 60% band — enough to catch an engine collapse
+(losing the compiled path is a 10–70× drop) without flaking on runner
+variance.  ``BENCH_runtime.json`` / ``BENCH_serving.json`` ratios
+divide two measurements from the same run and keep the tight default.
+
+Exit codes: 0 = all within tolerance, 1 = regression (or a baselined
+metric disappeared), 2 = setup problem (missing files/directories).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Iterator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Sections whose entries are machine-comparable headline ratios.
+RATIO_SECTIONS = ("speedup", "throughput")
+
+#: Per-file tolerance floors (see the module docstring): files whose
+#: ratios are relative to fixed seed constants need a wide band.
+FILE_TOLERANCES = {"BENCH_xpath.json": 0.60}
+
+
+def headline_ratios(payload: dict) -> dict[str, float]:
+    """``section.key -> ratio`` for every ratio section in a BENCH file."""
+    ratios: dict[str, float] = {}
+    for section in RATIO_SECTIONS:
+        entries = payload.get(section)
+        if not isinstance(entries, dict):
+            continue
+        for key, value in entries.items():
+            if isinstance(value, (int, float)):
+                ratios[f"{section}.{key}"] = float(value)
+    return ratios
+
+
+def iter_rows(
+    baseline_dir: pathlib.Path, current_dir: pathlib.Path, names: list[str]
+) -> Iterator[tuple[str, str, float, float | None]]:
+    """Yield (file, metric, baseline, current-or-None) for every
+    baselined headline ratio."""
+    for name in names:
+        base_payload = json.loads((baseline_dir / name).read_text())
+        current_path = current_dir / name
+        if not current_path.exists():
+            yield name, "<file>", float("nan"), None
+            continue
+        current_payload = json.loads(current_path.read_text())
+        current = headline_ratios(current_payload)
+        for metric, base_value in sorted(headline_ratios(base_payload).items()):
+            yield name, metric, base_value, current.get(metric)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any BENCH_*.json headline ratio regresses."
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="committed baselines (or a downloaded bench-json artifact)",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="where the current BENCH_*.json files live",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="max allowed fractional drop per ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="BENCH file names to compare (default: every baselined file)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline_dir.is_dir():
+        print(f"baseline directory not found: {args.baseline_dir}", file=sys.stderr)
+        return 2
+    names = args.names or sorted(
+        path.name for path in args.baseline_dir.glob("BENCH_*.json")
+    )
+    if not names:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+    missing = [name for name in names if not (args.baseline_dir / name).exists()]
+    if missing:
+        print(f"missing baselines: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    rows = list(iter_rows(args.baseline_dir, args.current_dir, names))
+    width = max(
+        (len(f"{name}:{metric}") for name, metric, _, _ in rows), default=20
+    )
+    for name, metric, base_value, current_value in rows:
+        label = f"{name}:{metric}"
+        tolerance = max(args.tolerance, FILE_TOLERANCES.get(name, 0.0))
+        if current_value is None:
+            print(f"FAIL {label:<{width}}  missing from current run")
+            failures += 1
+            continue
+        ratio = current_value / base_value if base_value else float("inf")
+        line = (
+            f"{label:<{width}}  baseline {base_value:8.2f}x  "
+            f"current {current_value:8.2f}x  ({ratio:6.1%} of baseline, "
+            f"tolerance {tolerance:.0%})"
+        )
+        if ratio < 1.0 - tolerance:
+            print(f"FAIL {line}")
+            failures += 1
+        else:
+            print(f"ok   {line}")
+
+    if failures:
+        print(f"\n{failures} headline ratio(s) regressed past tolerance — see above")
+        return 1
+    print("\nall headline ratios within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -301,6 +301,9 @@ class DocumentIndex:
         "elem_pres",
         "texts",
         "text_pres",
+        "filter_cache",
+        "match_cache",
+        "pattern_cache",
     )
 
     def __init__(self) -> None:
@@ -314,6 +317,19 @@ class DocumentIndex:
         self.elem_pres: list[int] = []
         self.texts: list[TextNode] = []
         self.text_pres: list[int] = []
+        #: Per-index memos that hold node references.  Living on the
+        #: index — not in module globals keyed by stamp — they are
+        #: reclaimed with the document, so long-running serving/fleet
+        #: processes parsing unbounded page streams do not accumulate
+        #: dead DOMs (which also makes every gc pass, in the parent and
+        #: in forked pool workers, proportionally slower).
+        #: Filtered descendant candidates
+        #: (``repro.xpath.compile._compile_filtered_descendant``):
+        self.filter_cache: dict = {}
+        #: Single-step match lists (``repro.induction.step_pattern._axis_matches``):
+        self.match_cache: dict = {}
+        #: node_patterns results (``repro.induction.step_pattern._cached_node_patterns``):
+        self.pattern_cache: dict = {}
 
 
 class Document:

@@ -98,13 +98,15 @@ class _LightTopK:
             self.queries_set.add(query)
 
 
-#: Per-document memo of node_patterns results, keyed by (index stamp,
-#: node pre number, config/params identity).  The same target and
-#: sibling nodes are pattern-expanded for every context on the spine;
-#: the stored config/params references pin the objects so the id keys
-#: stay valid while cached.
-_NODE_PATTERN_CACHE: dict[tuple, tuple] = {}
-_NODE_PATTERN_CACHE_LIMIT = 100_000
+# node_patterns results are memoized on the document index
+# (``DocumentIndex.pattern_cache``), keyed by (node pre number,
+# config/params identity).  The same target and sibling nodes are
+# pattern-expanded for every context on the spine; the stored
+# config/params references pin the objects so the id keys stay valid
+# while cached.  The memo lives on the index — not in a module global
+# keyed by stamp — so it is reclaimed with the document instead of
+# pinning every page a long-running fleet worker ever re-induced
+# (see the matching note in ``repro.xpath.compile``).
 
 
 def _cached_node_patterns(
@@ -113,13 +115,11 @@ def _cached_node_patterns(
     index = doc.index
     if node._stamp != index.stamp:
         return node_patterns(node, doc, config, params)
-    key = (index.stamp, node._pre, id(config), id(params))
-    entry = _NODE_PATTERN_CACHE.get(key)
+    key = (node._pre, id(config), id(params))
+    entry = index.pattern_cache.get(key)
     if entry is None or entry[0] is not config or entry[1] is not params:
-        if len(_NODE_PATTERN_CACHE) > _NODE_PATTERN_CACHE_LIMIT:
-            _NODE_PATTERN_CACHE.clear()
         entry = (config, params, node_patterns(node, doc, config, params))
-        _NODE_PATTERN_CACHE[key] = entry
+        index.pattern_cache[key] = entry
     return entry[2]
 
 
@@ -162,14 +162,15 @@ def _pair_query(anchor: Step, hop: Step) -> Query:
     return query
 
 
-#: Global memo of single-step match lists, keyed by (index stamp, context
-#: pre-order number, step).  The same (context, step) pair is evaluated
-#: for many (anchor, pattern) combinations — direct patterns shared by
-#: several spine targets, sideways anchors shared across siblings — and
-#: the stamp key auto-invalidates entries of rebuilt documents.  Entries
-#: are shared lists; callers must not mutate them.
-_MATCH_CACHE: dict[tuple[int, int, Step], list[Node]] = {}
-_MATCH_CACHE_LIMIT = 200_000
+# Single-step match lists are memoized on the document index
+# (``DocumentIndex.match_cache``), keyed by (context pre-order number,
+# step).  The same (context, step) pair is evaluated for many (anchor,
+# pattern) combinations — direct patterns shared by several spine
+# targets, sideways anchors shared across siblings.  Entries are shared
+# lists; callers must not mutate them.  The memo lives on the index —
+# not in a module global keyed by stamp — so rebuilt/discarded
+# documents release their nodes (see the note in
+# ``repro.xpath.compile``).
 
 
 def _axis_matches(context: Node, step: Step, doc: Document) -> list[Node]:
@@ -182,13 +183,11 @@ def _axis_matches(context: Node, step: Step, doc: Document) -> list[Node]:
     index = doc.index
     if context._stamp != index.stamp:  # detached context: no stable key
         return compile_step(step)(context, doc, index)
-    key = (index.stamp, context._pre, step)
-    cached = _MATCH_CACHE.get(key)
+    key = (context._pre, step)
+    cached = index.match_cache.get(key)
     if cached is None:
-        if len(_MATCH_CACHE) > _MATCH_CACHE_LIMIT:
-            _MATCH_CACHE.clear()
         cached = compile_step(step)(context, doc, index)
-        _MATCH_CACHE[key] = cached
+        index.match_cache[key] = cached
     return cached
 
 
@@ -416,10 +415,10 @@ def evaluate_two_step(
 ) -> list[Node]:
     """Matches of ``hop_step`` applied to every anchor match (doc order).
 
-    Per-(anchor, step) memoization happens in the global match cache,
-    shared across all anchor-pattern variants and calls.  The cache
-    loop is inlined — this sits on the sideways cross product, the
-    innermost loop of candidate generation.  ``hop_step`` may carry
+    Per-(anchor, step) memoization happens in the index-owned match
+    cache, shared across all anchor-pattern variants and calls.  The
+    cache loop is inlined — this sits on the sideways cross product,
+    the innermost loop of candidate generation.  ``hop_step`` may carry
     positional predicates; the compiled plan applies predicates in
     declaration order, and induced steps always append positional
     refinements last, matching the historical plain-then-positional
@@ -427,7 +426,7 @@ def evaluate_two_step(
     """
     index = doc.index
     stamp = index.stamp
-    cache = _MATCH_CACHE
+    cache = index.match_cache
     plan = None
     out: list[Node] = []
     for node in anchor_matches:
@@ -436,11 +435,9 @@ def evaluate_two_step(
                 plan = compile_step(hop_step)
             out.extend(plan(node, doc, index))
             continue
-        key = (stamp, node._pre, hop_step)
+        key = (node._pre, hop_step)
         matched = cache.get(key)
         if matched is None:
-            if len(cache) > _MATCH_CACHE_LIMIT:
-                cache.clear()
             if plan is None:
                 plan = compile_step(hop_step)
             matched = plan(node, doc, index)

@@ -15,8 +15,20 @@ This package provides that layer:
 * :mod:`repro.runtime.drift` — drift detection (empty results,
   canonical-path c-changes, ensemble disagreement votes) and automatic
   re-induction from the stored samples plus the drifted page;
+* :mod:`repro.runtime.store` — a :class:`ShardedArtifactStore`
+  partitioning artifacts (and their drift-report JSONL streams) across
+  shard directories by stable site-key hash, with atomic writes and an
+  mtime-validated LRU;
+* :mod:`repro.runtime.serve` — an asyncio request/response front-end
+  over the batch engine with micro-batching, same-page request
+  coalescing, per-site concurrency limits, and bounded-queue
+  backpressure;
+* :mod:`repro.runtime.fleet` — a multi-process drift sweeper assigning
+  whole store shards to workers, streaming full drift telemetry and
+  chaining repairs generation over generation;
 * ``python -m repro.runtime`` — an ``induce`` / ``extract`` / ``check``
-  CLI driving the loop over the synthetic archive corpus.
+  / ``serve`` / ``sweep`` CLI driving the loop over the synthetic
+  archive corpus.
 
 See docs/RUNTIME.md for the artifact format and the drift protocol.
 """
@@ -45,10 +57,34 @@ from repro.runtime.extractor import (
     extract_serial,
     jobs_for_artifacts,
 )
+from repro.runtime.fleet import (
+    SweepConfig,
+    SweepSummary,
+    WrapperSweep,
+    sweep_store,
+    sweep_wrapper,
+)
+from repro.runtime.serve import (
+    AsyncExtractionServer,
+    RequestError,
+    ServerStats,
+    ServingConfig,
+    serve_jobs,
+    serve_jobs_sync,
+)
+from repro.runtime.store import (
+    ShardedArtifactStore,
+    StoreError,
+    artifacts_from_path,
+    migrate_directory,
+    shard_index,
+    site_key_of,
+)
 
 __all__ = [
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "AsyncExtractionServer",
     "BatchExtractor",
     "DriftConfig",
     "DriftDetector",
@@ -57,13 +93,29 @@ __all__ = [
     "MaintenanceRecord",
     "PageJob",
     "RankedQuery",
+    "RequestError",
+    "ServerStats",
+    "ServingConfig",
+    "ShardedArtifactStore",
+    "StoreError",
     "StoredSample",
+    "SweepConfig",
+    "SweepSummary",
     "WrapperArtifact",
+    "WrapperSweep",
+    "artifacts_from_path",
     "extract_document",
     "extract_serial",
     "induce_corpus_task",
     "jobs_for_artifacts",
     "maintain_over_archive",
+    "migrate_directory",
     "reinduce",
+    "serve_jobs",
+    "serve_jobs_sync",
+    "shard_index",
+    "site_key_of",
     "snapshot0_annotation",
+    "sweep_store",
+    "sweep_wrapper",
 ]

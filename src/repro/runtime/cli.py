@@ -1,16 +1,28 @@
 """``python -m repro.runtime`` — the wrapper lifecycle CLI.
 
-Three subcommands drive the save → serve → drift → repair loop over the
+Five subcommands drive the save → serve → drift → repair loop over the
 synthetic archive corpus:
 
 * ``induce`` — induce wrappers for corpus tasks at snapshot 0 and save
-  them as JSON artifacts;
-* ``extract`` — load an artifact directory, render a later snapshot of
-  every covered site, and run the batch extraction engine over all
+  them as JSON artifacts (flat directory via ``--out``, or a sharded
+  artifact store via ``--store``);
+* ``extract`` — load artifacts, render a later snapshot of every
+  covered site, and run the batch extraction engine over all
   (wrapper, page) pairs;
 * ``check`` — replay each wrapper across archive snapshots, report the
   first drift (signals + snapshot), and optionally auto-repair by
-  re-induction from the stored samples.
+  re-induction from the stored samples;
+* ``serve`` — run a per-wrapper request stream through the async
+  serving layer (micro-batching + coalescing + backpressure) and
+  report throughput;
+* ``sweep`` — run the multi-process drift fleet over a sharded store:
+  full telemetry streams, repair chains, repaired generations written
+  back.
+
+Exit codes (``check`` and ``sweep``): 0 = no drift detected; 1 = drift
+detected; 3 = drift detected and at least one repair failed (human
+re-annotation required).  2 is argparse's usage-error code.  ``sweep
+--fail-on`` relaxes the gate for telemetry jobs that *expect* drift.
 
 All output is deterministic for a fixed corpus seed, so the CLI doubles
 as a smoke harness.  See docs/RUNTIME.md for examples.
@@ -31,8 +43,21 @@ from repro.induction import InductionConfig, WrapperInducer
 from repro.runtime.artifact import ArtifactError, WrapperArtifact
 from repro.runtime.corpus import induce_corpus_task
 from repro.runtime.drift import DriftConfig, DriftDetector, maintain_over_archive
-from repro.runtime.extractor import BatchExtractor, jobs_for_artifacts
+from repro.runtime.extractor import BatchExtractor, PageJob, jobs_for_artifacts
+from repro.runtime.fleet import SweepConfig, sweep_store
+from repro.runtime.serve import ServingConfig, serve_jobs_sync
+from repro.runtime.store import (
+    DEFAULT_SHARDS,
+    ShardedArtifactStore,
+    StoreError,
+    artifacts_from_path,
+)
 from repro.sites.corpus import CorpusTask, multi_node_tasks, single_node_tasks
+
+#: Exit codes shared by ``check`` and ``sweep`` (2 is argparse's).
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_REPAIR_FAILED = 3
 
 
 def _corpus_tasks(include_multi: bool) -> list[CorpusTask]:
@@ -43,15 +68,13 @@ def _corpus_tasks(include_multi: bool) -> list[CorpusTask]:
 
 
 def _load_artifacts(directory: pathlib.Path) -> list[WrapperArtifact]:
-    paths = sorted(directory.glob("*.json"))
-    if not paths:
+    """Artifacts from a flat directory or a sharded store root."""
+    try:
+        artifacts = artifacts_from_path(directory)
+    except (ArtifactError, StoreError) as exc:
+        raise SystemExit(f"{directory}: {exc}")
+    if not artifacts:
         raise SystemExit(f"no artifacts found in {directory}")
-    artifacts = []
-    for path in paths:
-        try:
-            artifacts.append(WrapperArtifact.load(path))
-        except ArtifactError as exc:
-            raise SystemExit(f"{path}: {exc}")
     return artifacts
 
 
@@ -66,8 +89,18 @@ def _site_specs(artifacts: Sequence[WrapperArtifact]):
 
 
 def cmd_induce(args: argparse.Namespace) -> int:
-    out = pathlib.Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
+    store: Optional[ShardedArtifactStore] = None
+    if args.store:
+        try:
+            # n_shards=None lets an existing store keep its recorded
+            # shard count; a new store gets --shards (or the default).
+            store = ShardedArtifactStore(args.store, n_shards=args.shards)
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        out = store.root
+    else:
+        out = pathlib.Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
     tasks = _corpus_tasks(args.multi)
     if args.task:
         wanted = set(args.task)
@@ -104,7 +137,10 @@ def cmd_induce(args: argparse.Namespace) -> int:
             },
             config=config,
         )
-        artifact.save(out / artifact.filename())
+        if store is not None:
+            store.put(artifact)
+        else:
+            artifact.save(out / artifact.filename())
         written += 1
         best = artifact.best
         print(
@@ -132,7 +168,8 @@ def cmd_extract(args: argparse.Namespace) -> int:
     )
     pairs = sum(len(job.wrappers) for job in jobs)
     started = time.perf_counter()
-    records = BatchExtractor(workers=args.workers).extract(jobs)
+    with BatchExtractor(workers=args.workers, persistent=True) as extractor:
+        records = extractor.extract(jobs)
     elapsed = time.perf_counter() - started
 
     empty = sum(record.is_empty for record in records)
@@ -203,18 +240,155 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"{drifted} drifted"
         + (f", {repaired} repaired, {failed} need re-annotation" if args.repair else "")
     )
+    # Exit non-zero on drift so CI jobs can gate on wrapper health
+    # (0 = healthy, 1 = drift, 3 = drift + failed repairs).
+    if failed:
+        return EXIT_REPAIR_FAILED
+    if drifted:
+        return EXIT_DRIFT
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    artifacts = _load_artifacts(pathlib.Path(args.artifacts))
+    specs = _site_specs(artifacts)
+    site_ids = sorted({a.site_id for a in artifacts})
+    page_html = {}
+    for site_id in site_ids:
+        archive = SyntheticArchive(specs[site_id], n_snapshots=args.snapshot + 1)
+        if archive.is_broken(args.snapshot):
+            print(f"skip  {site_id}: snapshot {args.snapshot} is a broken capture")
+            continue
+        page_html[site_id] = to_html(archive.snapshot(args.snapshot))
+
+    # Per-wrapper request stream: what independent serving clients send
+    # (one wrapper per request), so coalescing has real work to do.
+    requests: list[PageJob] = []
+    for artifact in artifacts:
+        html = page_html.get(artifact.site_id)
+        if html is None:
+            continue
+        wrappers = [(artifact.task_id, artifact.best.text)]
+        if not args.no_ensemble:
+            wrappers += [
+                (f"{artifact.task_id}#m{i}", text)
+                for i, text in enumerate(artifact.ensemble)
+            ]
+        page_id = f"{artifact.site_id}@{args.snapshot}"
+        requests.extend(
+            PageJob(page_id=page_id, html=html, wrappers=((wid, text),))
+            for wid, text in wrappers
+        )
+
+    config = ServingConfig(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        per_site_limit=args.per_site_limit,
+    )
+    started = time.perf_counter()
+    results, stats = serve_jobs_sync(requests, config, concurrency=args.concurrency)
+    elapsed = time.perf_counter() - started
+
+    empty = sum(record.is_empty for records in results for record in records)
+    print(
+        f"{stats.requests} requests over {stats.pages_parsed} parsed pages "
+        f"({stats.coalesced_requests} coalesced) in {stats.batches} batches; "
+        f"{empty} empty results"
+    )
+    print(
+        f"concurrency {args.concurrency}, {args.workers} worker(s): "
+        f"{elapsed:.2f}s = {len(requests) / elapsed:.0f} requests/s "
+        f"(peak pending {stats.peak_pending}, "
+        f"peak per-site in-flight {stats.peak_site_inflight})"
+    )
+    if args.json:
+        payload = {
+            "requests": len(requests),
+            "elapsed_s": elapsed,
+            "stats": stats.as_dict(),
+        }
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"serving stats written to {args.json}")
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if not ShardedArtifactStore.is_store(args.store):
+        raise SystemExit(
+            f"{args.store} is not a sharded artifact store "
+            "(create one with 'induce --store')"
+        )
+    try:
+        store = ShardedArtifactStore(args.store)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    config = SweepConfig(
+        n_snapshots=args.snapshots,
+        repair=not args.no_repair,
+        workers=args.workers,
+        drift=DriftConfig(canonical_change_is_hard=args.strict_canonical),
+    )
+    started = time.perf_counter()
+    try:
+        summary = sweep_store(store, config)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    elapsed = time.perf_counter() - started
+    for wrapper in summary.wrappers:
+        if not wrapper.drifted:
+            print(f"ok    {wrapper.task_id}: healthy over {wrapper.checked} snapshots")
+            continue
+        snapshots = ",".join(str(s) for s in wrapper.drift_snapshots)
+        line = (
+            f"DRIFT {wrapper.task_id} @ snapshot(s) {snapshots} "
+            f"[{','.join(wrapper.signals)}]"
+        )
+        if wrapper.repairs:
+            line += f" -> repaired x{wrapper.repairs} (gen {wrapper.final_generation})"
+        if wrapper.repair_failed:
+            line += f" -> repair failed: {wrapper.repair_error}"
+        print(line)
+    print(
+        f"\n{len(summary.wrappers)} wrappers, {summary.checked} checks over "
+        f"{summary.n_snapshots - 1} snapshots with {summary.workers} worker(s) "
+        f"in {elapsed:.2f}s: {summary.drifted} drifted, {summary.repaired} repairs, "
+        f"{summary.repair_failures} need re-annotation"
+    )
+    print(f"telemetry: {len(store.report_paths())} report streams under {store.root}")
+    if summary.repair_failures and args.fail_on in ("drift", "repair"):
+        return EXIT_REPAIR_FAILED
+    if summary.drifted and args.fail_on == "drift":
+        return EXIT_DRIFT
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime",
-        description="Wrapper lifecycle runtime: induce, batch-extract, drift-check.",
+        description=(
+            "Wrapper lifecycle runtime: induce, batch-extract, drift-check, "
+            "async-serve, fleet-sweep."
+        ),
+        epilog=(
+            "exit codes for check/sweep: 0 = no drift, 1 = drift detected, "
+            "3 = drift with failed repairs (2 is reserved for usage errors)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     induce = sub.add_parser("induce", help="induce corpus wrappers into JSON artifacts")
-    induce.add_argument("--out", required=True, help="artifact output directory")
+    target = induce.add_mutually_exclusive_group(required=True)
+    target.add_argument("--out", help="flat artifact output directory")
+    target.add_argument("--store", help="sharded artifact store root")
+    induce.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            f"shard count when creating a new store (default: {DEFAULT_SHARDS}); "
+            "reopening an existing store reads its recorded shard count"
+        ),
+    )
     induce.add_argument("--task", action="append", help="task id (repeatable); default: all")
     induce.add_argument("--limit", type=int, default=None, help="max tasks")
     induce.add_argument("--multi", action="store_true", help="include multi-node tasks")
@@ -241,6 +415,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat canonical-path changes as drift",
     )
     check.set_defaults(func=cmd_check)
+
+    serve = sub.add_parser(
+        "serve", help="run a request stream through the async serving layer"
+    )
+    serve.add_argument("--artifacts", required=True, help="artifact directory or store")
+    serve.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")
+    serve.add_argument("--workers", type=int, default=1, help="execution pool size")
+    serve.add_argument("--concurrency", type=int, default=8, help="client concurrency")
+    serve.add_argument("--max-pending", type=int, default=64, help="admission queue bound")
+    serve.add_argument("--per-site-limit", type=int, default=8)
+    serve.add_argument("--no-ensemble", action="store_true", help="top queries only")
+    serve.add_argument("--json", help="write serving stats to this file")
+    serve.set_defaults(func=cmd_serve)
+
+    sweep = sub.add_parser(
+        "sweep", help="multi-process drift sweep over a sharded store"
+    )
+    sweep.add_argument("--store", required=True, help="sharded artifact store root")
+    sweep.add_argument("--snapshots", type=int, default=20, help="snapshots to replay")
+    sweep.add_argument("--workers", type=int, default=1, help="sweep processes")
+    sweep.add_argument(
+        "--no-repair", action="store_true", help="detect only, do not re-induce"
+    )
+    sweep.add_argument(
+        "--strict-canonical",
+        action="store_true",
+        help="treat canonical-path changes as drift",
+    )
+    sweep.add_argument(
+        "--fail-on",
+        choices=("drift", "repair", "never"),
+        default="drift",
+        help=(
+            "exit non-zero on any drift (drift), only on failed repairs "
+            "(repair — for telemetry jobs that expect drift), or never"
+        ),
+    )
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -133,12 +133,42 @@ class BatchExtractor:
     into contiguous chunks and fans them out over a process pool.
     Record order always matches the job order (per page, wrappers in
     job order), so callers can zip results against their inputs.
+
+    By default each :meth:`extract` call spins up (and tears down) its
+    own pool — fine for one-shot batches.  Callers making repeated
+    ``extract()`` calls (the CLI does; the serving layer manages its own
+    executor so it can await futures) can opt into ``persistent=True``
+    and the context-manager protocol: the pool outlives calls, so
+    process spawn cost is paid once::
+
+        with BatchExtractor(workers=4, persistent=True) as extractor:
+            for jobs in job_batches:
+                extractor.extract(jobs)
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, persistent: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "BatchExtractor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
 
     def extract(self, jobs: Sequence[PageJob]) -> list[ExtractionRecord]:
         payload = [(job.page_id, job.html, job.wrappers) for job in jobs]
@@ -146,8 +176,14 @@ class BatchExtractor:
             raw = _extract_chunk(payload)
         else:
             chunks = self._chunk(payload, min(self.workers, len(payload)))
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            if self.persistent:
+                pool = self._ensure_pool()
                 raw = [row for part in pool.map(_extract_chunk, chunks) for row in part]
+            else:
+                with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                    raw = [
+                        row for part in pool.map(_extract_chunk, chunks) for row in part
+                    ]
         return [
             ExtractionRecord(page_id=p, wrapper_id=w, paths=paths, values=values)
             for p, w, paths, values in raw

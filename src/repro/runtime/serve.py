@@ -1,0 +1,419 @@
+"""Async serving layer over the batch extraction engine.
+
+:class:`~repro.runtime.extractor.BatchExtractor` is a *batch* API: the
+caller already holds every (wrapper, page) pair and wants them all.  A
+serving deployment sees the opposite shape — many independent callers
+each asking "run this wrapper on this page, now" — and calling the batch
+engine once per request throws away exactly the amortization it exists
+for (one parse per request instead of one parse per page).
+
+:class:`AsyncExtractionServer` restores the batch shape *behind* a
+request/response front-end:
+
+* **admission** — ``await extract(job)`` enqueues onto a bounded queue;
+  a full queue suspends the caller (backpressure, not buffering bloat),
+  and a per-site semaphore caps how many requests a single site may
+  hold in flight, so one hot site cannot starve the fleet;
+* **micro-batching** — a dispatcher drains whatever is queued (up to
+  ``max_batch_pages`` pages) into one batch, so concurrency the clients
+  already exhibit becomes per-page amortization with no added latency
+  when the queue is empty (a lone request dispatches immediately);
+* **coalescing** — requests in a batch that target the same page (same
+  ``page_id`` + identical HTML) share one parse + one document index:
+  their wrapper lists are merged (deduplicated by wrapper id + query
+  text) and the records are demultiplexed back to each caller;
+* **execution** — merged page groups run through :func:`_serve_chunk`
+  (the batch engine's per-page loop with per-wrapper failure isolation:
+  a malformed query fails only the requests that sent it, as a
+  :class:`RequestError`), on a *persistent* pool (``workers=1``: an
+  in-process thread, zero pickling; ``workers>1``: a
+  ``ProcessPoolExecutor`` that outlives requests, unlike
+  ``BatchExtractor.extract``'s per-call pool).
+
+``benchmarks/bench_serving.py`` measures the result on the full corpus
+and writes ``BENCH_serving.json``: at client concurrency 8 the server
+must clear ≥ 1.5× the throughput of serial per-request
+``BatchExtractor`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.runtime.extractor import ExtractionRecord, PageJob, extract_document
+from repro.dom.parser import parse_html
+
+
+class RequestError(RuntimeError):
+    """One serving request failed (bad query, unparseable page, ...).
+
+    Scoped to the request: other requests in the same dispatch batch —
+    including ones coalesced onto the same page — are unaffected.
+    """
+
+
+def _serve_chunk(payload: list) -> list:
+    """Worker: like ``extractor._extract_chunk`` but with per-wrapper
+    failure isolation — a malformed query must fail only the requests
+    that sent it, so each result slot is ``("ok", row)`` or
+    ``("err", message)`` (strings, so process pools pickle cleanly)."""
+    out: list[list] = []
+    for page_id, html, wrappers in payload:
+        rows: list = []
+        try:
+            doc = parse_html(html)
+        except Exception as exc:
+            out.append([("err", f"page {page_id!r} failed to parse: {exc}")] * len(wrappers))
+            continue
+        for wrapper_id, text in wrappers:
+            try:
+                (record,) = extract_document(doc, [(wrapper_id, text)], page_id)
+                rows.append(
+                    ("ok", (record.page_id, record.wrapper_id, record.paths, record.values))
+                )
+            except Exception as exc:
+                rows.append(("err", f"wrapper {wrapper_id!r}: {exc}"))
+        out.append(rows)
+    return out
+
+
+def _chunk_payload(payload: list, n: int) -> list[list]:
+    """Contiguous near-even payload split (preserves page order, so the
+    concatenated results demultiplex positionally)."""
+    size, extra = divmod(len(payload), n)
+    parts, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            parts.append(payload[start:end])
+        start = end
+    return parts
+
+
+def default_site_key(job: PageJob) -> str:
+    """Site key of a request for per-site limits.
+
+    The runtime's page ids are ``<site_id>`` or ``<site_id>@<snapshot>``
+    (see ``jobs_for_artifacts``); everything before the first ``@`` is
+    the site.
+    """
+    return job.page_id.split("@", 1)[0]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs for the serving layer.
+
+    ``workers`` sizes the execution pool (1 = in-process thread, no
+    pickling; >1 = persistent process pool).  ``max_pending`` bounds the
+    admission queue — when full, ``extract()`` awaits instead of
+    buffering without limit.  ``per_site_limit`` caps in-flight requests
+    per site key.  ``max_batch_pages`` caps how many queued requests one
+    dispatch drains into a single batch.
+    """
+
+    workers: int = 1
+    max_pending: int = 64
+    per_site_limit: int = 8
+    max_batch_pages: int = 16
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.per_site_limit < 1:
+            raise ValueError("per_site_limit must be >= 1")
+        if self.max_batch_pages < 1:
+            raise ValueError("max_batch_pages must be >= 1")
+
+
+@dataclass
+class ServerStats:
+    """Observability counters, updated as the dispatcher runs."""
+
+    requests: int = 0
+    pages_parsed: int = 0
+    coalesced_requests: int = 0
+    batches: int = 0
+    peak_pending: int = 0
+    peak_site_inflight: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its records."""
+
+    job: PageJob
+    future: "asyncio.Future[list[ExtractionRecord]]" = field(repr=False, default=None)
+
+
+class AsyncExtractionServer:
+    """Request/response extraction over a shared, bounded worker pool.
+
+    Use as an async context manager::
+
+        async with AsyncExtractionServer(ServingConfig(workers=4)) as server:
+            records = await server.extract(job)           # one request
+            all_records = await server.extract_many(jobs) # a stream
+
+    The server must be started from within a running event loop; the
+    dispatcher task and the execution pool live until ``aclose()``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServingConfig] = None,
+        site_key: Callable[[PageJob], str] = default_site_key,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.site_key = site_key
+        self.stats = ServerStats()
+        self._queue: Optional[asyncio.Queue[_Pending]] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor: Optional[Executor] = None
+        self._site_sems: dict[str, asyncio.Semaphore] = {}
+        self._site_inflight: dict[str, int] = {}
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncExtractionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("server already started")
+        if self._closed:
+            raise RuntimeError("server already closed")
+        self._queue = asyncio.Queue(maxsize=self.config.max_pending)
+        if self.config.workers == 1:
+            # One thread keeps the event loop responsive without paying
+            # pickling/IPC for the HTML payloads.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def aclose(self) -> None:
+        """Drain nothing, stop everything: pending requests are failed."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._queue is not None:
+            # Drain-and-yield until quiescent: freeing queue slots wakes
+            # callers suspended in put(); they re-enqueue on the next
+            # loop tick and must be failed too, not left awaiting a
+            # future no dispatcher will ever resolve.
+            while True:
+                while not self._queue.empty():
+                    pending = self._queue.get_nowait()
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            RuntimeError("server closed before request was served")
+                        )
+                await asyncio.sleep(0)
+                if self._queue.empty():
+                    break
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- request API --------------------------------------------------------
+
+    async def extract(self, job: PageJob) -> list[ExtractionRecord]:
+        """Serve one request; resolves to the records for *this* job's
+        wrappers (in job order), however the page was batched."""
+        if self._queue is None or self._closed:
+            raise RuntimeError("server is not running (use 'async with')")
+        site = self.site_key(job)
+        sem = self._site_sems.setdefault(
+            site, asyncio.Semaphore(self.config.per_site_limit)
+        )
+        async with sem:
+            self._site_inflight[site] = self._site_inflight.get(site, 0) + 1
+            self.stats.peak_site_inflight = max(
+                self.stats.peak_site_inflight, self._site_inflight[site]
+            )
+            try:
+                pending = _Pending(
+                    job, asyncio.get_running_loop().create_future()
+                )
+                await self._queue.put(pending)
+                # put() may have suspended across aclose(); nothing will
+                # dispatch this request anymore, so fail it now.
+                if self._closed and not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError("server closed before request was served")
+                    )
+                self.stats.peak_pending = max(
+                    self.stats.peak_pending, self._queue.qsize()
+                )
+                return await pending.future
+            finally:
+                self._site_inflight[site] -= 1
+
+    async def extract_many(
+        self, jobs: Sequence[PageJob], concurrency: int = 8
+    ) -> list[list[ExtractionRecord]]:
+        """Serve a request stream at bounded client concurrency; results
+        align with ``jobs``.  Per-request failures propagate."""
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        gate = asyncio.Semaphore(concurrency)
+
+        async def one(job: PageJob) -> list[ExtractionRecord]:
+            async with gate:
+                return await self.extract(job)
+
+        return list(await asyncio.gather(*(one(job) for job in jobs)))
+
+    # -- dispatcher ---------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.config.max_batch_pages:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        # Coalesce: requests for the same rendered page share one parse.
+        # Key on page id *and* HTML — a page id reused with different
+        # content (e.g. a re-render race) must not share records.
+        groups: dict[tuple[str, str], dict[tuple[str, str], int]] = {}
+        placements: list[list[tuple[tuple[str, str], tuple[str, str]]]] = []
+        for pending in batch:
+            key = (pending.job.page_id, pending.job.html)
+            merged = groups.setdefault(key, {})
+            if merged:
+                self.stats.coalesced_requests += 1
+            placement = []
+            for wrapper in pending.job.wrappers:
+                if wrapper not in merged:
+                    merged[wrapper] = len(merged)
+                placement.append((key, wrapper))
+            placements.append(placement)
+
+        payload = [
+            (page_id, html, tuple(merged.keys()))
+            for (page_id, html), merged in groups.items()
+        ]
+        self.stats.batches += 1
+        self.stats.requests += len(batch)
+        self.stats.pages_parsed += len(payload)
+
+        loop = asyncio.get_running_loop()
+        try:
+            if self.config.workers > 1 and len(payload) > 1:
+                # Spread the merged pages over the pool — a single
+                # submit would serialize the whole batch through one
+                # worker and leave the rest idle.
+                parts = _chunk_payload(
+                    payload, min(self.config.workers, len(payload))
+                )
+                raws = await asyncio.gather(
+                    *(
+                        loop.run_in_executor(self._executor, _serve_chunk, part)
+                        for part in parts
+                    )
+                )
+                raw = [rows for part in raws for rows in part]
+            else:
+                raw = await loop.run_in_executor(
+                    self._executor, _serve_chunk, payload
+                )
+        except BaseException as exc:
+            # Only infrastructure failures (broken pool, cancellation)
+            # reach here — per-request errors come back as "err" slots.
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        exc if isinstance(exc, Exception) else RuntimeError(str(exc))
+                    )
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
+
+        # Demultiplex: slots come back grouped per payload page in
+        # merged wrapper order; index them by (page key, merged
+        # position).  A slot is ("ok", row) or ("err", message).
+        slots: dict[tuple[tuple[str, str], int], tuple[str, object]] = {}
+        for ((page_id, html), merged), page_rows in zip(groups.items(), raw):
+            for position, slot in enumerate(page_rows):
+                slots[((page_id, html), position)] = slot
+        for pending, placement in zip(batch, placements):
+            result: list[ExtractionRecord] = []
+            error: Optional[str] = None
+            for key, wrapper in placement:
+                status, value = slots[(key, groups[key][wrapper])]
+                if status != "ok":
+                    error = str(value)
+                    break
+                p, w, paths, values = value
+                result.append(
+                    ExtractionRecord(page_id=p, wrapper_id=w, paths=paths, values=values)
+                )
+            if pending.future.done():
+                continue
+            if error is not None:
+                pending.future.set_exception(RequestError(error))
+            else:
+                pending.future.set_result(result)
+
+
+async def serve_jobs(
+    jobs: Sequence[PageJob],
+    config: Optional[ServingConfig] = None,
+    concurrency: int = 8,
+) -> tuple[list[list[ExtractionRecord]], ServerStats]:
+    """Run a request stream through a fresh server (the CLI/bench entry
+    point): returns per-request records plus the server's counters."""
+    async with AsyncExtractionServer(config) as server:
+        results = await server.extract_many(jobs, concurrency=concurrency)
+        return results, server.stats
+
+
+def serve_jobs_sync(
+    jobs: Sequence[PageJob],
+    config: Optional[ServingConfig] = None,
+    concurrency: int = 8,
+) -> tuple[list[list[ExtractionRecord]], ServerStats]:
+    """Blocking wrapper for callers without an event loop."""
+    return asyncio.run(serve_jobs(jobs, config=config, concurrency=concurrency))
+
+
+__all__ = [
+    "AsyncExtractionServer",
+    "RequestError",
+    "ServerStats",
+    "ServingConfig",
+    "default_site_key",
+    "serve_jobs",
+    "serve_jobs_sync",
+]

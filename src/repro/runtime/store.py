@@ -1,0 +1,374 @@
+"""Sharded, crash-safe wrapper artifact store.
+
+A deployment serving every corpus site holds one :class:`WrapperArtifact`
+per task; a flat directory of JSON files stops scaling the moment more
+than one worker owns the fleet.  :class:`ShardedArtifactStore` partitions
+artifacts across ``N`` shard directories by a *stable* hash of the site
+key, so:
+
+* co-located tasks (same site, different roles) land in the same shard —
+  one sweep worker parses a site's archive once for all its wrappers;
+* shard ownership is a pure function of the key: any process (today's
+  CLI, tomorrow's fleet worker on another host) computes the same
+  placement with no coordination and no directory listing;
+* a sweep fleet assigns *whole shards* to workers — disjoint file sets,
+  so workers never contend on the same artifact or report stream.
+
+Placement uses SHA-1 of the site key (:func:`shard_index`), **not**
+Python's builtin ``hash`` — the builtin is salted per process
+(``PYTHONHASHSEED``) and would scatter the same key across different
+shards in different processes.
+
+Durability: :meth:`put` writes to a temp file in the destination shard
+and publishes it with ``os.replace``, so a reader (or a crash) never
+observes a partially written artifact — the temp name does not match the
+``*.json`` pattern ``scan()``/``get()`` read.  Reads go through a small
+in-process LRU keyed by file mtime, so repeated ``get()``s of a hot
+wrapper skip JSON parsing + query validation while an out-of-band
+``put`` from another process still invalidates naturally.
+
+Drift telemetry lives next to the artifacts: per-wrapper
+:class:`~repro.runtime.drift.DriftReport` streams append to
+``<shard>/reports/<task>.jsonl`` (see :meth:`append_reports`), keeping
+the store the single root a fleet needs to mount.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.runtime.artifact import ArtifactError, WrapperArtifact
+
+#: Name of the store metadata file at the store root.
+STORE_META = "store.json"
+
+#: Current store layout version; bump on incompatible layout changes.
+STORE_VERSION = 1
+
+#: Default shard count — small enough that an 84-site corpus keeps every
+#: shard populated, large enough to feed a one-process-per-shard fleet.
+DEFAULT_SHARDS = 8
+
+
+class StoreError(RuntimeError):
+    """The store root is missing, corrupt, or opened inconsistently."""
+
+
+def site_key_of(task_id: str) -> str:
+    """The partition key for a task id.
+
+    Corpus task ids are ``<site_id>/<role>``; everything before the
+    first ``/`` is the site key, so co-located tasks share a shard.  Ids
+    without a ``/`` partition by the whole id.
+    """
+    return task_id.split("/", 1)[0]
+
+
+def shard_index(site_key: str, n_shards: int) -> int:
+    """Stable shard for a site key: same key → same shard, every
+    process, every run (SHA-1 based, immune to hash salting)."""
+    digest = hashlib.sha1(site_key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def _artifact_filename(task_id: str) -> str:
+    return task_id.replace("/", "__") + ".json"
+
+
+def _task_id_of(path: pathlib.Path) -> str:
+    return path.stem.replace("__", "/")
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters for the in-process artifact LRU."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+
+class ShardedArtifactStore:
+    """Artifacts partitioned over ``shard-NN/`` directories by site key.
+
+    Layout::
+
+        <root>/store.json            {"version": 1, "n_shards": N}
+        <root>/shard-00/<task>.json  artifacts (atomic tmp+replace)
+        <root>/shard-00/reports/<task>.jsonl   drift-report streams
+        ...
+        <root>/shard-NN/...
+
+    Opening an existing root reads ``n_shards`` from the metadata;
+    passing a conflicting ``n_shards`` raises (re-sharding is a
+    migration, not an accident).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        n_shards: Optional[int] = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        meta_path = self.root / STORE_META
+        if meta_path.exists():
+            meta = self._read_meta(meta_path)
+            if n_shards is not None and n_shards != meta["n_shards"]:
+                raise StoreError(
+                    f"store at {self.root} has {meta['n_shards']} shards; "
+                    f"reopening with n_shards={n_shards} would misplace keys "
+                    "(re-sharding requires an explicit migration)"
+                )
+            self.n_shards = int(meta["n_shards"])
+        else:
+            self.n_shards = DEFAULT_SHARDS if n_shards is None else int(n_shards)
+            if self.n_shards < 1:
+                raise StoreError("a store needs at least one shard")
+            self.root.mkdir(parents=True, exist_ok=True)
+            for index in range(self.n_shards):
+                self._shard_dir(index).mkdir(exist_ok=True)
+            tmp = meta_path.with_name(STORE_META + f".tmp-{os.getpid()}")
+            tmp.write_text(
+                json.dumps({"version": STORE_VERSION, "n_shards": self.n_shards})
+                + "\n"
+            )
+            os.replace(tmp, meta_path)
+        if cache_size < 0:
+            raise StoreError("cache_size must be >= 0")
+        self.cache_size = cache_size
+        self._cache: OrderedDict[str, tuple[int, WrapperArtifact]] = OrderedDict()
+        self._hits = self._misses = self._evictions = 0
+
+    @staticmethod
+    def _read_meta(meta_path: pathlib.Path) -> dict:
+        try:
+            meta = json.loads(meta_path.read_text())
+            version = int(meta["version"])
+            n_shards = int(meta["n_shards"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise StoreError(f"corrupt store metadata at {meta_path}: {exc}") from exc
+        if version != STORE_VERSION:
+            raise StoreError(
+                f"unsupported store version {version} (supported: {STORE_VERSION})"
+            )
+        if n_shards < 1:
+            raise StoreError(f"store metadata claims {n_shards} shards")
+        return {"version": version, "n_shards": n_shards}
+
+    @classmethod
+    def is_store(cls, root: str | os.PathLike) -> bool:
+        """Whether ``root`` looks like a store (has the metadata file)."""
+        return (pathlib.Path(root) / STORE_META).exists()
+
+    # -- placement ----------------------------------------------------------
+
+    def _shard_dir(self, index: int) -> pathlib.Path:
+        return self.root / f"shard-{index:02d}"
+
+    def shard_of(self, task_id: str) -> int:
+        return shard_index(site_key_of(task_id), self.n_shards)
+
+    def path_of(self, task_id: str) -> pathlib.Path:
+        """Where the artifact for ``task_id`` lives (whether or not it
+        exists yet) — placement is computable without touching disk."""
+        return self._shard_dir(self.shard_of(task_id)) / _artifact_filename(task_id)
+
+    # -- read/write ---------------------------------------------------------
+
+    def put(self, artifact: WrapperArtifact) -> pathlib.Path:
+        """Persist atomically: a crash mid-write leaves only an invisible
+        temp file; readers see either the old generation or the new one."""
+        final = self.path_of(artifact.task_id)
+        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(artifact.dumps() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():  # failed before replace: never publish
+                tmp.unlink()
+        self._remember(artifact.task_id, final, artifact)
+        return final
+
+    def get(self, task_id: str) -> WrapperArtifact:
+        """Load one artifact, through the mtime-validated LRU.
+
+        Raises :class:`KeyError` when absent and
+        :class:`~repro.runtime.artifact.ArtifactError` when corrupt.
+        """
+        path = self.path_of(task_id)
+        try:
+            mtime = os.stat(path).st_mtime_ns
+        except FileNotFoundError:
+            self._cache.pop(task_id, None)
+            raise KeyError(task_id) from None
+        cached = self._cache.get(task_id)
+        if cached is not None and cached[0] == mtime:
+            self._hits += 1
+            self._cache.move_to_end(task_id)
+            return cached[1]
+        self._misses += 1
+        artifact = WrapperArtifact.load(path)
+        self._remember(task_id, path, artifact, mtime=mtime)
+        return artifact
+
+    def remove(self, task_id: str) -> None:
+        self._cache.pop(task_id, None)
+        try:
+            os.unlink(self.path_of(task_id))
+        except FileNotFoundError:
+            raise KeyError(task_id) from None
+
+    def _remember(
+        self,
+        task_id: str,
+        path: pathlib.Path,
+        artifact: WrapperArtifact,
+        mtime: Optional[int] = None,
+    ) -> None:
+        if self.cache_size == 0:
+            return
+        if mtime is None:
+            try:
+                mtime = os.stat(path).st_mtime_ns
+            except FileNotFoundError:  # pragma: no cover - racing remover
+                return
+        self._cache[task_id] = (mtime, artifact)
+        self._cache.move_to_end(task_id)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+            capacity=self.cache_size,
+        )
+
+    # -- enumeration --------------------------------------------------------
+
+    def shard_task_ids(self, index: int) -> list[str]:
+        """Task ids stored in one shard, sorted for determinism."""
+        shard = self._shard_dir(index)
+        if not shard.is_dir():
+            raise StoreError(f"missing shard directory {shard}")
+        return sorted(_task_id_of(path) for path in shard.glob("*.json"))
+
+    def task_ids(self) -> list[str]:
+        out: list[str] = []
+        for index in range(self.n_shards):
+            out.extend(self.shard_task_ids(index))
+        return sorted(out)
+
+    def scan(self) -> Iterator[WrapperArtifact]:
+        """Iterate every stored artifact (shard by shard, sorted ids)."""
+        for index in range(self.n_shards):
+            for task_id in self.shard_task_ids(index):
+                yield self.get(task_id)
+
+    def __len__(self) -> int:
+        return len(self.task_ids())
+
+    def __contains__(self, task_id: str) -> bool:
+        return self.path_of(task_id).exists()
+
+    # -- drift-report streams ----------------------------------------------
+
+    def reports_path(self, task_id: str) -> pathlib.Path:
+        shard = self._shard_dir(self.shard_of(task_id))
+        return shard / "reports" / (_artifact_filename(task_id) + "l")  # .jsonl
+
+    def append_reports(self, task_id: str, reports: Iterable[dict]) -> pathlib.Path:
+        """Append drift-report dicts to the wrapper's JSONL stream.
+
+        Appends are the durability model here: report lines are an
+        ever-growing telemetry stream (drift lead-time studies read the
+        whole history), and each line is written in one ``write`` call of
+        a line-buffered append handle, so concurrent sweeps of *other*
+        wrappers never interleave into this stream (shard ownership
+        keeps two sweeps off the same wrapper).
+        """
+        path = self.reports_path(task_id)
+        path.parent.mkdir(exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            for report in reports:
+                handle.write(json.dumps(report, sort_keys=True) + "\n")
+        return path
+
+    def read_reports(self, task_id: str) -> list[dict]:
+        path = self.reports_path(task_id)
+        if not path.exists():
+            return []
+        lines = path.read_text().splitlines()
+        return [json.loads(line) for line in lines if line.strip()]
+
+    def report_paths(self) -> list[pathlib.Path]:
+        """Every report stream in the store (for artifact upload jobs)."""
+        return sorted(self.root.glob("shard-*/reports/*.jsonl"))
+
+
+def migrate_directory(
+    directory: str | os.PathLike,
+    root: str | os.PathLike,
+    n_shards: int = DEFAULT_SHARDS,
+) -> ShardedArtifactStore:
+    """Import a flat artifact directory (the pre-store CLI layout) into a
+    sharded store.  Corrupt files raise — a migration must not silently
+    drop wrappers."""
+    store = ShardedArtifactStore(root, n_shards=n_shards)
+    for path in sorted(pathlib.Path(directory).glob("*.json")):
+        try:
+            store.put(WrapperArtifact.load(path))
+        except ArtifactError as exc:
+            raise StoreError(f"cannot migrate {path}: {exc}") from exc
+    return store
+
+
+def artifacts_from_path(path: str | os.PathLike) -> list[WrapperArtifact]:
+    """Load every artifact under ``path`` — a store root or a flat
+    directory of ``*.json`` files (the CLI accepts both)."""
+    if ShardedArtifactStore.is_store(path):
+        return list(ShardedArtifactStore(path).scan())
+    artifacts = []
+    for file in sorted(pathlib.Path(path).glob("*.json")):
+        try:
+            artifacts.append(WrapperArtifact.load(file))
+        except ArtifactError as exc:
+            raise ArtifactError(f"{file}: {exc}") from exc
+    return artifacts
+
+
+def open_or_none(path: str | os.PathLike) -> Optional[ShardedArtifactStore]:
+    """The store at ``path`` when it is one, else ``None``."""
+    if ShardedArtifactStore.is_store(path):
+        return ShardedArtifactStore(path)
+    return None
+
+
+__all__ = [
+    "CacheInfo",
+    "DEFAULT_SHARDS",
+    "STORE_META",
+    "STORE_VERSION",
+    "ShardedArtifactStore",
+    "StoreError",
+    "artifacts_from_path",
+    "migrate_directory",
+    "open_or_none",
+    "shard_index",
+    "site_key_of",
+]

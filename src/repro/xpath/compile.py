@@ -315,14 +315,17 @@ def _compile_predicate(predicate: Predicate) -> PredicateFn:
 
 # -- step and query compilation ----------------------------------------------
 
-#: Per-document memo of globally filtered descendant candidates: (index
-#: stamp, axis-free filter step) -> (filtered doc-order node list, their
-#: pre numbers).  Per-node predicates commute with subtree restriction,
-#: so ``descendant::t[preds]`` from any context is a bisect slice of the
-#: once-filtered document-wide list — the predicate work is paid once
-#: per document instead of once per context node.
-_FILTER_CACHE: dict[tuple[int, Step], tuple[list, list[int]]] = {}
-_FILTER_CACHE_LIMIT = 100_000
+# Filtered-descendant candidates are memoized *on the document index*
+# (``DocumentIndex.filter_cache``): axis-free filter step -> (filtered
+# doc-order node list, their pre numbers).  Per-node predicates commute
+# with subtree restriction, so ``descendant::t[preds]`` from any context
+# is a bisect slice of the once-filtered document-wide list — the
+# predicate work is paid once per document instead of once per context
+# node.  The memo must not live in a module global keyed by stamp: node
+# lists would pin every document ever parsed, which leaks without bound
+# in long-running serving processes and drags every gc pass (a ~100ms+
+# full collection per accumulated heap, repeated in each forked pool
+# worker) — the index-owned dict dies with the document instead.
 
 
 def _compile_filtered_descendant(step: Step, leading: tuple, rest: tuple) -> StepFn:
@@ -346,11 +349,8 @@ def _compile_filtered_descendant(step: Step, leading: tuple, rest: tuple) -> Ste
                     break
                 candidates = predicate_fn(candidates, doc)
         else:
-            key = (index.stamp, filter_step)
-            entry = _FILTER_CACHE.get(key)
+            entry = index.filter_cache.get(filter_step)
             if entry is None:
-                if len(_FILTER_CACHE) > _FILTER_CACHE_LIMIT:
-                    _FILTER_CACHE.clear()
                 filtered = _indexed_lists(index, nodetest)[0]
                 # Predicate fns are pure (they build fresh lists), so the
                 # index list is never aliased or mutated here: ``leading``
@@ -360,7 +360,7 @@ def _compile_filtered_descendant(step: Step, leading: tuple, rest: tuple) -> Ste
                         break
                     filtered = predicate_fn(filtered, doc)
                 entry = (filtered, [n._pre for n in filtered])
-                _FILTER_CACHE[key] = entry
+                index.filter_cache[filter_step] = entry
             filtered, pres = entry
             lo = bisect_right(pres, node._pre)
             hi = bisect_right(pres, node._post)

@@ -1,10 +1,11 @@
-"""The ``python -m repro.runtime`` CLI: induce → extract → check."""
+"""The ``python -m repro.runtime`` CLI: induce → extract → check →
+serve → sweep, including the documented exit codes."""
 
 import json
 
 import pytest
 
-from repro.runtime.cli import main
+from repro.runtime.cli import EXIT_DRIFT, EXIT_OK, main
 
 
 @pytest.fixture(scope="module")
@@ -64,15 +65,15 @@ class TestExtract:
 
 
 class TestCheck:
-    def test_reports_health_over_snapshots(self, artifact_dir, capsys):
+    def test_healthy_fleet_exits_zero(self, artifact_dir, capsys):
         rc = main(
             ["check", "--artifacts", str(artifact_dir), "--snapshots", "6", "--repair"]
         )
-        assert rc == 0
+        assert rc == EXIT_OK
         out = capsys.readouterr().out
         assert "wrappers checked over 5 snapshots" in out
 
-    def test_drifting_wrapper_is_repaired(self, tmp_path, capsys):
+    def test_drifting_wrapper_is_repaired_and_exits_nonzero(self, tmp_path, capsys):
         out_dir = tmp_path / "weather"
         repaired_dir = tmp_path / "repaired"
         assert main(["induce", "--out", str(out_dir), "--task", "weather-1/temp"]) == 0
@@ -88,7 +89,9 @@ class TestCheck:
                 str(repaired_dir),
             ]
         )
-        assert rc == 0
+        # Drift was detected: CI gates on a non-zero exit even though
+        # the repair succeeded (exit 1 = drift, 3 = failed repairs).
+        assert rc == EXIT_DRIFT
         output = capsys.readouterr().out
         assert "DRIFT weather-1/temp" in output
         assert "repaired (gen 1)" in output
@@ -96,3 +99,137 @@ class TestCheck:
 
         (path,) = repaired_dir.glob("*.json")
         assert WrapperArtifact.load(path).generation == 1
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-store") / "store"
+    rc = main(
+        [
+            "induce",
+            "--store",
+            str(root),
+            "--shards",
+            "4",
+            "--task",
+            "academic-0/scholar",
+            "--task",
+            "weather-1/temp",
+        ]
+    )
+    assert rc == 0
+    return root
+
+
+class TestStoreWorkflow:
+    def test_induce_populates_shards(self, store_dir):
+        from repro.runtime import ShardedArtifactStore
+
+        store = ShardedArtifactStore(store_dir)
+        assert store.task_ids() == ["academic-0/scholar", "weather-1/temp"]
+
+    def test_extract_reads_store_layout(self, store_dir, capsys):
+        rc = main(["extract", "--artifacts", str(store_dir), "--snapshot", "1"])
+        assert rc == 0
+        assert "(wrapper, page) pairs" in capsys.readouterr().out
+
+    def test_reopen_existing_store_without_shards_flag(self, tmp_path):
+        """Appending to an existing store must not require re-passing
+        the original --shards (the store records its shard count)."""
+        root = tmp_path / "s"
+        assert (
+            main(
+                ["induce", "--store", str(root), "--shards", "4",
+                 "--task", "academic-0/scholar"]
+            )
+            == 0
+        )
+        assert (
+            main(["induce", "--store", str(root), "--task", "academic-1/scholar"])
+            == 0
+        )
+        from repro.runtime import ShardedArtifactStore
+
+        store = ShardedArtifactStore(root)
+        assert store.n_shards == 4
+        assert len(store.task_ids()) == 2
+
+    def test_conflicting_shards_flag_is_a_clean_error(self, tmp_path):
+        root = tmp_path / "s2"
+        assert (
+            main(
+                ["induce", "--store", str(root), "--shards", "4",
+                 "--task", "academic-0/scholar"]
+            )
+            == 0
+        )
+        with pytest.raises(SystemExit, match="re-sharding"):
+            main(
+                ["induce", "--store", str(root), "--shards", "8",
+                 "--task", "academic-1/scholar"]
+            )
+
+    def test_out_and_store_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "induce",
+                    "--out",
+                    str(tmp_path),
+                    "--store",
+                    str(tmp_path),
+                    "--limit",
+                    "1",
+                ]
+            )
+
+
+class TestServe:
+    def test_serves_request_stream_with_stats(self, store_dir, tmp_path, capsys):
+        stats_path = tmp_path / "serve.json"
+        rc = main(
+            [
+                "serve",
+                "--artifacts",
+                str(store_dir),
+                "--snapshot",
+                "1",
+                "--concurrency",
+                "4",
+                "--json",
+                str(stats_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests over" in out and "requests/s" in out
+        stats = json.loads(stats_path.read_text())
+        assert stats["stats"]["requests"] == stats["requests"]
+        assert stats["stats"]["coalesced_requests"] > 0
+
+
+class TestSweep:
+    def test_sweep_detects_drift_and_gates(self, store_dir, capsys):
+        rc = main(["sweep", "--store", str(store_dir), "--snapshots", "10"])
+        assert rc == EXIT_DRIFT
+        out = capsys.readouterr().out
+        assert "DRIFT weather-1/temp" in out
+        assert "repaired x1" in out
+
+    def test_fail_on_repair_tolerates_repaired_drift(self, store_dir):
+        rc = main(
+            [
+                "sweep",
+                "--store",
+                str(store_dir),
+                "--snapshots",
+                "10",
+                "--fail-on",
+                "repair",
+            ]
+        )
+        assert rc == EXIT_OK
+
+    def test_sweep_requires_a_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a sharded artifact store"):
+            main(["sweep", "--store", str(tmp_path)])

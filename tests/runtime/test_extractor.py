@@ -120,3 +120,26 @@ class TestJobConstruction:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             BatchExtractor(workers=0)
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_calls(self, corpus_jobs):
+        expected = BatchExtractor(workers=2).extract(corpus_jobs)
+        with BatchExtractor(workers=2, persistent=True) as extractor:
+            first = extractor.extract(corpus_jobs)
+            pool = extractor._pool
+            assert pool is not None
+            second = extractor.extract(corpus_jobs)
+            assert extractor._pool is pool  # same pool, not respawned
+        assert first == second == expected
+        assert extractor._pool is None  # context exit shut it down
+
+    def test_close_is_idempotent(self):
+        extractor = BatchExtractor(workers=2, persistent=True)
+        extractor.close()
+        extractor.close()
+
+    def test_single_worker_persistent_never_spawns(self, corpus_jobs):
+        with BatchExtractor(workers=1, persistent=True) as extractor:
+            extractor.extract(corpus_jobs)
+            assert extractor._pool is None

@@ -1,0 +1,139 @@
+"""The CI bench-regression gate (``scripts/check_bench.py``).
+
+Runs the script as a subprocess — exactly how CI invokes it — against
+synthetic baseline/current pairs, including the demonstrated-failure
+case the acceptance criteria require (a >20% regression must fail)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench.py"
+
+BASELINE = {
+    "current": {"serial_s": 1.0, "fast_s": 0.25},
+    "speedup": {"fast_vs_serial": 4.0},
+    "throughput": {"served_vs_serial": 2.0},
+}
+
+
+def run_gate(baseline_dir, current_dir, *extra):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--baseline-dir", str(baseline_dir),
+         "--current-dir", str(current_dir), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline, current = tmp_path / "baseline", tmp_path / "current"
+    write(baseline, "BENCH_demo.json", BASELINE)
+    return baseline, current
+
+
+class TestGate:
+    def test_identical_numbers_pass(self, dirs):
+        baseline, current = dirs
+        write(current, "BENCH_demo.json", BASELINE)
+        result = run_gate(baseline, current)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "all headline ratios within" in result.stdout
+
+    def test_small_regression_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["fast_vs_serial"] = 4.0 * 0.85  # -15%: inside 20%
+        write(current, "BENCH_demo.json", payload)
+        assert run_gate(baseline, current).returncode == 0
+
+    def test_synthetic_twenty_percent_regression_fails(self, dirs):
+        """The acceptance-criteria case: >20% off the baseline ratio."""
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["fast_vs_serial"] = 4.0 * 0.75  # -25%
+        write(current, "BENCH_demo.json", payload)
+        result = run_gate(baseline, current)
+        assert result.returncode == 1
+        assert "FAIL BENCH_demo.json:speedup.fast_vs_serial" in result.stdout
+
+    def test_improvements_pass(self, dirs):
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["fast_vs_serial"] = 9.0
+        payload["throughput"]["served_vs_serial"] = 3.5
+        write(current, "BENCH_demo.json", payload)
+        assert run_gate(baseline, current).returncode == 0
+
+    def test_dropped_metric_fails(self, dirs):
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        del payload["throughput"]["served_vs_serial"]
+        write(current, "BENCH_demo.json", payload)
+        result = run_gate(baseline, current)
+        assert result.returncode == 1
+        assert "missing from current run" in result.stdout
+
+    def test_missing_current_file_fails(self, dirs):
+        baseline, current = dirs
+        current.mkdir()
+        assert run_gate(baseline, current).returncode == 1
+
+    def test_tolerance_is_configurable(self, dirs):
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["fast_vs_serial"] = 4.0 * 0.75  # -25%
+        write(current, "BENCH_demo.json", payload)
+        assert run_gate(baseline, current, "--tolerance", "0.3").returncode == 0
+
+    def test_missing_baseline_dir_is_setup_error(self, tmp_path):
+        assert run_gate(tmp_path / "nope", tmp_path).returncode == 2
+
+    def test_xpath_file_gets_the_wide_seed_relative_band(self, tmp_path):
+        """BENCH_xpath ratios are vs fixed seed constants (they scale
+        with host speed), so they get a 60% band: -40% passes, -70%
+        still fails."""
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        payload = {"speedup": {"following_axis_200_s": 100.0}}
+        write(baseline, "BENCH_xpath.json", payload)
+        write(current, "BENCH_xpath.json", {"speedup": {"following_axis_200_s": 60.0}})
+        assert run_gate(baseline, current).returncode == 0
+        write(current, "BENCH_xpath.json", {"speedup": {"following_axis_200_s": 30.0}})
+        result = run_gate(baseline, current)
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+
+    def test_new_metrics_in_current_are_not_gated(self, dirs):
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["brand_new"] = 1.0
+        write(current, "BENCH_demo.json", payload)
+        assert run_gate(baseline, current).returncode == 0
+
+
+class TestRealBaselines:
+    def test_committed_baselines_cover_every_bench_file(self):
+        names = sorted(
+            p.name for p in (REPO_ROOT / "benchmarks" / "baselines").glob("BENCH_*.json")
+        )
+        assert names == [
+            "BENCH_runtime.json",
+            "BENCH_serving.json",
+            "BENCH_xpath.json",
+        ]
+        for name in names:
+            payload = json.loads(
+                (REPO_ROOT / "benchmarks" / "baselines" / name).read_text()
+            )
+            sections = [s for s in ("speedup", "throughput") if s in payload]
+            assert sections, f"{name} has no headline ratio section"
