@@ -1,0 +1,223 @@
+"""Network front-end benchmark → ``BENCH_net.json``.
+
+The facade's wire story only earns its keep if concurrent remote
+clients beat the naive deployment — serial per-request HTTP round trips
+against the same server.  This bench deploys the full single-node
+corpus fleet behind a :class:`~repro.runtime.net.WrapperHTTPServer` on
+a real localhost TCP socket and replays a per-wrapper extraction stream
+three ways:
+
+* **serial HTTP** — one :class:`~repro.api.RemoteWrapperClient`, one
+  request at a time: every request pays its own round trip *and* its
+  own page parse (nothing to coalesce);
+* **concurrent HTTP (8 clients)** — eight threads, each with its own
+  connection: requests for the same rendered page arrive together, the
+  serving layer coalesces them onto one parse and demultiplexes the
+  records per caller.  The acceptance bar is ≥ 1.2× the serial-HTTP
+  throughput;
+* **in-process serving at concurrency 8** — the same stream through
+  :func:`repro.runtime.serve.serve_jobs` with no sockets: the reference
+  ceiling, recorded (not gated) so the wire overhead stays visible
+  across PRs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from bench_runtime import build_fleet, timeit
+from conftest import scale
+
+from repro.api import RemoteWrapperClient, WrapperClient
+from repro.runtime import PageJob, ServingConfig, serve_jobs
+from repro.runtime.net import NetConfig, WrapperHTTPServer
+from repro.api.results import extraction_wrappers
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_net.json"
+
+#: Acceptance bar: concurrent remote extraction vs. serial HTTP round trips.
+REQUIRED_SPEEDUP = 1.2
+
+CONCURRENCY = 8
+
+
+class ServerThread:
+    """A WrapperHTTPServer on its own event loop in a daemon thread, so
+    the benchmark's client code can be plain blocking calls."""
+
+    def __init__(self, client: WrapperClient) -> None:
+        self.client = client
+        self.address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = WrapperHTTPServer(self.client, NetConfig(serving=ServingConfig()))
+        self.address = await server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.aclose()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("HTTP server never came up")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+#: Independent consumers polling each (wrapper, page) — the serving
+#: traffic shape (dashboards, downstream pipelines, retry loops all ask
+#: for the same rendered page).  Concurrent consumers of one page are
+#: exactly what the serving layer coalesces onto a single parse; the
+#: serial baseline pays the parse per request.
+CONSUMERS = 3
+
+
+def build_request_stream(n_snapshots: int):
+    """(site_key, html) extraction requests — ``CONSUMERS`` per
+    (wrapper, page), grouped by rendered page so the concurrent window
+    covers coalescible neighbors — plus the deployed client."""
+    artifacts, page_html = build_fleet(n_snapshots)
+    client = WrapperClient()
+    for artifact in artifacts:
+        client.deploy(artifact)
+    by_site: dict[str, list] = {}
+    for artifact in artifacts:
+        by_site.setdefault(artifact.site_id, []).append(artifact)
+    requests: list[tuple[str, str]] = []
+    for index in range(n_snapshots):
+        for site_id in sorted(by_site):
+            html = page_html.get((site_id, index))
+            if html is None:
+                continue
+            requests.extend(
+                (artifact.task_id, html)
+                for artifact in by_site[site_id]
+                for _ in range(CONSUMERS)
+            )
+    return client, artifacts, requests
+
+
+def serial_http(address, requests) -> list:
+    host, port = address
+    with RemoteWrapperClient(host, port) as remote:
+        return [remote.extract(site_key, html) for site_key, html in requests]
+
+
+def concurrent_http(address, requests, concurrency: int = CONCURRENCY) -> list:
+    host, port = address
+    local = threading.local()
+
+    def one(request):
+        if not hasattr(local, "client"):
+            local.client = RemoteWrapperClient(host, port)
+        site_key, html = request
+        return local.client.extract(site_key, html)
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        return list(pool.map(one, requests))
+
+
+def inprocess_serving(client: WrapperClient, requests) -> list:
+    """The same stream through the async serving layer, no sockets."""
+    jobs = []
+    for site_key, html in requests:
+        artifact = client.artifact(site_key)
+        jobs.append(
+            PageJob(
+                page_id=artifact.site_id or site_key,
+                html=html,
+                wrappers=tuple(extraction_wrappers(artifact)),
+            )
+        )
+    return asyncio.run(serve_jobs(jobs, ServingConfig(), concurrency=CONCURRENCY))
+
+
+def test_net_bench(benchmark, emit):
+    n_snapshots = scale(2, 3)
+    client, artifacts, requests = build_request_stream(n_snapshots)
+
+    with ServerThread(client) as server:
+        # Correctness first: the concurrent stream answers exactly what
+        # the serial round trips answer, request for request.
+        expected = serial_http(server.address, requests)
+        concurrent = concurrent_http(server.address, requests)
+        assert concurrent == expected
+
+        def run_all():
+            results = {
+                "n_wrappers": len(artifacts),
+                "n_requests": len(requests),
+                "concurrency": CONCURRENCY,
+            }
+            results["serial_http_s"] = timeit(
+                lambda: serial_http(server.address, requests)
+            )
+            results["concurrent8_http_s"] = timeit(
+                lambda: concurrent_http(server.address, requests)
+            )
+            results["inprocess_async8_s"] = timeit(
+                lambda: inprocess_serving(client, requests)
+            )
+            return results
+
+        results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    throughput = {
+        "concurrent8_vs_serial_http": results["serial_http_s"]
+        / results["concurrent8_http_s"],
+    }
+    results["remote_requests_per_sec"] = len(requests) / results["concurrent8_http_s"]
+    results["inprocess_vs_remote_concurrent"] = (
+        results["concurrent8_http_s"] / results["inprocess_async8_s"]
+    )
+    payload = {
+        "current": results,
+        "throughput": throughput,
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    from repro.experiments.reporting import banner, format_table
+
+    rows = [
+        [key, f"{value * 1000:.2f} ms" if key.endswith("_s") else f"{value:.2f}"]
+        for key, value in results.items()
+    ]
+    rows += [[key, f"{value:.2f}x"] for key, value in throughput.items()]
+    emit(
+        "net",
+        "\n".join(
+            [
+                banner("network front-end benchmarks"),
+                format_table(["metric", "value"], rows),
+                f"[json saved to {BENCH_JSON}]",
+            ]
+        ),
+    )
+
+    assert throughput["concurrent8_vs_serial_http"] >= REQUIRED_SPEEDUP, (
+        f"concurrent remote extraction is only "
+        f"{throughput['concurrent8_vs_serial_http']:.2f}x serial per-request "
+        f"HTTP round trips at concurrency {CONCURRENCY} "
+        f"(required: {REQUIRED_SPEEDUP}x)"
+    )

@@ -32,12 +32,12 @@ from repro.experiments.reporting import banner, format_table
 from repro.induction import WrapperInducer
 from repro.runtime.corpus import induce_corpus_task
 from repro.runtime import (
-    BatchExtractor,
     DriftDetector,
     WrapperArtifact,
     extract_serial,
     jobs_for_artifacts,
 )
+from repro.runtime.extractor import BatchExtractor
 from repro.sites import single_node_tasks
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent

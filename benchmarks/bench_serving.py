@@ -27,11 +27,11 @@ from bench_runtime import build_fleet, timeit
 from conftest import scale
 
 from repro.runtime import (
-    BatchExtractor,
     PageJob,
     ServingConfig,
     serve_jobs,
 )
+from repro.runtime.extractor import BatchExtractor
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_serving.json"

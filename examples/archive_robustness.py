@@ -4,13 +4,13 @@ Run with::
 
     python examples/archive_robustness.py
 
-We induce a wrapper on snapshot 0 of a synthetic news site, then replay
-the site's archive (20-day snapshots, like the paper's Internet Archive
-study) and watch when the induced, the expert-written, and the
-canonical-path wrappers break.
+We induce a wrapper on snapshot 0 of a synthetic news site through the
+facade, then replay the site's archive (20-day snapshots, like the
+paper's Internet Archive study) and watch when the induced, the
+expert-written, and the canonical-path wrappers break.
 """
 
-from repro import WrapperInducer, parse_query
+from repro import Sample, WrapperClient, parse_query
 from repro.baselines import CanonicalInducer, UnionWrapper
 from repro.evolution import SyntheticArchive
 from repro.metrics import same_result_set
@@ -24,10 +24,11 @@ def main() -> None:
 
     doc0 = archive.snapshot(0)
     targets0 = archive.targets(doc0, task.role)
-    result = WrapperInducer(k=10).induce_one(doc0, targets0)
+    client = WrapperClient()
+    handle = client.induce(task.task_id, [Sample(doc0, targets0)])
 
     wrappers = {
-        "generated": UnionWrapper((result.best.query,)),
+        "generated": UnionWrapper((parse_query(handle.query),)),
         "manual": UnionWrapper((parse_query(task.human_wrapper),)),
         "canonical": CanonicalInducer().induce(doc0, targets0),
     }

@@ -1,58 +1,44 @@
-"""The wrapper lifecycle runtime, end to end.
+"""The wrapper lifecycle, end to end, through the facade.
 
 Run with::
 
     PYTHONPATH=src python examples/lifecycle_runtime.py
 
-Walks the full production loop on one churny corpus site: induce a
-wrapper, serialize it to a JSON artifact, reload it, batch-extract it
-across archive snapshots, watch the drift detector fire, and repair it
-by automatic re-induction from the stored samples plus the drifted page
-(labels from the surviving ensemble majority — no human in the loop).
+Walks the full production loop on one churny corpus site with a
+store-backed :class:`repro.WrapperClient`: induce a wrapper (persisted
+as a JSON artifact in a sharded store), serve it across archive
+snapshots, watch the drift signals every served page reports, and
+repair it by automatic re-induction from the stored samples plus the
+drifted page (labels from the surviving ensemble majority — no human
+in the loop).  The same loop runs unchanged against a remote
+``serve --listen`` process via :class:`repro.RemoteWrapperClient`.
 """
 
 import tempfile
-from pathlib import Path
 
-from repro.dom.serialize import to_html
+from repro import Sample, WrapperClient
 from repro.evolution import SyntheticArchive
-from repro.induction import QuerySample, WrapperInducer
-from repro.metrics import wrapper_matches_targets
-from repro.runtime import (
-    BatchExtractor,
-    DriftDetector,
-    PageJob,
-    WrapperArtifact,
-    reinduce,
-)
 from repro.sites.verticals import make_weather_site
 
 
 def main() -> None:
     spec = make_weather_site(1)
     role = "temp"
+    site_key = f"{spec.site_id}/{role}"
     archive = SyntheticArchive(spec, n_snapshots=30)
 
-    # 1. induce + serialize
+    # A store-backed client: every deployed generation lands in the
+    # sharded artifact store and survives this process.
+    client = WrapperClient(store=tempfile.mkdtemp())
+
+    # 1. induce + deploy
     doc0 = archive.snapshot(0)
     targets0 = archive.targets(doc0, role)
-    result = WrapperInducer(k=10).induce_one(doc0, targets0)
-    artifact = WrapperArtifact.from_induction(
-        result,
-        [QuerySample(doc0, targets0)],
-        task_id=f"{spec.site_id}/{role}",
-        site_id=spec.site_id,
-        role=role,
-    )
-    path = Path(tempfile.mkdtemp()) / artifact.filename()
-    artifact.save(path)
-    print(f"induced + saved: {artifact.best.text}")
-    print(f"ensemble: {' | '.join(artifact.ensemble)}")
+    handle = client.induce(site_key, [Sample(doc0, targets0)], role=role)
+    print(f"induced + stored: {handle.query}")
+    print(f"ensemble: {' | '.join(handle.ensemble)}")
 
-    # 2. reload and serve across the archive
-    artifact = WrapperArtifact.load(path)
-    detector = DriftDetector()
-    extractor = BatchExtractor(workers=1)
+    # 2. serve across the archive — every extraction doubles as a check
     for index in range(1, archive.n_snapshots):
         if archive.is_broken(index):
             continue
@@ -61,26 +47,20 @@ def main() -> None:
         if not truth:
             print(f"day {archive.day(index)}: data left the page, stopping")
             return
-        job = PageJob(
-            page_id=f"{spec.site_id}@{index}",
-            html=to_html(doc),
-            wrappers=((artifact.task_id, artifact.best.text),),
-        )
-        (record,) = extractor.extract([job])
-        report = detector.check(artifact, doc, snapshot=index)
-        status = ",".join(report.signals) if report.signals else "healthy"
-        print(f"day {archive.day(index):4d}: {record.count} node(s)  [{status}]")
-        if not report.drifted:
+        result = client.extract(site_key, doc)
+        status = ",".join(result.drift_signals) if result.drift_signals else "healthy"
+        print(f"day {archive.day(index):4d}: {result.count} node(s)  [{status}]")
+        if not result.drifted:
             continue
 
         # 3. drift — repair from stored samples + this page
         print(f"day {archive.day(index)}: DRIFT — re-inducing from stored samples")
-        repaired = reinduce(artifact, doc, snapshot=index)
-        recovered = wrapper_matches_targets(repaired.best_query(), doc, truth)
-        print(f"repaired (gen {repaired.generation}): {repaired.best.text}")
+        handle = client.repair(site_key, doc)
+        repaired = client.extract(site_key, doc)
+        wanted = sorted(doc.normalized_text(n) for n in truth)
+        recovered = sorted(repaired.values) == wanted
+        print(f"repaired (gen {handle.generation}): {handle.query}")
         print(f"matches ground truth on the drifted page: {recovered}")
-        repaired.save(path)
-        artifact = WrapperArtifact.load(path)
 
     print("\nserved the full archive window")
 

@@ -11,7 +11,7 @@ sideways.  We also demonstrate noise resistance: annotating only part
 of the list induces the same wrapper.
 """
 
-from repro import WrapperInducer, evaluate, parse_html
+from repro import Sample, WrapperClient, mark_volatile, parse_html
 
 PAGE = """
 <html><body>
@@ -30,29 +30,25 @@ PAGE = """
 
 
 def main() -> None:
+    client = WrapperClient()
     doc = parse_html(PAGE)
     rows = [tr for tr in doc.root.iter_find(tag="tr")][1:]  # all but the header
 
     # Review titles are page *data*; mark them volatile so the inducer
     # anchors on template structure, not on "Rapid Phone 800".
-    from repro.dom.node import TextNode
-
-    for row in rows:
-        for node in row.descendants():
-            if isinstance(node, TextNode):
-                node.meta["volatile"] = True
+    mark_volatile(rows)
     print(f"annotating all {len(rows)} data rows:")
-    result = WrapperInducer(k=10).induce_one(doc, rows)
-    print(f"  -> {result.best.query}")
+    handle = client.induce("reviews/rows", [Sample(doc, rows)])
+    print(f"  -> {handle.query}")
 
     print("\nannotating only 4 of 5 rows (20% negative noise, paper's regime):")
     noisy = [rows[0], rows[1], rows[2], rows[4]]
-    noisy_result = WrapperInducer(k=10).induce_one(doc, noisy)
-    print(f"  -> {noisy_result.best.query}")
+    noisy_handle = client.induce("reviews/rows-noisy", [Sample(doc, noisy)])
+    print(f"  -> {noisy_handle.query}")
 
-    selected = evaluate(noisy_result.best.query, doc.root, doc)
+    result = client.extract("reviews/rows-noisy", PAGE)
     print(
-        f"\nthe noisy wrapper selects {len(selected)}/{len(rows)} data rows — "
+        f"\nthe noisy wrapper selects {result.count}/{len(rows)} data rows — "
         "the fragment cannot express 'all rows except the 4th', so it generalizes"
     )
 

@@ -14,8 +14,7 @@ wrapper generalizes to the full intended list.
 
 import random
 
-from repro import WrapperInducer, evaluate
-from repro.metrics import prf_counts
+from repro import Sample, WrapperClient, canonical_path
 from repro.noise.ner import NERProfile, SimulatedNER
 from repro.sites.listings import ListingPageSpec, build_listing_page
 
@@ -40,17 +39,21 @@ def main() -> None:
         f"{annotation.positive_noise:.0%} positive noise)"
     )
 
-    result = WrapperInducer(k=10).induce_one(doc, annotation.nodes)
-    best = result.best
-    print(f"\ninduced wrapper: {best.query}")
+    client = WrapperClient()
+    handle = client.induce("bookshop/authors", [Sample(doc, annotation.nodes)])
+    print(f"\ninduced wrapper: {handle.query}")
 
-    selected = evaluate(best.query, doc.root, doc)
-    counts = prf_counts(selected, truth)
+    result = client.extract("bookshop/authors", doc)
+    truth_paths = {str(canonical_path(node)) for node in truth}
+    selected = set(result.paths)
+    tp = len(selected & truth_paths)
+    precision = tp / len(selected) if selected else 0.0
+    recall = tp / len(truth_paths) if truth_paths else 0.0
     print(
-        f"selected {len(selected)} nodes: precision {counts.precision:.0%}, "
-        f"recall {counts.recall:.0%} against the true list"
+        f"selected {result.count} nodes: precision {precision:.0%}, "
+        f"recall {recall:.0%} against the true list"
     )
-    if counts.exact:
+    if selected == truth_paths:
         print("the wrapper recovered the intended list exactly, despite the noise")
 
 

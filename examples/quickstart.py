@@ -5,14 +5,13 @@ Run with::
     python examples/quickstart.py
 
 We load an IMDB-style movie page, annotate the director's name node,
-and let the inducer return the K best dsXPath wrappers.  Note how the
-top-ranked expressions use semantic markup (itemprop/class/id) and
-template labels instead of the director's name itself — they keep
-working when the movie (and director) changes.
+and deploy a wrapper through the :class:`repro.WrapperClient` facade.
+Note how the top-ranked expressions use semantic markup
+(itemprop/class/id) and template labels instead of the director's name
+itself — they keep working when the movie (and director) changes.
 """
 
-from repro import WrapperInducer, evaluate, parse_html
-from repro.dom.node import TextNode
+from repro import Sample, WrapperClient, mark_volatile, parse_html
 
 PAGE = """
 <html><head><title>Casino</title></head><body>
@@ -36,6 +35,7 @@ PAGE = """
 
 
 def main() -> None:
+    client = WrapperClient()  # in-memory; WrapperClient(store="store/") persists
     doc = parse_html(PAGE)
 
     # The annotation: the span holding the director's name.  In the
@@ -45,20 +45,17 @@ def main() -> None:
 
     # Mark the data text as volatile so the inducer does not anchor the
     # wrapper on "Martin Scorsese" (it would break on the next movie).
-    for node in target.descendants():
-        if isinstance(node, TextNode):
-            node.meta["volatile"] = True
+    mark_volatile(target)
 
-    inducer = WrapperInducer(k=10)
-    result = inducer.induce_one(doc, [target])
+    handle = client.induce("casino/director", [Sample(doc, [target])])
 
-    print("top induced wrappers (F0.5, then robustness score):")
-    for rank, instance in enumerate(result.top(5), start=1):
-        print(f"  {rank}. {instance}")
+    print("top induced wrappers (best first):")
+    for rank, query in enumerate(handle.queries[:5], start=1):
+        print(f"  {rank}. {query}")
 
-    best = result.best.query
-    print(f"\nbest wrapper: {best}")
-    print("selects:", [n.normalized_text() for n in evaluate(best, doc.root, doc)])
+    print(f"\nbest wrapper: {handle.query}")
+    result = client.extract("casino/director", PAGE)
+    print(f"selects: {list(result.values)}  [drift signals: {list(result.drift_signals)}]")
 
 
 if __name__ == "__main__":

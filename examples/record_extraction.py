@@ -5,15 +5,14 @@ Run with::
     python examples/record_extraction.py
 
 The paper's future-work direction: wrappers that extract *related*
-items as records.  We annotate two example records (anchor + fields)
-on a product search page; the inducer builds one absolute wrapper for
-the record anchors and a relative dsXPath wrapper per field, evaluated
-from each anchor.
+items as records.  We annotate example records (anchor + fields) on a
+product search page and induce in ``mode="record"``: the facade builds
+one absolute wrapper for the record anchors and a relative dsXPath
+wrapper per field, evaluated from each anchor.  Extraction then yields
+one ``{field: value}`` row per anchor.
 """
 
-from repro import parse_html
-from repro.dom.node import TextNode
-from repro.induction import RecordExample, RelativeWrapperInducer
+from repro import Sample, WrapperClient, mark_volatile, parse_html
 
 PAGE = """
 <html><body>
@@ -33,31 +32,30 @@ PAGE = """
 
 
 def main() -> None:
+    client = WrapperClient()
     doc = parse_html(PAGE)
-    for node in doc.root.descendants():
-        if isinstance(node, TextNode) and node.parent.tag in ("a", "span"):
-            node.meta["volatile"] = True  # titles/prices/sellers are data
-
     items = list(doc.root.iter_find(tag="div", class_="s-item"))
-    examples = [
-        RecordExample(
-            anchor=item,
-            fields={
-                "title": item.find(tag="a"),
-                "price": item.find(tag="span", class_="price"),
-                "seller": item.find(tag="span", class_="seller"),
-            },
-        )
-        for item in items[:3]  # 3 of 4 records annotated (25% negative noise)
-    ]
+    mark_volatile(items)  # titles/prices/sellers are data
 
-    wrapper = RelativeWrapperInducer(k=10).induce(doc, examples)
-    print("anchor wrapper: ", wrapper.anchor_query)
-    for name, query in wrapper.field_queries.items():
+    annotated = items[:3]  # 3 of 4 records annotated (25% negative noise)
+    sample = Sample(
+        doc,
+        annotated,
+        fields={
+            "title": [item.find(tag="a") for item in annotated],
+            "price": [item.find(tag="span", class_="price") for item in annotated],
+            "seller": [item.find(tag="span", class_="seller") for item in annotated],
+        },
+    )
+
+    handle = client.induce("shop/items", [sample], mode="record")
+    print("anchor wrapper: ", handle.query)
+    for name, query in handle.fields.items():
         print(f"field {name!r}: {query}")
 
     print("\nextracted records:")
-    for record in wrapper.extract_values(doc):
+    result = client.extract("shop/items", PAGE)
+    for record in result.records:
         print("  ", record)
 
 

@@ -1,4 +1,4 @@
-"""Wrapper maintenance: re-induction after a break.
+"""Wrapper maintenance: explicit re-annotation after a break.
 
 Run with::
 
@@ -8,13 +8,14 @@ The paper motivates noise-resistant induction with wrapper-maintenance
 pipelines [22]: when a wrapper breaks, the *old* extraction results can
 be located in the new page version (possibly imperfectly) and used as
 machine-generated annotations to induce a fresh wrapper — no human in
-the loop.  This example runs that loop against the evolving archive.
+the loop.  This example runs that loop against the evolving archive
+through the facade: ``client.extract`` serves each snapshot (and
+reports the drift signals it showed), and ``client.repair`` re-induces
+from the stored samples plus the relocated annotations.
 """
 
-from repro import WrapperInducer, evaluate
-from repro.dom.node import TextNode
+from repro import Sample, WrapperClient, canonical_path, mark_volatile
 from repro.evolution import SyntheticArchive
-from repro.metrics import same_result_set
 from repro.sites.verticals import make_movies_site
 
 
@@ -28,20 +29,21 @@ def relocate_by_text(doc, texts):
     return matches
 
 
-MAX_REINDUCTIONS = 4
+MAX_REPAIRS = 4
 
 
 def main() -> None:
     spec = make_movies_site(1)
     archive = SyntheticArchive(spec, n_snapshots=60)
-    inducer = WrapperInducer(k=10)
+    client = WrapperClient()
+    site_key = f"{spec.site_id}/cast"
 
     doc = archive.snapshot(0)
     targets = archive.targets(doc, "cast")
-    wrapper = inducer.induce_one(doc, targets).best.query
-    print(f"day 0: induced {wrapper}")
+    handle = client.induce(site_key, [Sample(doc, targets)])
+    print(f"day 0: induced {handle.query}")
 
-    re_inductions = 0
+    repairs = 0
     for index in range(1, archive.n_snapshots):
         if archive.is_broken(index):
             continue
@@ -50,7 +52,9 @@ def main() -> None:
         if not truth:
             print(f"day {archive.day(index)}: cast list removed, stopping")
             break
-        if same_result_set(evaluate(wrapper, doc.root, doc), truth):
+        result = client.extract(site_key, doc)
+        wanted = sorted(doc.normalized_text(n) for n in truth)
+        if sorted(result.values) == wanted:
             continue
 
         # The wrapper broke.  Relocate last-known values as annotations;
@@ -61,26 +65,24 @@ def main() -> None:
         if not annotations:
             print(f"day {archive.day(index)}: no known instances found, giving up")
             break
-        for node in annotations:
-            for text in node.descendants():
-                if isinstance(text, TextNode):
-                    text.meta["volatile"] = True
-        wrapper = inducer.induce_one(doc, annotations).best.query
-        re_inductions += 1
+        mark_volatile(annotations)
+        handle = client.repair(
+            site_key, doc, target_paths=[str(canonical_path(n)) for n in annotations]
+        )
+        repairs += 1
         # The relocated nodes may sit one level below the original target
         # elements; compare by extracted values, which is what matters.
-        extracted = sorted(doc.normalized_text(n) for n in evaluate(wrapper, doc.root, doc))
-        wanted = sorted(doc.normalized_text(n) for n in truth)
+        extracted = sorted(client.extract(site_key, doc).values)
         verdict = "values match" if extracted == wanted else "partial"
         print(
-            f"day {archive.day(index):5d}: re-induced from {len(annotations)} "
-            f"relocated instances -> {wrapper}  ({verdict})"
+            f"day {archive.day(index):5d}: repaired from {len(annotations)} relocated "
+            f"instances (gen {handle.generation}) -> {handle.query}  ({verdict})"
         )
-        if re_inductions >= MAX_REINDUCTIONS:
+        if repairs >= MAX_REPAIRS:
             print("(stopping the demo after a few repairs)")
             break
 
-    print(f"\nmaintenance loop finished with {re_inductions} re-induction(s)")
+    print(f"\nmaintenance loop finished with {repairs} repair(s)")
 
 
 if __name__ == "__main__":

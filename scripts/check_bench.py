@@ -26,8 +26,11 @@ constants* by the current run's wall-clock, so they scale inversely
 with host speed (and its axis micro-benchmarks sit in the sub-ms noise
 floor).  Those get a wide 60% band — enough to catch an engine collapse
 (losing the compiled path is a 10–70× drop) without flaking on runner
-variance.  ``BENCH_runtime.json`` / ``BENCH_serving.json`` ratios
-divide two measurements from the same run and keep the tight default.
+variance.  ``BENCH_net.json`` rides loopback-TCP and thread-scheduler
+variance and gets a 35% band (its benchmark asserts the ≥ 1.2× bar
+itself, so the hard floor holds regardless).  ``BENCH_runtime.json`` /
+``BENCH_serving.json`` ratios divide two measurements from the same run
+and keep the tight default.
 
 Exit codes: 0 = all within tolerance, 1 = regression (or a baselined
 metric disappeared), 2 = setup problem (missing files/directories).
@@ -47,8 +50,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RATIO_SECTIONS = ("speedup", "throughput")
 
 #: Per-file tolerance floors (see the module docstring): files whose
-#: ratios are relative to fixed seed constants need a wide band.
-FILE_TOLERANCES = {"BENCH_xpath.json": 0.60}
+#: ratios are relative to fixed seed constants need a wide band, and
+#: the network bench rides the host's loopback/scheduler variance
+#: (its own ≥ 1.2× assertion stays the hard floor either way).
+FILE_TOLERANCES = {"BENCH_xpath.json": 0.60, "BENCH_net.json": 0.35}
 
 
 def headline_ratios(payload: dict) -> dict[str, float]:

@@ -2,53 +2,102 @@
 (Furche, Guo, Maneth, Schallhart; SIGMOD 2016).
 
 The package implements the paper's dsXPath query language, its K-best
-wrapper-induction algorithm with robustness scoring, and the complete
+wrapper-induction algorithm with robustness scoring, the complete
 evaluation harness (page-evolution studies, noise resistance, and
-state-of-the-art comparisons) on a self-contained DOM substrate.
+state-of-the-art comparisons) on a self-contained DOM substrate, and a
+production wrapper lifecycle (artifacts, sharded stores, async serving,
+drift detection and repair) behind one client facade.
 
 Quickstart::
 
-    from repro import WrapperInducer, parse_html
+    from repro import Sample, WrapperClient, mark_volatile, parse_html
 
+    client = WrapperClient()                     # or WrapperClient(store="store/")
     doc = parse_html(open("movie.html").read())
     target = doc.find(tag="span", itemprop="name")
-    result = WrapperInducer(k=10).induce_one(doc, [target])
-    print(result.best.query)   # a robust dsXPath wrapper
+    mark_volatile(target)                        # data text must not anchor the wrapper
+    handle = client.induce("movie/director", [Sample(doc, [target])])
+    print(handle.query)                          # a robust dsXPath wrapper
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.
+    result = client.extract("movie/director", open("movie.html").read())
+    print(result.values, result.drift_signals)
+
+The same surface is served over the wire by ``python -m repro.runtime
+serve --listen HOST:PORT`` and :class:`RemoteWrapperClient`.  See
+docs/API.md for the facade reference and the HTTP protocol.
 """
 
-from repro.dom import Document, E, T, document, parse_html, to_html
+from repro.dom import Document, E, T, TextNode, document, parse_html, to_html
 from repro.induction import (
     InductionConfig,
     InductionResult,
     QuerySample,
-    WrapperInducer,
-    induce,
 )
 from repro.scoring import KBestTable, QueryInstance, Scorer, ScoringParams
 from repro.xpath import Query, canonical_path, evaluate, parse_query
+from repro.api import (
+    CheckResult,
+    ExtractionResult,
+    FacadeError,
+    RemoteWrapperClient,
+    Sample,
+    WrapperClient,
+    WrapperHandle,
+    mark_volatile,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level entry points → (home module, facade replacement).
+#: They keep working — engine layers are public at their own paths — but
+#: new code should go through the facade.  Kept out of ``__all__`` so a
+#: star import stays warning-free (see repro._compat).
+_DEPRECATED = {
+    "WrapperInducer": (
+        "repro.induction.induce",
+        "repro.api.WrapperClient.induce (or repro.induction.WrapperInducer "
+        "for the engine layer)",
+    ),
+    "induce": (
+        "repro.induction.induce",
+        "repro.api.WrapperClient.induce (or repro.induction.induce "
+        "for the engine layer)",
+    ),
+}
+
+_warned_deprecations: set[str] = set()
+
+
+def __getattr__(name: str):
+    from repro._compat import deprecated_getattr
+
+    return deprecated_getattr(__name__, _DEPRECATED, _warned_deprecations, name)
+
 
 __all__ = [
+    "CheckResult",
     "Document",
     "E",
+    "ExtractionResult",
+    "FacadeError",
     "InductionConfig",
     "InductionResult",
     "KBestTable",
     "Query",
     "QueryInstance",
     "QuerySample",
+    "RemoteWrapperClient",
+    "Sample",
     "Scorer",
     "ScoringParams",
     "T",
-    "WrapperInducer",
+    "TextNode",
+    "WrapperClient",
+    "WrapperHandle",
     "canonical_path",
     "document",
     "evaluate",
-    "induce",
+    "mark_volatile",
     "parse_html",
     "parse_query",
     "to_html",

@@ -1,0 +1,52 @@
+"""Shared deprecation machinery for the package-level shims.
+
+The facade (PR 4) deprecated a handful of package-level entry points
+(``repro.WrapperInducer``, ``repro.induce``,
+``repro.runtime.BatchExtractor``).  Each package serves them through a
+PEP 562 ``__getattr__`` built on this helper: the name keeps resolving,
+but the first access per process emits one :class:`DeprecationWarning`
+pointing at the facade replacement (a single warning by design — the
+shims exist to be quiet in legacy code paths, not to spam them).
+
+Deprecated names are deliberately *not* listed in ``__all__``: a star
+import must stay warning-free (and must not explode under
+``-W error::DeprecationWarning``); only actually touching a deprecated
+name warns.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+
+def deprecated_getattr(
+    package: str,
+    table: dict[str, tuple[str, str]],
+    warned: set[str],
+    name: str,
+):
+    """Resolve ``package.name`` through a deprecation table.
+
+    ``table`` maps a deprecated name to ``(home_module, replacement)``;
+    ``warned`` is the package's once-per-process registry (exposed so
+    tests can reset it).  Raises :class:`AttributeError` for unknown
+    names, as a module ``__getattr__`` must.
+    """
+    try:
+        module_name, replacement = table[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {package!r} has no attribute {name!r}"
+        ) from None
+    if name not in warned:
+        warned.add(name)
+        warnings.warn(
+            f"{package}.{name} is deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = ["deprecated_getattr"]

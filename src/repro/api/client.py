@@ -1,0 +1,279 @@
+""":class:`WrapperClient` — the local facade over the whole lifecycle.
+
+One object, four verbs::
+
+    client = WrapperClient()                  # in-memory registry
+    client = WrapperClient(store="store/")    # sharded artifact store
+
+    handle = client.induce(site_key, samples, mode="node")   # deploy
+    result = client.extract(site_key, html)                  # serve
+    check  = client.check(site_key, html)                    # monitor
+    handle = client.repair(site_key, html)                   # recover
+
+``mode`` selects the induction variant — all three land in the same
+:class:`~repro.runtime.artifact.WrapperArtifact` format, so every
+deployed wrapper (whatever its mode) is served, checked, repaired, and
+swept by the same machinery:
+
+* ``node`` — absolute single-/multi-node wrappers (Algorithm 3); served
+  by the top-ranked query.
+* ``ensemble`` — same induction, but extraction serves the
+  feature-diverse committee's quorum vote instead of the single best
+  query (the paper's future-work item 4: survives a class rename that
+  breaks individual members).
+* ``record`` — anchor + relative field wrappers (future-work item 1);
+  extraction yields one ``{field: value}`` row per anchor.
+
+Every served page doubles as a drift check: :class:`ExtractionResult`
+carries the signals the page exhibited, so callers get monitoring for
+free.  :class:`~repro.api.remote.RemoteWrapperClient` exposes the
+identical surface over the network front-end.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Union
+
+from repro.dom.node import Document
+from repro.dom.parser import parse_html
+from repro.induction.config import InductionConfig
+from repro.induction.induce import WrapperInducer
+from repro.induction.relative import RecordWrapper, RelativeWrapperInducer
+from repro.induction.samples import QuerySample
+from repro.runtime.artifact import ArtifactError, WrapperArtifact, resolve_path
+from repro.runtime.drift import DriftConfig, reinduce
+from repro.runtime.extractor import extract_document
+from repro.runtime.store import ShardedArtifactStore, site_key_of
+from repro.xpath.parser import parse_query
+from repro.api.results import (
+    CheckResult,
+    ExtractionResult,
+    FACADE_KEY,
+    FacadeError,
+    WrapperHandle,
+    check_from_records,
+    extraction_wrappers,
+    facade_fields,
+    facade_mode,
+    result_from_records,
+)
+from repro.api.sample import Sample, coerce_samples
+
+#: A page, as the facade accepts it: raw HTML or an already-parsed DOM.
+Page = Union[str, Document]
+
+
+def _as_doc(page: Page) -> Document:
+    if isinstance(page, Document):
+        return page
+    try:
+        return parse_html(page)
+    except Exception as exc:
+        raise FacadeError(f"page failed to parse: {exc}") from exc
+
+
+def record_rows(artifact: WrapperArtifact, doc: Document) -> list[dict]:
+    """Record-mode rows for one page: evaluate the anchor query, then
+    each stored field query relative to every anchor."""
+    wrapper = RecordWrapper(
+        anchor_query=artifact.best_query(),
+        field_queries={
+            name: parse_query(text)
+            for name, text in facade_fields(artifact).items()
+        },
+    )
+    return wrapper.extract_values(doc)
+
+
+class WrapperClient:
+    """Induce, serve, monitor, and repair wrappers behind one facade.
+
+    ``store`` selects the backend: ``None`` keeps artifacts in an
+    in-process dict (throwaway sessions, tests); a path or an existing
+    :class:`~repro.runtime.store.ShardedArtifactStore` persists them
+    (creating a new store at a fresh path).  ``drift`` tunes the
+    signal thresholds applied by ``extract``/``check``.
+    """
+
+    def __init__(
+        self,
+        store: Union[str, os.PathLike, ShardedArtifactStore, None] = None,
+        *,
+        shards: Optional[int] = None,
+        drift: Optional[DriftConfig] = None,
+    ) -> None:
+        self.drift = drift or DriftConfig()
+        self._memory: dict[str, WrapperArtifact] = {}
+        if store is None:
+            self._store: Optional[ShardedArtifactStore] = None
+        elif isinstance(store, ShardedArtifactStore):
+            self._store = store
+        else:
+            self._store = ShardedArtifactStore(store, n_shards=shards)
+
+    @property
+    def store(self) -> Optional[ShardedArtifactStore]:
+        """The persistent backend, or ``None`` for in-memory clients."""
+        return self._store
+
+    # -- registry -----------------------------------------------------------
+
+    def artifact(self, site_key: str) -> WrapperArtifact:
+        """The raw deployed artifact (the escape hatch to the runtime
+        layers).  Raises :class:`KeyError` for unknown keys."""
+        if self._store is not None:
+            return self._store.get(site_key)
+        return self._memory[site_key]
+
+    def _put(self, artifact: WrapperArtifact) -> None:
+        if self._store is not None:
+            self._store.put(artifact)
+        else:
+            self._memory[artifact.task_id] = artifact
+
+    def deploy(self, artifact: WrapperArtifact) -> WrapperHandle:
+        """Deploy a prebuilt artifact (migration path for wrappers
+        induced by pre-facade tooling; they serve in ``node`` mode)."""
+        self._put(artifact)
+        return WrapperHandle.from_artifact(artifact)
+
+    def get(self, site_key: str) -> WrapperHandle:
+        return WrapperHandle.from_artifact(self.artifact(site_key))
+
+    def keys(self) -> list[str]:
+        if self._store is not None:
+            return self._store.task_ids()
+        return sorted(self._memory)
+
+    def handles(self) -> list[WrapperHandle]:
+        return [self.get(site_key) for site_key in self.keys()]
+
+    def delete(self, site_key: str) -> None:
+        if self._store is not None:
+            self._store.remove(site_key)
+        else:
+            del self._memory[site_key]
+
+    def __contains__(self, site_key: str) -> bool:
+        if self._store is not None:
+            return site_key in self._store
+        return site_key in self._memory
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- induce -------------------------------------------------------------
+
+    def induce(
+        self,
+        site_key: str,
+        samples: Sequence[Union[Sample, QuerySample]],
+        mode: str = "node",
+        *,
+        k: int = 10,
+        ensemble_size: int = 3,
+        max_queries: int = 10,
+        config: Optional[InductionConfig] = None,
+        role: str = "",
+        provenance: Optional[dict] = None,
+    ) -> WrapperHandle:
+        """Induce and deploy a wrapper for ``site_key``.
+
+        ``samples`` are :class:`Sample` annotations (legacy
+        :class:`~repro.induction.samples.QuerySample` accepted).  Record
+        mode requires exactly one sample carrying ``fields``.
+        """
+        if mode not in ("node", "record", "ensemble"):
+            raise FacadeError(f"unknown induction mode {mode!r}")
+        config = config or InductionConfig(k=k)
+        facade_samples = coerce_samples(samples)
+        meta: dict = {"mode": mode}
+        try:
+            if mode == "record":
+                if len(facade_samples) != 1:
+                    raise FacadeError(
+                        "record mode induces from exactly one annotated page"
+                    )
+                (sample,) = facade_samples
+                examples = sample.as_record_examples()
+                inducer = RelativeWrapperInducer(k=config.k, config=config)
+                result, field_queries = inducer.induce_ranked(sample.doc, examples)
+                query_samples = [QuerySample(sample.doc, sample.targets)]
+                meta["fields"] = {
+                    name: str(query) for name, query in field_queries.items()
+                }
+            else:
+                query_samples = [s.as_query_sample() for s in facade_samples]
+                result = WrapperInducer(k=config.k, config=config).induce(
+                    query_samples
+                )
+            artifact = WrapperArtifact.from_induction(
+                result,
+                query_samples,
+                task_id=site_key,
+                site_id=site_key_of(site_key),
+                role=role,
+                ensemble_size=ensemble_size,
+                max_queries=max_queries,
+                provenance={**(provenance or {}), FACADE_KEY: meta},
+                config=config,
+            )
+        except FacadeError:
+            raise
+        except (ArtifactError, ValueError) as exc:
+            raise FacadeError(f"{site_key}: {exc}") from exc
+        self._put(artifact)
+        return WrapperHandle.from_artifact(artifact)
+
+    # -- serve / monitor ----------------------------------------------------
+
+    def extract(self, site_key: str, page: Page) -> ExtractionResult:
+        """Serve one page: values + paths + the drift signals it showed."""
+        artifact = self.artifact(site_key)
+        doc = _as_doc(page)
+        records = extract_document(doc, extraction_wrappers(artifact))
+        rows: list[dict] = []
+        if facade_mode(artifact) == "record":
+            rows = record_rows(artifact, doc)
+        return result_from_records(artifact, records, self.drift, rows)
+
+    def check(self, site_key: str, page: Page) -> CheckResult:
+        """Drift-check one page without materializing extraction values."""
+        artifact = self.artifact(site_key)
+        doc = _as_doc(page)
+        records = extract_document(doc, extraction_wrappers(artifact))
+        return check_from_records(artifact, records, self.drift)
+
+    # -- repair -------------------------------------------------------------
+
+    def repair(
+        self,
+        site_key: str,
+        page: Page,
+        target_paths: Optional[Sequence[str]] = None,
+    ) -> WrapperHandle:
+        """Re-induce a drifted wrapper from its stored samples plus
+        ``page`` and deploy the repaired generation.
+
+        ``target_paths`` (canonical paths on ``page``) is an explicit
+        re-annotation; when omitted, the surviving ensemble majority
+        labels the page.  Record-mode repairs re-induce the anchor
+        wrapper; the stored field queries are carried over.
+        """
+        artifact = self.artifact(site_key)
+        doc = _as_doc(page)
+        try:
+            targets = (
+                [resolve_path(doc, str(path)) for path in target_paths]
+                if target_paths
+                else None
+            )
+            repaired = reinduce(artifact, doc, targets=targets)
+        except (ArtifactError, ValueError) as exc:
+            raise FacadeError(f"{site_key}: {exc}") from exc
+        self._put(repaired)
+        return WrapperHandle.from_artifact(repaired)
+
+
+__all__ = ["Page", "WrapperClient", "record_rows"]

@@ -1,0 +1,210 @@
+""":class:`RemoteWrapperClient` — the facade over a network server.
+
+Speaks the HTTP/1.1 JSON protocol of :mod:`repro.runtime.net` and
+exposes *exactly* the :class:`~repro.api.client.WrapperClient` surface,
+returning the same typed results — local and remote backends are
+interchangeable (the facade parity suite in
+``tests/api/test_facade_parity.py`` runs the identical tests against
+both).  Built on :mod:`http.client` only; one client owns one
+keep-alive connection and transparently reconnects when the server (or
+an idle timeout) dropped it.
+
+A connection is not thread-safe — give each thread its own client
+(they are cheap: lazy connect, no state beyond the socket).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Sequence, Union
+from urllib.parse import quote
+
+from repro.dom.node import Document
+from repro.dom.serialize import to_html
+from repro.induction.samples import QuerySample
+from repro.api.results import (
+    CheckResult,
+    ExtractionResult,
+    FacadeError,
+    WrapperHandle,
+)
+from repro.api.sample import Sample, coerce_samples
+
+Page = Union[str, Document]
+
+
+def _as_html(page: Page) -> str:
+    return to_html(page) if isinstance(page, Document) else page
+
+
+class RemoteWrapperClient:
+    """The facade, served by a ``serve --listen`` process elsewhere."""
+
+    def __init__(self, host: str, port: Optional[int] = None, timeout: float = 60.0):
+        if port is None:
+            host, _, port_text = host.rpartition(":")
+            if not host:
+                raise FacadeError("pass RemoteWrapperClient('host', port) or 'host:port'")
+            port = int(port_text)
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RemoteWrapperClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            sent = False
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                sent = True
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                # Reconnect-and-retry only when it cannot double-execute:
+                # a send-phase failure (stale keep-alive detected while
+                # writing — the server never saw a complete request), or
+                # any failure of an idempotent method.  A POST that was
+                # fully sent may already be running server-side (induce/
+                # repair mutate the registry), so its failure surfaces.
+                if attempt or (sent and method not in ("GET", "DELETE")):
+                    raise
+        try:
+            answer = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FacadeError(
+                f"server returned non-JSON response (status {response.status}): {exc}"
+            ) from exc
+        if response.status >= 400:
+            message = str(answer.get("error", f"HTTP {response.status}"))
+            if answer.get("code") == "unknown_wrapper":
+                raise KeyError(message)
+            raise FacadeError(message)
+        return answer
+
+    @staticmethod
+    def _key_path(site_key: str) -> str:
+        return "/wrappers/" + quote(site_key, safe="")
+
+    # -- facade surface -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness + the server's serving-layer counters."""
+        return self._request("GET", "/healthz")
+
+    def induce(
+        self,
+        site_key: str,
+        samples: Sequence[Union[Sample, QuerySample]],
+        mode: str = "node",
+        *,
+        k: int = 10,
+        ensemble_size: int = 3,
+        max_queries: int = 10,
+        role: str = "",
+    ) -> WrapperHandle:
+        payloads = []
+        for sample in coerce_samples(samples):
+            try:
+                payloads.append(sample.to_payload())
+            except FacadeError:
+                raise
+            except ValueError as exc:
+                # Same surface as the local client: a bad annotation is a
+                # FacadeError, whichever backend sees it first.
+                raise FacadeError(f"{site_key}: {exc}") from exc
+        answer = self._request(
+            "POST",
+            "/induce",
+            {
+                "site_key": site_key,
+                "mode": mode,
+                "samples": payloads,
+                "k": k,
+                "ensemble_size": ensemble_size,
+                "max_queries": max_queries,
+                "role": role,
+            },
+        )
+        return WrapperHandle.from_payload(answer)
+
+    def extract(self, site_key: str, page: Page) -> ExtractionResult:
+        answer = self._request(
+            "POST", "/extract", {"site_key": site_key, "html": _as_html(page)}
+        )
+        return ExtractionResult.from_payload(answer)
+
+    def check(self, site_key: str, page: Page) -> CheckResult:
+        answer = self._request(
+            "POST", "/check", {"site_key": site_key, "html": _as_html(page)}
+        )
+        return CheckResult.from_payload(answer)
+
+    def repair(
+        self,
+        site_key: str,
+        page: Page,
+        target_paths: Optional[Sequence[str]] = None,
+    ) -> WrapperHandle:
+        payload: dict = {"site_key": site_key, "html": _as_html(page)}
+        if target_paths:
+            payload["target_paths"] = [str(path) for path in target_paths]
+        return WrapperHandle.from_payload(self._request("POST", "/repair", payload))
+
+    def get(self, site_key: str) -> WrapperHandle:
+        return WrapperHandle.from_payload(
+            self._request("GET", self._key_path(site_key))
+        )
+
+    def delete(self, site_key: str) -> None:
+        self._request("DELETE", self._key_path(site_key))
+
+    def keys(self) -> list[str]:
+        return [handle.site_key for handle in self.handles()]
+
+    def handles(self) -> list[WrapperHandle]:
+        answer = self._request("GET", "/wrappers")
+        return [
+            WrapperHandle.from_payload(item) for item in answer.get("wrappers", ())
+        ]
+
+    def __contains__(self, site_key: str) -> bool:
+        try:
+            self.get(site_key)
+        except KeyError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return int(self.healthz().get("wrappers", 0))
+
+
+__all__ = ["RemoteWrapperClient"]

@@ -21,7 +21,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.dom.node import Document, Node
 from repro.induction.config import InductionConfig
-from repro.induction.induce import induce
+from repro.induction.induce import InductionResult, induce
 from repro.induction.samples import QuerySample
 from repro.scoring.params import ScoringParams
 from repro.xpath.ast import Query
@@ -81,7 +81,15 @@ class RelativeWrapperInducer:
         self.config = config or InductionConfig(k=k)
         self.params = params or ScoringParams()
 
-    def induce(self, doc: Document, examples: Sequence[RecordExample]) -> RecordWrapper:
+    def induce_ranked(
+        self, doc: Document, examples: Sequence[RecordExample]
+    ) -> tuple["InductionResult", dict[str, Query]]:
+        """Like :meth:`induce`, but keeps the anchor *ranking*.
+
+        Returns the full anchor :class:`InductionResult` (the facade and
+        artifact layers need the K-best list and its accuracy counts,
+        not just the winner) plus the best relative query per field.
+        """
         if not examples:
             raise ValueError("at least one example record is required")
         field_names = set(examples[0].fields)
@@ -107,6 +115,10 @@ class RelativeWrapperInducer:
                 raise ValueError(f"no relative wrapper for field {name!r}")
             field_queries[name] = result.best.query
 
+        return anchor_result, field_queries
+
+    def induce(self, doc: Document, examples: Sequence[RecordExample]) -> RecordWrapper:
+        anchor_result, field_queries = self.induce_ranked(doc, examples)
         return RecordWrapper(
             anchor_query=anchor_result.best.query, field_queries=field_queries
         )

@@ -26,6 +26,9 @@ This package provides that layer:
 * :mod:`repro.runtime.fleet` — a multi-process drift sweeper assigning
   whole store shards to workers, streaming full drift telemetry and
   chaining repairs generation over generation;
+* :mod:`repro.runtime.net` — an HTTP/1.1 JSON front-end serving the
+  :mod:`repro.api` facade over TCP (``serve --listen HOST:PORT``), with
+  extraction traffic coalesced through the async serving layer;
 * ``python -m repro.runtime`` — an ``induce`` / ``extract`` / ``check``
   / ``serve`` / ``sweep`` CLI driving the loop over the synthetic
   archive corpus.
@@ -50,7 +53,6 @@ from repro.runtime.drift import (
     reinduce,
 )
 from repro.runtime.extractor import (
-    BatchExtractor,
     ExtractionRecord,
     PageJob,
     extract_document,
@@ -81,11 +83,38 @@ from repro.runtime.store import (
     site_key_of,
 )
 
+#: Lazily exported (PEP 562): the network front-end imports ``repro.api``,
+#: which imports runtime submodules — an eager import here would cycle.
+_NET_EXPORTS = ("NetConfig", "WrapperHTTPServer", "serve_http")
+
+#: Deprecated package-level shims → their facade replacements (kept out
+#: of ``__all__`` so star imports stay warning-free; see repro._compat).
+_DEPRECATED = {
+    "BatchExtractor": (
+        "repro.runtime.extractor",
+        "repro.api.WrapperClient.extract (or repro.runtime.extractor.BatchExtractor "
+        "for the low-level batch engine)",
+    ),
+}
+
+_warned_deprecations: set[str] = set()
+
+
+def __getattr__(name: str):
+    if name in _NET_EXPORTS:
+        from repro.runtime import net
+
+        return getattr(net, name)
+    from repro._compat import deprecated_getattr
+
+    return deprecated_getattr(__name__, _DEPRECATED, _warned_deprecations, name)
+
+
 __all__ = [
     "ARTIFACT_VERSION",
     "ArtifactError",
     "AsyncExtractionServer",
-    "BatchExtractor",
+    "NetConfig",
     "DriftConfig",
     "DriftDetector",
     "DriftReport",
@@ -102,6 +131,7 @@ __all__ = [
     "SweepConfig",
     "SweepSummary",
     "WrapperArtifact",
+    "WrapperHTTPServer",
     "WrapperSweep",
     "artifacts_from_path",
     "extract_document",
@@ -111,6 +141,7 @@ __all__ = [
     "maintain_over_archive",
     "migrate_directory",
     "reinduce",
+    "serve_http",
     "serve_jobs",
     "serve_jobs_sync",
     "shard_index",

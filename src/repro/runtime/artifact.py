@@ -117,14 +117,22 @@ def config_from_payload(payload: dict) -> InductionConfig:
     return InductionConfig(**kwargs)
 
 
-def _resolve_path(doc: Document, path: str) -> Node:
-    """Evaluate a canonical path; it must select exactly one node."""
+def resolve_path(doc: Document, path: str) -> Node:
+    """Evaluate a canonical path; it must select exactly one node.
+
+    The shared re-location primitive: stored samples, facade samples,
+    and explicit re-annotations all address nodes this way.
+    """
     matches = evaluate_compiled(parse_query(path), doc.root, doc)
     if len(matches) != 1:
         raise ArtifactError(
             f"canonical path {path!r} selects {len(matches)} nodes on the stored page"
         )
     return matches[0]
+
+
+#: Backwards-compatible private alias (pre-facade internal name).
+_resolve_path = resolve_path
 
 
 @dataclass(frozen=True)

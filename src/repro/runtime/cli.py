@@ -249,7 +249,76 @@ def cmd_check(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_listen(value: str) -> tuple[str, int]:
+    host, _, port_text = value.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 <= port <= 65535:
+        raise SystemExit(f"--listen wants HOST:PORT, got {value!r}")
+    return host, port
+
+
+def _client_for_listen(path: Optional[str]):
+    """The network server's backend: a sharded store when ``path`` is
+    (or can become) one, an in-memory preload for flat artifact dirs,
+    a fresh in-memory registry when no path is given."""
+    from repro.api.client import WrapperClient
+
+    if path is None:
+        return WrapperClient()
+    root = pathlib.Path(path)
+    if not ShardedArtifactStore.is_store(root) and root.is_dir() and any(
+        root.glob("*.json")
+    ):
+        client = WrapperClient()
+        for artifact in _load_artifacts(root):
+            client.deploy(artifact)
+        print(f"preloaded {len(client)} artifact(s) from flat directory {root}")
+        return client
+    try:
+        return WrapperClient(store=root)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_serve_listen(args: argparse.Namespace) -> int:
+    """``serve --listen HOST:PORT`` — the facade over TCP."""
+    import asyncio
+
+    from repro.runtime.net import NetConfig, serve_http
+
+    host, port = _parse_listen(args.listen)
+    client = _client_for_listen(args.artifacts)
+    config = NetConfig(
+        serving=ServingConfig(
+            workers=args.workers,
+            max_pending=args.max_pending,
+            per_site_limit=args.per_site_limit,
+        )
+    )
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        backend = "store " + str(client.store.root) if client.store else "in-memory registry"
+        print(
+            f"listening on {bound_host}:{bound_port} "
+            f"({len(client)} wrapper(s), {backend})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_http(client, host, port, config=config, ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen:
+        return cmd_serve_listen(args)
+    if not args.artifacts:
+        raise SystemExit("serve needs --artifacts (or --listen HOST:PORT)")
     artifacts = _load_artifacts(pathlib.Path(args.artifacts))
     specs = _site_specs(artifacts)
     site_ids = sorted({a.site_id for a in artifacts})
@@ -417,9 +486,28 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(func=cmd_check)
 
     serve = sub.add_parser(
-        "serve", help="run a request stream through the async serving layer"
+        "serve",
+        help=(
+            "run a request stream through the async serving layer, or "
+            "--listen HOST:PORT to serve the repro.api facade over HTTP"
+        ),
     )
-    serve.add_argument("--artifacts", required=True, help="artifact directory or store")
+    serve.add_argument(
+        "--artifacts",
+        help=(
+            "artifact directory or store (required without --listen; with "
+            "--listen: store root to serve/create, flat dirs are preloaded "
+            "read-only, omit for a fresh in-memory registry)"
+        ),
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help=(
+            "serve the facade protocol over HTTP instead of replaying a "
+            "one-shot stream (port 0 picks an ephemeral port, printed on start)"
+        ),
+    )
     serve.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")
     serve.add_argument("--workers", type=int, default=1, help="execution pool size")
     serve.add_argument("--concurrency", type=int, default=8, help="client concurrency")

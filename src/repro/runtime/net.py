@@ -1,0 +1,464 @@
+"""HTTP/1.1 JSON front-end: the facade over the wire.
+
+ROADMAP's "real socket front-end over :class:`AsyncExtractionServer`":
+an asyncio TCP server speaking minimal HTTP/1.1 with JSON bodies, built
+directly on stream reader/writers (no third-party dependencies).  Every
+endpoint maps one facade verb, and every payload is the corresponding
+facade type's ``to_payload()`` form — the protocol *is* the facade
+serialization, which is what lets
+:class:`~repro.api.remote.RemoteWrapperClient` be a drop-in replacement
+for :class:`~repro.api.client.WrapperClient`.
+
+============  ======  ==========================================  =========
+endpoint      method  body                                        returns
+============  ======  ==========================================  =========
+/healthz      GET     —                                           liveness + serving stats
+/wrappers     GET     —                                           deployed handle list
+/wrappers/K   GET     —                                           one handle (404 unknown)
+/wrappers/K   DELETE  —                                           ``{"deleted": K}``
+/induce       POST    site_key, mode, samples[], options          handle
+/extract      POST    site_key, html                              extraction result
+/check        POST    site_key, html                              check result
+/repair       POST    site_key, html, target_paths?               handle
+============  ======  ==========================================  =========
+
+Request routing by cost:
+
+* ``extract``/``check`` for node/ensemble wrappers become
+  :class:`~repro.runtime.extractor.PageJob`\\ s admitted into the shared
+  :class:`~repro.runtime.serve.AsyncExtractionServer` — concurrent
+  clients hitting the same rendered page *coalesce onto one parse* and
+  are demultiplexed per caller, exactly as in-process serving does;
+* ``induce``/``repair`` (and record-mode extraction, whose relative
+  field queries need a live DOM) run on the default thread executor so
+  long inductions never stall the event loop or other connections.
+
+Failure containment: malformed JSON → 400, unknown wrapper → 404,
+oversized body → 413 (bounded by ``NetConfig.max_body_bytes`` *before*
+the body is read), a client disconnecting mid-request just ends its
+connection — the server and every other connection keep serving.  Error
+bodies are ``{"error": message, "code": code}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Optional
+from urllib.parse import unquote
+
+from repro.api.client import WrapperClient
+from repro.api.results import (
+    FacadeError,
+    check_from_records,
+    extraction_wrappers,
+    facade_mode,
+    result_from_records,
+)
+from repro.runtime.artifact import ArtifactError
+from repro.runtime.extractor import PageJob
+from repro.runtime.serve import AsyncExtractionServer, RequestError, ServingConfig
+from repro.runtime.store import StoreError
+
+#: HTTP status → reason phrases the server emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Network front-end limits.
+
+    ``max_body_bytes`` bounds request bodies (checked against
+    ``Content-Length`` before reading — an oversized upload is refused
+    without buffering it).  ``max_header_bytes`` bounds the request
+    head.  ``serving`` configures the shared extraction server behind
+    ``extract``/``check``.
+    """
+
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_header_bytes: int = 32768
+    serving: ServingConfig = field(default_factory=ServingConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.max_header_bytes < 256:
+            raise ValueError("max_header_bytes must be >= 256")
+
+
+class _HTTPError(Exception):
+    """Internal: aborts a request with a specific status."""
+
+    def __init__(self, status: int, message: str, code: str = "", close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.code = code or {
+            400: "bad_request",
+            404: "not_found",
+            405: "method_not_allowed",
+            413: "payload_too_large",
+            422: "unprocessable",
+            431: "headers_too_large",
+        }.get(status, "error")
+        self.close = close
+
+
+class WrapperHTTPServer:
+    """The facade served over TCP.
+
+    Usage::
+
+        server = WrapperHTTPServer(WrapperClient(store="store/"))
+        host, port = await server.start("127.0.0.1", 8080)
+        ...
+        await server.aclose()
+
+    One server owns one :class:`~repro.api.client.WrapperClient` (its
+    registry is the single source of truth for every connection) and
+    one :class:`AsyncExtractionServer` all extraction traffic funnels
+    through.
+    """
+
+    def __init__(
+        self, client: WrapperClient, config: Optional[NetConfig] = None
+    ) -> None:
+        self.client = client
+        self.config = config or NetConfig()
+        self._serving: Optional[AsyncExtractionServer] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[tuple[str, int]] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server is not started")
+        return self._address
+
+    @property
+    def serving_stats(self):
+        """Counters of the shared extraction server (also in /healthz)."""
+        if self._serving is None:
+            raise RuntimeError("server is not started")
+        return self._serving.stats
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._serving = AsyncExtractionServer(self.config.serving)
+        await self._serving.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host,
+            port,
+            limit=self.config.max_header_bytes + 1024,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self._address
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._serving is not None:
+            await self._serving.aclose()
+            self._serving = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "WrapperHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HTTPError as exc:
+                    # Protocol violations (bad request line, oversized
+                    # head/body) are answered, then the connection dies —
+                    # the stream position is no longer trustworthy.
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        {"error": exc.message, "code": exc.code},
+                        close=True,
+                    )
+                    break
+                if request is None:  # client closed (possibly mid-request)
+                    break
+                method, path, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _HTTPError as exc:
+                    status = exc.status
+                    payload = {"error": exc.message, "code": exc.code}
+                    close = close or exc.close
+                except (FacadeError, ArtifactError, RequestError, StoreError) as exc:
+                    status, payload = 422, {"error": str(exc), "code": "unprocessable"}
+                except KeyError as exc:
+                    key = exc.args[0] if exc.args else ""
+                    status, payload = 404, {
+                        "error": f"unknown site_key {key!r}",
+                        "code": "unknown_wrapper",
+                    }
+                except Exception as exc:  # noqa: BLE001 - last-resort isolation
+                    status, payload = 500, {"error": str(exc), "code": "internal"}
+                await self._write_response(writer, status, payload, close)
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform noise
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One request off the wire, or ``None`` when the client is gone.
+
+        Raises :class:`_HTTPError` for protocol violations that deserve
+        an answer (bad request line, oversized head/body).
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # closed between requests or mid-head
+        except asyncio.LimitOverrunError:
+            raise _HTTPError(431, "request head too large", close=True) from None
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = request_line.split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            raise _HTTPError(400, "malformed request line", close=True) from None
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise _HTTPError(400, "chunked bodies are not supported", close=True)
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HTTPError(400, "invalid Content-Length", close=True) from None
+        if length < 0:
+            raise _HTTPError(400, "invalid Content-Length", close=True)
+        if length > self.config.max_body_bytes:
+            # Refuse before reading: the body never enters memory.
+            raise _HTTPError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+                close=True,
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None  # disconnect mid-body
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool,
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path = unquote(path.split("?", 1)[0])
+        # Registry reads hit the store (directory scans, artifact JSON
+        # parsing on cache misses) — disk work, so off the event loop.
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /healthz")
+            count = await self._in_executor(lambda: len(self.client))
+            return 200, {
+                "ok": True,
+                "wrappers": count,
+                "serving": self.serving_stats.as_dict(),
+            }
+        if path == "/wrappers" and method == "GET":
+            return 200, await self._in_executor(
+                lambda: {
+                    "wrappers": [
+                        handle.to_payload() for handle in self.client.handles()
+                    ]
+                }
+            )
+        if path.startswith("/wrappers/"):
+            site_key = path[len("/wrappers/") :]
+            if method == "GET":
+                return 200, await self._in_executor(
+                    lambda: self.client.get(site_key).to_payload()
+                )
+            if method == "DELETE":
+                await self._in_executor(lambda: self.client.delete(site_key))
+                return 200, {"deleted": site_key}
+            raise _HTTPError(405, "use GET or DELETE on /wrappers/<site_key>")
+        if path == "/induce" and method == "POST":
+            return await self._op_induce(self._json(body))
+        if path == "/extract" and method == "POST":
+            return await self._op_extract(self._json(body), check_only=False)
+        if path == "/check" and method == "POST":
+            return await self._op_extract(self._json(body), check_only=True)
+        if path == "/repair" and method == "POST":
+            return await self._op_repair(self._json(body))
+        if path in ("/induce", "/extract", "/check", "/repair"):
+            raise _HTTPError(405, f"use POST {path}")
+        raise _HTTPError(404, f"no such endpoint: {method} {path}")
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _field(payload: dict, name: str) -> str:
+        value = payload.get(name)
+        if not isinstance(value, str) or not value:
+            raise _HTTPError(400, f"missing or invalid field {name!r}")
+        return value
+
+    async def _in_executor(self, fn: Callable[[], dict]) -> dict:
+        return await asyncio.get_running_loop().run_in_executor(None, fn)
+
+    async def _op_induce(self, payload: dict):
+        site_key = self._field(payload, "site_key")
+        mode = str(payload.get("mode", "node"))
+        raw_samples = payload.get("samples")
+        if not isinstance(raw_samples, list) or not raw_samples:
+            raise _HTTPError(400, "missing or invalid field 'samples'")
+
+        def op() -> dict:
+            from repro.api.sample import Sample
+
+            samples = [Sample.from_payload(item) for item in raw_samples]
+            handle = self.client.induce(
+                site_key,
+                samples,
+                mode,
+                k=int(payload.get("k", 10)),
+                ensemble_size=int(payload.get("ensemble_size", 3)),
+                max_queries=int(payload.get("max_queries", 10)),
+                role=str(payload.get("role", "")),
+            )
+            return handle.to_payload()
+
+        return 200, await self._in_executor(op)
+
+    async def _op_extract(self, payload: dict, check_only: bool):
+        site_key = self._field(payload, "site_key")
+        html = self._field(payload, "html")
+        # KeyError → 404; loaded off-loop (a cache miss reads + parses
+        # + validates the artifact JSON from the store).
+        artifact = await self._in_executor(lambda: self.client.artifact(site_key))
+        if facade_mode(artifact) == "record" and not check_only:
+            # Relative field queries evaluate from live anchor nodes; the
+            # thread executor keeps that DOM work off the event loop.
+            return 200, await self._in_executor(
+                lambda: self.client.extract(site_key, html).to_payload()
+            )
+        assert self._serving is not None
+        job = PageJob(
+            page_id=artifact.site_id or site_key,
+            html=html,
+            wrappers=tuple(extraction_wrappers(artifact)),
+        )
+        records = await self._serving.extract(job)
+        if check_only:
+            return 200, check_from_records(
+                artifact, records, self.client.drift
+            ).to_payload()
+        return 200, result_from_records(
+            artifact, records, self.client.drift
+        ).to_payload()
+
+    async def _op_repair(self, payload: dict):
+        site_key = self._field(payload, "site_key")
+        html = self._field(payload, "html")
+        target_paths = payload.get("target_paths") or None
+        if target_paths is not None and not isinstance(target_paths, list):
+            raise _HTTPError(400, "'target_paths' must be a list of canonical paths")
+
+        def op() -> dict:
+            return self.client.repair(site_key, html, target_paths).to_payload()
+
+        return 200, await self._in_executor(op)
+
+
+async def serve_http(
+    client: WrapperClient,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[NetConfig] = None,
+    ready: Optional[Callable[[str, int], Optional[Awaitable]]] = None,
+) -> None:
+    """Run the front-end until cancelled (the CLI's ``serve --listen``).
+
+    ``ready(host, port)`` fires once the socket is bound — callers use
+    it to learn an ephemeral port.
+    """
+    server = WrapperHTTPServer(client, config)
+    bound_host, bound_port = await server.start(host, port)
+    if ready is not None:
+        result = ready(bound_host, bound_port)
+        if asyncio.iscoroutine(result):
+            await result
+    try:
+        await server.serve_forever()
+    finally:
+        await server.aclose()
+
+
+__all__ = ["NetConfig", "WrapperHTTPServer", "serve_http"]

@@ -1,0 +1,66 @@
+"""Shared fixture pages for the facade test suites."""
+
+#: A product page, version 1: the price lives in a labeled span (with
+#: enough surrounding template that wrappers anchor on structure, not
+#: on trivial positionals).
+PRICE_V1 = """
+<html><body>
+<div class="header"><input type="text" id="search"></div>
+<div class="promo"><p>Subscribe now!</p></div>
+<div class="article" id="main">
+  <h1 class="title">Quiet Tablet 300</h1>
+  <div class="row"><h4 class="lbl">Brand:</h4><span class="brand">Northwind</span></div>
+  <div class="row"><h4 class="lbl">Price:</h4><span class="price">10</span></div>
+</div>
+<div class="footer"><p>Imprint</p></div>
+</body></html>
+"""
+
+#: The same product after a redesign: the labeled span is gone.  Robust
+#: induced wrappers may still locate the new element (that is the
+#: paper's point), but the canonical fingerprint moves and the ensemble
+#: splinters — a drift, one way or another.
+PRICE_V2 = """
+<html><body>
+<section id="content">
+  <p class="cost-label">Cost</p>
+  <em class="cost">12</em>
+</section>
+</body></html>
+"""
+
+#: The product page with the data removed outright: every query comes
+#: back empty — the hard ``empty_result`` signal.
+PRICE_GONE = """
+<html><body>
+<div id="maintenance"><p>We are down for maintenance.</p></div>
+</body></html>
+"""
+
+#: A review list: one header row, five data rows.
+LIST_PAGE = """
+<html><body>
+<table class="grid">
+  <tr class="head"><td><b>Latest Reviews</b></td></tr>
+  <tr><td><a href="/r/1">Quiet Tablet 300</a></td></tr>
+  <tr><td><a href="/r/2">Rapid Phone 800</a></td></tr>
+  <tr><td><a href="/r/3">Golden Laptop 200</a></td></tr>
+  <tr><td><a href="/r/4">Electric Watch 500</a></td></tr>
+  <tr><td><a href="/r/5">Hidden Camera 1100</a></td></tr>
+</table>
+</body></html>
+"""
+
+#: A search-results page with three records (anchor + title + price).
+RECORD_PAGE = """
+<html><body>
+<div id="results">
+  <div class="s-item"><h2><a href="/p/1">Quiet Tablet 300</a></h2>
+    <span class="price">$199.00</span></div>
+  <div class="s-item"><h2><a href="/p/2">Rapid Phone 800</a></h2>
+    <span class="price">$649.00</span></div>
+  <div class="s-item"><h2><a href="/p/3">Golden Laptop 200</a></h2>
+    <span class="price">$1099.00</span></div>
+</div>
+</body></html>
+"""

@@ -1,0 +1,141 @@
+"""Public-surface audit: ``__all__`` must match reality.
+
+Every ``__all__`` entry must resolve (lazy PEP 562 exports and
+deprecation shims included), every facade symbol must be exported both
+by ``repro.api`` and at the package root, and the deprecated entry
+points must keep working while warning exactly once per process.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+#: Packages whose declared surface is audited.
+AUDITED_MODULES = (
+    "repro",
+    "repro.api",
+    "repro.dom",
+    "repro.induction",
+    "repro.runtime",
+    "repro.xpath",
+)
+
+#: The facade's client object model — the names the whole codebase
+#: converges on.  Each must be importable from repro.api AND from repro.
+FACADE_SYMBOLS = (
+    "CheckResult",
+    "ExtractionResult",
+    "FacadeError",
+    "RemoteWrapperClient",
+    "Sample",
+    "WrapperClient",
+    "WrapperHandle",
+    "mark_volatile",
+)
+
+
+@pytest.mark.parametrize("module_name", AUDITED_MODULES)
+def test_every_dunder_all_entry_resolves(module_name):
+    module = importlib.import_module(module_name)
+    exported = module.__all__
+    assert exported, f"{module_name} declares an empty __all__"
+    assert len(set(exported)) == len(exported), f"duplicates in {module_name}.__all__"
+    with warnings.catch_warnings():
+        # Deprecated shims resolve with a warning; the audit cares only
+        # that they resolve.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for name in exported:
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.__all__ lists {name!r} but the attribute "
+                "does not resolve"
+            )
+
+
+@pytest.mark.parametrize("name", FACADE_SYMBOLS)
+def test_facade_symbols_are_exported_everywhere(name):
+    api = importlib.import_module("repro.api")
+    root = importlib.import_module("repro")
+    assert name in api.__all__, f"repro.api.__all__ is missing facade symbol {name}"
+    assert name in root.__all__, f"repro.__all__ is missing facade symbol {name}"
+    assert getattr(api, name) is getattr(root, name)
+
+
+def test_net_exports_resolve_lazily():
+    runtime = importlib.import_module("repro.runtime")
+    net = importlib.import_module("repro.runtime.net")
+    for name in ("NetConfig", "WrapperHTTPServer", "serve_http"):
+        assert name in runtime.__all__
+        assert getattr(runtime, name) is getattr(net, name)
+
+
+def test_top_level_dom_convenience_exports():
+    """Examples and docstrings address TextNode / to_html at the root —
+    no more reaching into repro.dom.node / repro.dom.serialize."""
+    import repro
+    from repro.dom.node import TextNode
+    from repro.dom.serialize import to_html
+
+    assert repro.TextNode is TextNode
+    assert repro.to_html is to_html
+    assert "TextNode" in repro.__all__
+    assert "to_html" in repro.__all__
+
+
+class TestDeprecatedEntryPoints:
+    def test_deprecated_names_stay_out_of_dunder_all(self):
+        """Star imports must be warning-free (and survive
+        ``-W error::DeprecationWarning``): only touching a deprecated
+        name warns, so the shims cannot live in ``__all__``."""
+        import repro
+        import repro.runtime
+
+        assert "WrapperInducer" not in repro.__all__
+        assert "induce" not in repro.__all__
+        assert "BatchExtractor" not in repro.runtime.__all__
+
+    def test_star_import_is_warning_free(self):
+        import repro
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            namespace: dict = {}
+            exec("from repro import *", namespace)  # noqa: S102 - the point
+        assert "WrapperClient" in namespace
+        assert getattr(repro, "WrapperClient") is namespace["WrapperClient"]
+
+    def test_top_level_wrapper_inducer_warns_once_and_works(self):
+        import repro
+        from repro.induction.induce import WrapperInducer
+
+        repro._warned_deprecations.discard("WrapperInducer")
+        with pytest.warns(DeprecationWarning, match="WrapperClient"):
+            assert repro.WrapperInducer is WrapperInducer
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert repro.WrapperInducer is WrapperInducer  # second access is quiet
+
+    def test_top_level_induce_warns_and_works(self):
+        import repro
+        from repro.induction.induce import induce
+
+        repro._warned_deprecations.discard("induce")
+        with pytest.warns(DeprecationWarning, match="WrapperClient"):
+            assert repro.induce is induce
+
+    def test_runtime_batch_extractor_warns_and_works(self):
+        import repro.runtime
+        from repro.runtime.extractor import BatchExtractor
+
+        repro.runtime._warned_deprecations.discard("BatchExtractor")
+        with pytest.warns(DeprecationWarning, match="WrapperClient.extract"):
+            assert repro.runtime.BatchExtractor is BatchExtractor
+
+    def test_unknown_attributes_still_raise(self):
+        import repro
+        import repro.runtime
+
+        with pytest.raises(AttributeError):
+            repro.no_such_name
+        with pytest.raises(AttributeError):
+            repro.runtime.no_such_name

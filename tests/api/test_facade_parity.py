@@ -1,0 +1,229 @@
+"""One facade, three backends: the identical test suite runs against
+
+* a local in-memory :class:`WrapperClient`,
+* a local store-backed :class:`WrapperClient`, and
+* a :class:`RemoteWrapperClient` talking to a **live** ``python -m
+  repro.runtime serve --listen`` subprocess over real TCP.
+
+Local and remote are interchangeable — that is the facade's core
+contract (and this PR's acceptance criterion).  A cross-backend test at
+the end asserts byte-identical result payloads for the same inputs.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro import (
+    FacadeError,
+    RemoteWrapperClient,
+    Sample,
+    WrapperClient,
+    canonical_path,
+    mark_volatile,
+    parse_html,
+)
+
+from tests.api.pages import PRICE_GONE, PRICE_V1, PRICE_V2, RECORD_PAGE
+
+
+def _spawn_server():
+    """A live ``serve --listen`` process on an ephemeral port."""
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime", "serve", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            break
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve --listen died: {line}")
+    else:  # pragma: no cover - CI hang guard
+        proc.kill()
+        raise RuntimeError("serve --listen never reported its port")
+    address = line.split("listening on ", 1)[1].split(" ")[0]
+    host, port = address.rsplit(":", 1)
+    return proc, host, int(port)
+
+
+@pytest.fixture(scope="module", params=["local-memory", "local-store", "remote"])
+def client(request, tmp_path_factory):
+    if request.param == "local-memory":
+        yield WrapperClient()
+    elif request.param == "local-store":
+        yield WrapperClient(store=tmp_path_factory.mktemp("parity") / "store")
+    else:
+        proc, host, port = _spawn_server()
+        remote = RemoteWrapperClient(host, port)
+        try:
+            yield remote
+        finally:
+            remote.close()
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+def price_sample():
+    doc = parse_html(PRICE_V1)
+    target = doc.find(tag="span", class_="price")
+    mark_volatile(target)
+    return Sample(doc, [target])
+
+
+def record_sample():
+    doc = parse_html(RECORD_PAGE)
+    items = list(doc.root.iter_find(tag="div", class_="s-item"))
+    mark_volatile(items)
+    return Sample(
+        doc,
+        items,
+        fields={
+            "title": [item.find(tag="a") for item in items],
+            "price": [item.find(tag="span", class_="price") for item in items],
+        },
+    )
+
+
+class TestFacadeContract:
+    """Every test runs unchanged against all three backends."""
+
+    def test_induce_get_extract_node_mode(self, client):
+        handle = client.induce("parity/price", [price_sample()])
+        assert handle.site_key == "parity/price"
+        assert handle.mode == "node"
+        assert handle.query and handle.queries[0] == handle.query
+        assert handle.quorum >= 1
+
+        fetched = client.get("parity/price")
+        assert fetched == handle
+
+        result = client.extract("parity/price", PRICE_V1)
+        assert result.values == ("10",)
+        assert result.query == handle.query
+        assert not result.drifted
+        assert result.mode == "node"
+
+    def test_contains_and_listing(self, client):
+        client.induce("parity/listing", [price_sample()])
+        assert "parity/listing" in client
+        assert "parity/never" not in client
+        assert "parity/listing" in client.keys()
+        assert any(h.site_key == "parity/listing" for h in client.handles())
+
+    def test_ensemble_mode(self, client):
+        handle = client.induce("parity/ens", [price_sample()], mode="ensemble")
+        assert handle.mode == "ensemble"
+        result = client.extract("parity/ens", PRICE_V1)
+        assert result.mode == "ensemble"
+        assert result.values == ("10",)
+
+    def test_record_mode(self, client):
+        handle = client.induce("parity/rec", [record_sample()], mode="record")
+        assert handle.mode == "record"
+        assert set(handle.fields) == {"title", "price"}
+        result = client.extract("parity/rec", RECORD_PAGE)
+        assert [row["title"] for row in result.records] == [
+            "Quiet Tablet 300",
+            "Rapid Phone 800",
+            "Golden Laptop 200",
+        ]
+        assert result.records[0]["price"] == "$199.00"
+
+    def test_drift_signals_on_changed_pages(self, client):
+        client.induce("parity/drift", [price_sample()])
+        healthy = client.check("parity/drift", PRICE_V1)
+        assert not healthy.drifted and healthy.healthy
+
+        drifted = client.check("parity/drift", PRICE_V2)
+        assert drifted.drifted and drifted.signals
+
+        gone = client.extract("parity/drift", PRICE_GONE)
+        assert gone.drifted and "empty_result" in gone.drift_signals
+
+    def test_repair_with_explicit_reannotation(self, client):
+        client.induce("parity/repair", [price_sample()])
+        doc2 = parse_html(PRICE_V2)
+        new_target = doc2.find(tag="em", class_="cost")
+        mark_volatile(new_target)
+        handle = client.repair(
+            "parity/repair", doc2, target_paths=[str(canonical_path(new_target))]
+        )
+        assert handle.generation == 1
+        result = client.extract("parity/repair", PRICE_V2)
+        assert result.values == ("12",)
+        assert result.generation == 1
+        assert not result.drifted
+
+    def test_delete(self, client):
+        client.induce("parity/delete", [price_sample()])
+        client.delete("parity/delete")
+        assert "parity/delete" not in client
+        with pytest.raises(KeyError):
+            client.get("parity/delete")
+
+    def test_unknown_site_key_raises_keyerror(self, client):
+        with pytest.raises(KeyError):
+            client.extract("parity/unknown", PRICE_V1)
+        with pytest.raises(KeyError):
+            client.get("parity/unknown")
+
+    def test_invalid_mode_raises_facade_error(self, client):
+        with pytest.raises(FacadeError):
+            client.induce("parity/bad", [price_sample()], mode="magic")
+
+    def test_cross_document_sample_raises_facade_error(self, client):
+        """A target from a different parse of the page is a bad
+        annotation — FacadeError on every backend, never a raw
+        engine-layer ValueError."""
+        doc = parse_html(PRICE_V1)
+        alien = parse_html(PRICE_V1).find(tag="span", class_="price")
+        with pytest.raises(FacadeError):
+            client.induce("parity/alien", [Sample(doc, [alien])])
+
+
+class TestLocalRemoteEquivalence:
+    """Same inputs through both backends → byte-identical payloads."""
+
+    def test_results_are_payload_identical(self):
+        local = WrapperClient()
+        proc, host, port = _spawn_server()
+        try:
+            remote = RemoteWrapperClient(host, port)
+            for backend in (local, remote):
+                backend.induce("eq/price", [price_sample()])
+                backend.induce("eq/rec", [record_sample()], mode="record")
+
+            assert (
+                local.get("eq/price").to_payload()
+                == remote.get("eq/price").to_payload()
+            )
+            for page in (PRICE_V1, PRICE_V2, PRICE_GONE):
+                assert (
+                    local.extract("eq/price", page).to_payload()
+                    == remote.extract("eq/price", page).to_payload()
+                )
+                assert (
+                    local.check("eq/price", page).to_payload()
+                    == remote.check("eq/price", page).to_payload()
+                )
+            assert (
+                local.extract("eq/rec", RECORD_PAGE).to_payload()
+                == remote.extract("eq/rec", RECORD_PAGE).to_payload()
+            )
+            remote.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -208,6 +208,37 @@ class TestServe:
         assert stats["stats"]["coalesced_requests"] > 0
 
 
+class TestServeListen:
+    def test_parse_listen_accepts_host_port(self):
+        from repro.runtime.cli import _parse_listen
+
+        assert _parse_listen("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _parse_listen("0.0.0.0:0") == ("0.0.0.0", 0)
+        for bad in ("8080", "host:", "host:notaport", ":1"):
+            with pytest.raises(SystemExit):
+                _parse_listen(bad)
+
+    def test_client_for_listen_backends(self, store_dir, artifact_dir, tmp_path):
+        from repro.runtime.cli import _client_for_listen
+
+        fresh = _client_for_listen(None)
+        assert fresh.store is None and len(fresh) == 0
+
+        store_backed = _client_for_listen(str(store_dir))
+        assert store_backed.store is not None
+        assert "weather-1/temp" in store_backed
+
+        preloaded = _client_for_listen(str(artifact_dir))
+        assert preloaded.store is None and len(preloaded) == 3
+
+        created = _client_for_listen(str(tmp_path / "new-store"))
+        assert created.store is not None and len(created) == 0
+
+    def test_serve_without_artifacts_or_listen_fails(self):
+        with pytest.raises(SystemExit, match="--artifacts"):
+            main(["serve"])
+
+
 class TestSweep:
     def test_sweep_detects_drift_and_gates(self, store_dir, capsys):
         rc = main(["sweep", "--store", str(store_dir), "--snapshots", "10"])

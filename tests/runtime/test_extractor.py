@@ -8,13 +8,13 @@ from repro.dom.serialize import to_html
 from repro.evolution import SyntheticArchive
 from repro.induction import QuerySample, WrapperInducer
 from repro.runtime import (
-    BatchExtractor,
     PageJob,
     WrapperArtifact,
     extract_document,
     extract_serial,
     jobs_for_artifacts,
 )
+from repro.runtime.extractor import BatchExtractor
 from repro.sites import single_node_tasks
 
 

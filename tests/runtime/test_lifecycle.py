@@ -17,12 +17,12 @@ from repro.dom.serialize import to_html
 from repro.evolution import SyntheticArchive
 from repro.induction import QuerySample, WrapperInducer
 from repro.runtime import (
-    BatchExtractor,
     DriftDetector,
     PageJob,
     WrapperArtifact,
     reinduce,
 )
+from repro.runtime.extractor import BatchExtractor
 from repro.scoring.ranking import fbeta
 from repro.sites import single_node_tasks
 from repro.xpath.canonical import c_changes, canonical_key

@@ -1,0 +1,296 @@
+"""The HTTP front-end: protocol correctness and failure containment.
+
+Covers the satellite failure paths: malformed JSON requests, unknown
+site keys, oversized payloads, clients disconnecting mid-request, and
+concurrent clients hitting the same page (coalescing must still
+demultiplex per caller)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import Sample, WrapperClient, mark_volatile, parse_html
+from repro.runtime.net import NetConfig, WrapperHTTPServer
+from repro.runtime.serve import ServingConfig
+
+TITLE_PAGE = """
+<html><body>
+<div class="head"><p>nav</p></div>
+<div class="item"><h1 class="name">Alpha</h1><span class="price">10</span></div>
+<div class="foot"><p>imprint</p></div>
+</body></html>
+"""
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def deployed_client() -> WrapperClient:
+    client = WrapperClient()
+    doc = parse_html(TITLE_PAGE)
+    name = doc.find(tag="h1", class_="name")
+    price = doc.find(tag="span", class_="price")
+    mark_volatile(name, price)
+    client.induce("shop/name", [Sample(doc, [name])])
+    client.induce("shop/price", [Sample(doc, [price])])
+    return client
+
+
+async def raw_request(host, port, payload: bytes):
+    """One raw HTTP exchange; returns (status, headers, body_json)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+
+
+async def read_response(reader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, json.loads(body)
+
+
+def post(path: str, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    return (
+        f"POST {path} HTTP/1.1\r\nContent-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+class TestFailurePaths:
+    def test_malformed_json_is_400_and_connection_survives(self):
+        async def go():
+            async with WrapperHTTPServer(WrapperClient()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                bad = b"POST /extract HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson"
+                writer.write(bad)
+                status, _, body = await read_response(reader)
+                assert status == 400
+                assert body["code"] == "bad_request"
+                assert "JSON" in body["error"]
+                # The same connection keeps serving after the bad request.
+                writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+                status2, _, body2 = await read_response(reader)
+                writer.close()
+                assert status2 == 200 and body2["ok"] is True
+
+        run(go())
+
+    def test_unknown_site_key_is_404_unknown_wrapper(self):
+        async def go():
+            async with WrapperHTTPServer(WrapperClient()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, post("/extract", {"site_key": "no/such", "html": "<p>x</p>"})
+                )
+                assert status == 404
+                assert body["code"] == "unknown_wrapper"
+                status2, _, body2 = await raw_request(
+                    host, port, b"GET /wrappers/no%2Fsuch HTTP/1.1\r\n\r\n"
+                )
+                assert status2 == 404 and body2["code"] == "unknown_wrapper"
+
+        run(go())
+
+    def test_unknown_endpoint_and_wrong_method(self):
+        async def go():
+            async with WrapperHTTPServer(WrapperClient()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, b"GET /nothing HTTP/1.1\r\n\r\n"
+                )
+                assert status == 404 and body["code"] == "not_found"
+                status2, _, body2 = await raw_request(
+                    host, port, b"GET /extract HTTP/1.1\r\n\r\n"
+                )
+                assert status2 == 405 and body2["code"] == "method_not_allowed"
+
+        run(go())
+
+    def test_oversized_payload_is_413_without_reading_the_body(self):
+        config = NetConfig(max_body_bytes=1024)
+
+        async def go():
+            async with WrapperHTTPServer(WrapperClient(), config) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                # Announce a huge body but never send it: the server must
+                # answer from the Content-Length alone.
+                writer.write(
+                    b"POST /extract HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n"
+                )
+                status, headers, body = await read_response(reader)
+                writer.close()
+                assert status == 413
+                assert body["code"] == "payload_too_large"
+                assert headers["connection"] == "close"
+
+        run(go())
+
+    def test_client_disconnect_mid_request_leaves_server_serving(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                # Disconnect mid-head.
+                _, w1 = await asyncio.open_connection(host, port)
+                w1.write(b"POST /extract HTT")
+                await w1.drain()
+                w1.close()
+                # Disconnect mid-body (Content-Length promised, not kept).
+                _, w2 = await asyncio.open_connection(host, port)
+                w2.write(b"POST /extract HTTP/1.1\r\nContent-Length: 500\r\n\r\n{...")
+                await w2.drain()
+                w2.close()
+                await asyncio.sleep(0.05)
+                # The server still answers real requests.
+                status, _, body = await raw_request(
+                    host, port, post("/extract", {"site_key": "shop/name", "html": TITLE_PAGE})
+                )
+                assert status == 200
+                assert body["values"] == ["Alpha"]
+
+        run(go())
+
+    def test_missing_fields_are_400(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, post("/extract", {"site_key": "shop/name"})
+                )
+                assert status == 400 and "html" in body["error"]
+                status2, _, body2 = await raw_request(
+                    host, port, post("/induce", {"site_key": "x", "samples": []})
+                )
+                assert status2 == 400 and "samples" in body2["error"]
+
+        run(go())
+
+    def test_facade_errors_are_422(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {"site_key": "x", "mode": "magic", "samples": [{"bogus": 1}]},
+                    ),
+                )
+                assert status == 422
+                assert body["code"] == "unprocessable"
+
+        run(go())
+
+
+class TestConcurrency:
+    def test_concurrent_clients_on_one_page_coalesce_and_demux(self):
+        """Many clients hit the same rendered page at once: the serving
+        layer parses it once (coalescing) while every caller still gets
+        the records for *its* wrapper."""
+        client = deployed_client()
+        config = NetConfig(serving=ServingConfig(workers=1))
+
+        async def one(host, port, site_key):
+            return await raw_request(
+                host, port, post("/extract", {"site_key": site_key, "html": TITLE_PAGE})
+            )
+
+        async def go():
+            async with WrapperHTTPServer(client, config) as server:
+                host, port = server.address
+                keys = ["shop/name", "shop/price"] * 6
+                answers = await asyncio.gather(*(one(host, port, k) for k in keys))
+                return answers, server.serving_stats
+
+        answers, stats = run(go())
+        for (status, _, body), key in zip(answers, ["shop/name", "shop/price"] * 6):
+            assert status == 200
+            expected = ["Alpha"] if key == "shop/name" else ["10"]
+            assert body["values"] == expected, f"wrong demux for {key}"
+        assert stats.coalesced_requests > 0
+        assert stats.pages_parsed < stats.requests
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                for _ in range(3):
+                    writer.write(
+                        post("/extract", {"site_key": "shop/name", "html": TITLE_PAGE})
+                    )
+                    status, _, body = await read_response(reader)
+                    assert status == 200 and body["values"] == ["Alpha"]
+                writer.close()
+
+        run(go())
+
+    def test_healthz_reports_wrappers_and_serving_stats(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                await raw_request(
+                    host, port, post("/extract", {"site_key": "shop/name", "html": TITLE_PAGE})
+                )
+                status, _, body = await raw_request(
+                    host, port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                )
+                assert status == 200
+                assert body["ok"] is True and body["wrappers"] == 2
+                assert body["serving"]["requests"] >= 1
+
+        run(go())
+
+    def test_wrappers_listing_and_delete(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, b"GET /wrappers HTTP/1.1\r\n\r\n"
+                )
+                assert status == 200
+                assert {w["site_key"] for w in body["wrappers"]} == {
+                    "shop/name",
+                    "shop/price",
+                }
+                status2, _, body2 = await raw_request(
+                    host, port, b"DELETE /wrappers/shop%2Fname HTTP/1.1\r\n\r\n"
+                )
+                assert status2 == 200 and body2["deleted"] == "shop/name"
+                status3, _, _ = await raw_request(
+                    host, port, b"GET /wrappers/shop%2Fname HTTP/1.1\r\n\r\n"
+                )
+                assert status3 == 404
+
+        run(go())
+
+
+class TestConfig:
+    def test_invalid_net_config_rejected(self):
+        with pytest.raises(ValueError):
+            NetConfig(max_body_bytes=0)
+        with pytest.raises(ValueError):
+            NetConfig(max_header_bytes=8)
+
+    def test_double_start_rejected(self):
+        async def go():
+            async with WrapperHTTPServer(WrapperClient()) as server:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await server.start()
+
+        run(go())

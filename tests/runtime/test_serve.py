@@ -7,13 +7,13 @@ import pytest
 
 from repro.runtime import (
     AsyncExtractionServer,
-    BatchExtractor,
     PageJob,
     RequestError,
     ServingConfig,
     serve_jobs,
     serve_jobs_sync,
 )
+from repro.runtime.extractor import BatchExtractor
 from repro.runtime.serve import default_site_key
 
 PAGE_A = """

@@ -127,6 +127,7 @@ class TestRealBaselines:
             p.name for p in (REPO_ROOT / "benchmarks" / "baselines").glob("BENCH_*.json")
         )
         assert names == [
+            "BENCH_net.json",
             "BENCH_runtime.json",
             "BENCH_serving.json",
             "BENCH_xpath.json",
