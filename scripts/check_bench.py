@@ -28,7 +28,13 @@ floor).  Those get a wide 60% band — enough to catch an engine collapse
 (losing the compiled path is a 10–70× drop) without flaking on runner
 variance.  ``BENCH_net.json`` rides loopback-TCP and thread-scheduler
 variance and gets a 35% band (its benchmark asserts the ≥ 1.2× bar
-itself, so the hard floor holds regardless).  ``BENCH_runtime.json`` /
+itself, so the hard floor holds regardless); ``BENCH_cluster.json``
+additionally rides multi-process scheduling and CPU-count differences
+between runners and gets the same 35% band (its benchmark asserts the
+≥ 1.4× bar itself on any multi-core host); when either side of a
+comparison was recorded with ``gate_applies: false`` (a single-CPU
+host, where a cross-host parallelism ratio cannot materialize) the
+ratio is reported but not compared.  ``BENCH_runtime.json`` /
 ``BENCH_serving.json`` ratios divide two measurements from the same run
 and keep the tight default.
 
@@ -53,7 +59,11 @@ RATIO_SECTIONS = ("speedup", "throughput")
 #: ratios are relative to fixed seed constants need a wide band, and
 #: the network bench rides the host's loopback/scheduler variance
 #: (its own ≥ 1.2× assertion stays the hard floor either way).
-FILE_TOLERANCES = {"BENCH_xpath.json": 0.60, "BENCH_net.json": 0.35}
+FILE_TOLERANCES = {
+    "BENCH_xpath.json": 0.60,
+    "BENCH_net.json": 0.35,
+    "BENCH_cluster.json": 0.35,
+}
 
 
 def headline_ratios(payload: dict) -> dict[str, float]:
@@ -71,19 +81,32 @@ def headline_ratios(payload: dict) -> dict[str, float]:
 
 def iter_rows(
     baseline_dir: pathlib.Path, current_dir: pathlib.Path, names: list[str]
-) -> Iterator[tuple[str, str, float, float | None]]:
-    """Yield (file, metric, baseline, current-or-None) for every
-    baselined headline ratio."""
+) -> Iterator[tuple[str, str, float, float | None, bool]]:
+    """Yield (file, metric, baseline, current-or-None, gated) for every
+    baselined headline ratio.
+
+    ``gated`` is False when either side recorded ``gate_applies:
+    false`` — a bench declaring its own ratio meaningless on that host
+    (e.g. ``BENCH_cluster.json`` on a single-CPU machine, where a
+    2-host parallelism ratio cannot materialize).  Such ratios are
+    reported but not compared: a single-CPU current run must not fail
+    against a multi-core baseline, and a single-CPU baseline must not
+    rubber-stamp a multi-core regression as a pass worth trusting.
+    """
     for name in names:
         base_payload = json.loads((baseline_dir / name).read_text())
         current_path = current_dir / name
         if not current_path.exists():
-            yield name, "<file>", float("nan"), None
+            yield name, "<file>", float("nan"), None, True
             continue
         current_payload = json.loads(current_path.read_text())
         current = headline_ratios(current_payload)
+        gated = (
+            base_payload.get("gate_applies", True) is not False
+            and current_payload.get("gate_applies", True) is not False
+        )
         for metric, base_value in sorted(headline_ratios(base_payload).items()):
-            yield name, metric, base_value, current.get(metric)
+            yield name, metric, base_value, current.get(metric), gated
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -132,9 +155,9 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     rows = list(iter_rows(args.baseline_dir, args.current_dir, names))
     width = max(
-        (len(f"{name}:{metric}") for name, metric, _, _ in rows), default=20
+        (len(f"{name}:{metric}") for name, metric, _, _, _ in rows), default=20
     )
-    for name, metric, base_value, current_value in rows:
+    for name, metric, base_value, current_value, gated in rows:
         label = f"{name}:{metric}"
         tolerance = max(args.tolerance, FILE_TOLERANCES.get(name, 0.0))
         if current_value is None:
@@ -147,7 +170,9 @@ def main(argv: list[str] | None = None) -> int:
             f"current {current_value:8.2f}x  ({ratio:6.1%} of baseline, "
             f"tolerance {tolerance:.0%})"
         )
-        if ratio < 1.0 - tolerance:
+        if not gated:
+            print(f"skip {line}  [gate_applies: false on this host]")
+        elif ratio < 1.0 - tolerance:
             print(f"FAIL {line}")
             failures += 1
         else:

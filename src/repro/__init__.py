@@ -37,16 +37,25 @@ from repro.scoring import KBestTable, QueryInstance, Scorer, ScoringParams
 from repro.xpath import Query, canonical_path, evaluate, parse_query
 from repro.api import (
     CheckResult,
+    ClusterMap,
     ExtractionResult,
     FacadeError,
+    OwnershipError,
+    RemoteError,
     RemoteWrapperClient,
+    RouterClient,
     Sample,
+    ShardOwnership,
     WrapperClient,
     WrapperHandle,
     mark_volatile,
+    qualify_key,
+    shard_index,
+    site_key_of,
+    split_tenant,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Deprecated top-level entry points → (home module, facade replacement).
 #: They keep working — engine layers are public at their own paths — but
@@ -76,6 +85,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "CheckResult",
+    "ClusterMap",
     "Document",
     "E",
     "ExtractionResult",
@@ -83,13 +93,17 @@ __all__ = [
     "InductionConfig",
     "InductionResult",
     "KBestTable",
+    "OwnershipError",
     "Query",
     "QueryInstance",
     "QuerySample",
+    "RemoteError",
     "RemoteWrapperClient",
+    "RouterClient",
     "Sample",
     "Scorer",
     "ScoringParams",
+    "ShardOwnership",
     "T",
     "TextNode",
     "WrapperClient",
@@ -100,6 +114,10 @@ __all__ = [
     "mark_volatile",
     "parse_html",
     "parse_query",
+    "qualify_key",
+    "shard_index",
+    "site_key_of",
+    "split_tenant",
     "to_html",
     "__version__",
 ]

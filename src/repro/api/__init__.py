@@ -18,7 +18,18 @@ CLI, network front-end, benchmarks — converges on:
 * typed results — :class:`WrapperHandle`, :class:`ExtractionResult`,
   :class:`CheckResult` — instead of layer-specific dataclasses, each
   with a lossless JSON payload round trip (that payload *is* the wire
-  protocol).
+  protocol);
+* :class:`RouterClient` + :class:`ClusterMap` — the same surface over a
+  *cluster* of shard-owning hosts, each launched with ``serve --listen
+  --own-shards``; placement helpers (:func:`site_key_of`,
+  :func:`shard_index`, :func:`qualify_key`, :func:`split_tenant`) are
+  re-exported here so deployment tooling shares the exact function the
+  store, the hosts, and the router place keys with.
+
+All three clients take a ``tenant`` namespace and grow an
+``extract_many`` batch verb (parse-amortized locally, pipelined over
+per-thread connections remotely, fanned out across hosts by the
+router).
 
 Quickstart::
 
@@ -36,7 +47,7 @@ See docs/API.md for the full facade reference and the wire protocol.
 """
 
 from repro.api.client import WrapperClient
-from repro.api.remote import RemoteWrapperClient
+from repro.api.remote import OwnershipError, RemoteError, RemoteWrapperClient
 from repro.api.results import (
     CheckResult,
     ExtractionResult,
@@ -44,6 +55,15 @@ from repro.api.results import (
     WrapperHandle,
 )
 from repro.api.sample import Sample, mark_volatile
+from repro.cluster.placement import (
+    ClusterMap,
+    ShardOwnership,
+    qualify_key,
+    shard_index,
+    site_key_of,
+    split_tenant,
+)
+from repro.cluster.router import RouterClient
 
 #: Facade modes accepted by :meth:`WrapperClient.induce`.
 MODES = ("node", "record", "ensemble")
@@ -51,11 +71,20 @@ MODES = ("node", "record", "ensemble")
 __all__ = [
     "MODES",
     "CheckResult",
+    "ClusterMap",
     "ExtractionResult",
     "FacadeError",
+    "OwnershipError",
+    "RemoteError",
     "RemoteWrapperClient",
+    "RouterClient",
     "Sample",
+    "ShardOwnership",
     "WrapperClient",
     "WrapperHandle",
     "mark_volatile",
+    "qualify_key",
+    "shard_index",
+    "site_key_of",
+    "split_tenant",
 ]

@@ -32,9 +32,16 @@ identical surface over the network front-end.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Optional, Sequence, Union
 
+from repro.cluster.placement import (
+    DEFAULT_TENANT,
+    qualify_key,
+    tenant_of,
+    validate_tenant,
+)
 from repro.dom.node import Document
 from repro.dom.parser import parse_html
 from repro.induction.config import InductionConfig
@@ -94,6 +101,13 @@ class WrapperClient:
     :class:`~repro.runtime.store.ShardedArtifactStore` persists them
     (creating a new store at a fresh path).  ``drift`` tunes the
     signal thresholds applied by ``extract``/``check``.
+
+    ``tenant`` scopes the client into one namespace: every site key is
+    qualified to ``tenant::key`` on the way in, so two tenants' copies
+    of the same site key never share an artifact, a store path, or a
+    drift-telemetry stream, and ``keys()``/``handles()`` list only this
+    tenant's wrappers.  The default (empty) tenant sees every key —
+    including other tenants' qualified keys — unchanged.
     """
 
     def __init__(
@@ -102,8 +116,13 @@ class WrapperClient:
         *,
         shards: Optional[int] = None,
         drift: Optional[DriftConfig] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.drift = drift or DriftConfig()
+        try:
+            self.tenant = validate_tenant(tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
         self._memory: dict[str, WrapperArtifact] = {}
         if store is None:
             self._store: Optional[ShardedArtifactStore] = None
@@ -117,11 +136,20 @@ class WrapperClient:
         """The persistent backend, or ``None`` for in-memory clients."""
         return self._store
 
+    def _qualify(self, site_key: str) -> str:
+        """``site_key`` in this client's namespace (FacadeError on a
+        cross-tenant key — one tenant never reaches another's)."""
+        try:
+            return qualify_key(site_key, self.tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
+
     # -- registry -----------------------------------------------------------
 
     def artifact(self, site_key: str) -> WrapperArtifact:
         """The raw deployed artifact (the escape hatch to the runtime
         layers).  Raises :class:`KeyError` for unknown keys."""
+        site_key = self._qualify(site_key)
         if self._store is not None:
             return self._store.get(site_key)
         return self._memory[site_key]
@@ -134,7 +162,16 @@ class WrapperClient:
 
     def deploy(self, artifact: WrapperArtifact) -> WrapperHandle:
         """Deploy a prebuilt artifact (migration path for wrappers
-        induced by pre-facade tooling; they serve in ``node`` mode)."""
+        induced by pre-facade tooling; they serve in ``node`` mode).
+
+        A tenant-scoped client deploys into its own namespace: a bare
+        ``task_id`` is qualified (so the wrapper is reachable through
+        this client's verbs), and an artifact already qualified for a
+        different tenant is rejected.
+        """
+        qualified = self._qualify(artifact.task_id)
+        if qualified != artifact.task_id:
+            artifact = dataclasses.replace(artifact, task_id=qualified)
         self._put(artifact)
         return WrapperHandle.from_artifact(artifact)
 
@@ -143,19 +180,28 @@ class WrapperClient:
 
     def keys(self) -> list[str]:
         if self._store is not None:
-            return self._store.task_ids()
-        return sorted(self._memory)
+            ids = self._store.task_ids()
+        else:
+            ids = sorted(self._memory)
+        if self.tenant:
+            ids = [key for key in ids if tenant_of(key) == self.tenant]
+        return ids
 
     def handles(self) -> list[WrapperHandle]:
         return [self.get(site_key) for site_key in self.keys()]
 
     def delete(self, site_key: str) -> None:
+        site_key = self._qualify(site_key)
         if self._store is not None:
             self._store.remove(site_key)
         else:
             del self._memory[site_key]
 
     def __contains__(self, site_key: str) -> bool:
+        try:
+            site_key = self._qualify(site_key)
+        except FacadeError:
+            return False
         if self._store is not None:
             return site_key in self._store
         return site_key in self._memory
@@ -186,6 +232,7 @@ class WrapperClient:
         """
         if mode not in ("node", "record", "ensemble"):
             raise FacadeError(f"unknown induction mode {mode!r}")
+        site_key = self._qualify(site_key)
         config = config or InductionConfig(k=k)
         facade_samples = coerce_samples(samples)
         meta: dict = {"mode": mode}
@@ -237,6 +284,42 @@ class WrapperClient:
         if facade_mode(artifact) == "record":
             rows = record_rows(artifact, doc)
         return result_from_records(artifact, records, self.drift, rows)
+
+    def extract_many(
+        self,
+        items: Sequence[tuple[str, Page]],
+        *,
+        concurrency: int = 1,
+        return_errors: bool = False,
+    ) -> list:
+        """Serve a batch of ``(site_key, page)`` pairs in item order.
+
+        Each distinct HTML string is parsed once for the whole batch
+        (co-served wrappers on one rendered page amortize the parse,
+        as the serving layer does).  With ``return_errors`` a failed
+        item yields its exception in place; otherwise the first failure
+        raises after the batch drains.  The remote and router clients
+        expose the same method with the same semantics, fanned out over
+        connections and hosts; ``concurrency`` is accepted for drop-in
+        interchangeability with them (local extraction is synchronous —
+        in-process work is CPU-bound, so threads would add nothing).
+        """
+        del concurrency  # tuning knob of the networked backends
+        results: list = [None] * len(items)
+        docs: dict[str, Document] = {}
+        for index, (site_key, page) in enumerate(items):
+            try:
+                if isinstance(page, str):
+                    doc = docs.get(page)
+                    if doc is None:
+                        doc = docs[page] = _as_doc(page)
+                    page = doc
+                results[index] = self.extract(site_key, page)
+            except Exception as exc:  # noqa: BLE001 - reported per item
+                if not return_errors:
+                    raise
+                results[index] = exc
+        return results
 
     def check(self, site_key: str, page: Page) -> CheckResult:
         """Drift-check one page without materializing extraction values."""

@@ -9,17 +9,35 @@ both).  Built on :mod:`http.client` only; one client owns one
 keep-alive connection and transparently reconnects when the server (or
 an idle timeout) dropped it.
 
+Transport failures surface as :class:`RemoteError` carrying the
+``host:port`` they happened against — when a
+:class:`~repro.cluster.router.RouterClient` fans a batch out over many
+hosts, every failure stays attributable to the host that caused it.
+The connect and read phases time out independently
+(``connect_timeout`` / ``read_timeout``): a dead host is detected in
+seconds while a long induction on a live host is still given minutes.
+
 A connection is not thread-safe — give each thread its own client
 (they are cheap: lazy connect, no state beyond the socket).
+:meth:`extract_many` does exactly that internally, pipelining a batch
+through a small pool of per-thread connections to this one host.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence, Union
 from urllib.parse import quote
 
+from repro.cluster.placement import (
+    DEFAULT_TENANT,
+    qualify_key,
+    tenant_of,
+    validate_tenant,
+)
 from repro.dom.node import Document
 from repro.dom.serialize import to_html
 from repro.induction.samples import QuerySample
@@ -38,10 +56,64 @@ def _as_html(page: Page) -> str:
     return to_html(page) if isinstance(page, Document) else page
 
 
-class RemoteWrapperClient:
-    """The facade, served by a ``serve --listen`` process elsewhere."""
+class RemoteError(FacadeError):
+    """A request could not be transported to (or answered by) a host.
 
-    def __init__(self, host: str, port: Optional[int] = None, timeout: float = 60.0):
+    Carries the ``host:port`` it failed against so a router fan-out can
+    attribute every per-key failure to the host that caused it.
+    """
+
+    def __init__(self, message: str, host: str = "", port: int = 0):
+        super().__init__(message)
+        self.host = host
+        self.port = int(port)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class OwnershipError(FacadeError):
+    """The server does not own the shard a site key places into.
+
+    Raised when a request reaches a ``serve --listen --own-shards``
+    host for a key outside its shard group — a routing bug (stale
+    cluster map, mis-derived ownership), never silently served.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site_key: str = "",
+        shard: int = -1,
+        owned: Sequence[int] = (),
+        n_shards: int = 0,
+    ):
+        super().__init__(message)
+        self.site_key = site_key
+        self.shard = int(shard)
+        self.owned = tuple(int(s) for s in owned)
+        self.n_shards = int(n_shards)
+
+
+class RemoteWrapperClient:
+    """The facade, served by a ``serve --listen`` process elsewhere.
+
+    ``tenant`` scopes every verb into one namespace: site keys are
+    qualified (``tenant::key``) before they go on the wire and
+    ``keys()``/``handles()`` list only this tenant's wrappers.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: Optional[int] = None,
+        timeout: float = 60.0,
+        *,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
+    ):
         if port is None:
             host, _, port_text = host.rpartition(":")
             if not host:
@@ -49,7 +121,15 @@ class RemoteWrapperClient:
             port = int(port_text)
         self.host = host
         self.port = int(port)
-        self.timeout = timeout
+        # Legacy single ``timeout`` still seeds both phases; the split
+        # lets a router detect a dead host fast (connect) without
+        # capping slow-but-alive work (read).
+        self.connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self.read_timeout = timeout if read_timeout is None else read_timeout
+        try:
+            self.tenant = validate_tenant(tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ----------------------------------------------------------
@@ -65,12 +145,35 @@ class RemoteWrapperClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def clone(self) -> "RemoteWrapperClient":
+        """An independent client to the same host (own connection) —
+        what per-thread pipelining hands each worker."""
+        return RemoteWrapperClient(
+            self.host,
+            self.port,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+            tenant=self.tenant,
+        )
+
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.connect_timeout
             )
+            conn.connect()
+            if conn.sock is not None:
+                conn.sock.settimeout(self.read_timeout)
+            self._conn = conn
         return self._conn
+
+    def _transport_error(self, method: str, path: str, exc: Exception) -> RemoteError:
+        return RemoteError(
+            f"{method} {path} against {self.host}:{self.port} failed: "
+            f"{type(exc).__name__}: {exc}",
+            host=self.host,
+            port=self.port,
+        )
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         body = None
@@ -79,24 +182,25 @@ class RemoteWrapperClient:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         for attempt in (0, 1):
-            conn = self._connection()
             sent = False
             try:
+                conn = self._connection()
                 conn.request(method, path, body=body, headers=headers)
                 sent = True
                 response = conn.getresponse()
                 data = response.read()
                 break
-            except (ConnectionError, http.client.HTTPException, OSError):
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
                 self.close()
                 # Reconnect-and-retry only when it cannot double-execute:
-                # a send-phase failure (stale keep-alive detected while
-                # writing — the server never saw a complete request), or
-                # any failure of an idempotent method.  A POST that was
-                # fully sent may already be running server-side (induce/
-                # repair mutate the registry), so its failure surfaces.
+                # a connect/send-phase failure (stale keep-alive detected
+                # while writing — the server never saw a complete
+                # request), or any failure of an idempotent method.  A
+                # POST that was fully sent may already be running
+                # server-side (induce/repair mutate the registry), so its
+                # failure surfaces — typed, with the host attached.
                 if attempt or (sent and method not in ("GET", "DELETE")):
-                    raise
+                    raise self._transport_error(method, path, exc) from exc
         try:
             answer = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -105,19 +209,36 @@ class RemoteWrapperClient:
             ) from exc
         if response.status >= 400:
             message = str(answer.get("error", f"HTTP {response.status}"))
-            if answer.get("code") == "unknown_wrapper":
+            code = answer.get("code")
+            if code == "unknown_wrapper":
                 raise KeyError(message)
+            if code == "shard_not_owned":
+                raise OwnershipError(
+                    message,
+                    site_key=str(answer.get("site_key", "")),
+                    shard=int(answer.get("shard", -1)),
+                    owned=answer.get("owned", ()),
+                    n_shards=int(answer.get("n_shards", 0)),
+                )
             raise FacadeError(message)
         return answer
 
-    @staticmethod
-    def _key_path(site_key: str) -> str:
-        return "/wrappers/" + quote(site_key, safe="")
+    def _qualify(self, site_key: str) -> str:
+        # Same surface as the local client: a cross-tenant or malformed
+        # key is a FacadeError, whichever backend sees it first.
+        try:
+            return qualify_key(site_key, self.tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
+
+    def _key_path(self, site_key: str) -> str:
+        return "/wrappers/" + quote(self._qualify(site_key), safe="")
 
     # -- facade surface -----------------------------------------------------
 
     def healthz(self) -> dict:
-        """Liveness + the server's serving-layer counters."""
+        """Liveness + the server's serving-layer counters + (for shard
+        owners) the shard group it answers for."""
         return self._request("GET", "/healthz")
 
     def induce(
@@ -145,7 +266,7 @@ class RemoteWrapperClient:
             "POST",
             "/induce",
             {
-                "site_key": site_key,
+                "site_key": self._qualify(site_key),
                 "mode": mode,
                 "samples": payloads,
                 "k": k,
@@ -158,13 +279,68 @@ class RemoteWrapperClient:
 
     def extract(self, site_key: str, page: Page) -> ExtractionResult:
         answer = self._request(
-            "POST", "/extract", {"site_key": site_key, "html": _as_html(page)}
+            "POST",
+            "/extract",
+            {"site_key": self._qualify(site_key), "html": _as_html(page)},
         )
         return ExtractionResult.from_payload(answer)
 
+    def extract_many(
+        self,
+        items: Sequence[tuple[str, Page]],
+        *,
+        concurrency: int = 4,
+        return_errors: bool = False,
+    ) -> list:
+        """Batch extraction pipelined through per-thread connections.
+
+        ``items`` is a sequence of ``(site_key, page)`` pairs; results
+        come back in item order.  With ``return_errors`` each failed
+        item yields its exception in place (other items keep their
+        results); without it the first failure raises after the batch
+        drains.
+        """
+        if concurrency < 1:
+            raise FacadeError("extract_many concurrency must be >= 1")
+        results: list = [None] * len(items)
+        if not items:
+            return results
+        local = threading.local()
+        clones: list[RemoteWrapperClient] = []
+        clones_lock = threading.Lock()
+
+        def one(index: int) -> None:
+            client = getattr(local, "client", None)
+            if client is None:
+                client = self.clone()
+                with clones_lock:
+                    clones.append(client)
+                local.client = client
+            site_key, page = items[index]
+            try:
+                results[index] = client.extract(site_key, page)
+            except Exception as exc:  # noqa: BLE001 - reported per item
+                results[index] = exc
+
+        try:
+            with ThreadPoolExecutor(
+                max_workers=min(concurrency, len(items))
+            ) as pool:
+                list(pool.map(one, range(len(items))))
+        finally:
+            for clone in clones:
+                clone.close()
+        if not return_errors:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
     def check(self, site_key: str, page: Page) -> CheckResult:
         answer = self._request(
-            "POST", "/check", {"site_key": site_key, "html": _as_html(page)}
+            "POST",
+            "/check",
+            {"site_key": self._qualify(site_key), "html": _as_html(page)},
         )
         return CheckResult.from_payload(answer)
 
@@ -174,7 +350,7 @@ class RemoteWrapperClient:
         page: Page,
         target_paths: Optional[Sequence[str]] = None,
     ) -> WrapperHandle:
-        payload: dict = {"site_key": site_key, "html": _as_html(page)}
+        payload: dict = {"site_key": self._qualify(site_key), "html": _as_html(page)}
         if target_paths:
             payload["target_paths"] = [str(path) for path in target_paths]
         return WrapperHandle.from_payload(self._request("POST", "/repair", payload))
@@ -192,11 +368,20 @@ class RemoteWrapperClient:
 
     def handles(self) -> list[WrapperHandle]:
         answer = self._request("GET", "/wrappers")
-        return [
+        handles = [
             WrapperHandle.from_payload(item) for item in answer.get("wrappers", ())
         ]
+        if self.tenant:
+            handles = [h for h in handles if tenant_of(h.site_key) == self.tenant]
+        return handles
 
     def __contains__(self, site_key: str) -> bool:
+        try:
+            self._qualify(site_key)
+        except FacadeError:
+            # Parity with the local client: a key this client could
+            # never address (cross-tenant) is simply not contained.
+            return False
         try:
             self.get(site_key)
         except KeyError:
@@ -204,7 +389,9 @@ class RemoteWrapperClient:
         return True
 
     def __len__(self) -> int:
+        if self.tenant:
+            return len(self.keys())
         return int(self.healthz().get("wrappers", 0))
 
 
-__all__ = ["RemoteWrapperClient"]
+__all__ = ["OwnershipError", "RemoteError", "RemoteWrapperClient"]

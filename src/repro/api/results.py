@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.cluster.placement import tenant_of
 from repro.runtime.artifact import WrapperArtifact
 from repro.runtime.drift import (
     CANONICAL_CHANGE,
@@ -134,6 +135,13 @@ class WrapperHandle:
     role: str = ""
     fields: dict[str, str] = field(default_factory=dict)
 
+    @property
+    def tenant(self) -> str:
+        """The namespace this wrapper lives in (``""`` untenanted) —
+        derived from the (possibly qualified) site key, so tenancy
+        rides every payload without a second source of truth."""
+        return tenant_of(self.site_key)
+
     @classmethod
     def from_artifact(cls, artifact: WrapperArtifact) -> "WrapperHandle":
         return cls(
@@ -153,6 +161,7 @@ class WrapperHandle:
     def to_payload(self) -> dict:
         return {
             "site_key": self.site_key,
+            "tenant": self.tenant,
             "mode": self.mode,
             "query": self.query,
             "score": self.score,
@@ -217,9 +226,14 @@ class ExtractionResult:
     def is_empty(self) -> bool:
         return not self.paths
 
+    @property
+    def tenant(self) -> str:
+        return tenant_of(self.site_key)
+
     def to_payload(self) -> dict:
         return {
             "site_key": self.site_key,
+            "tenant": self.tenant,
             "mode": self.mode,
             "values": list(self.values),
             "paths": list(self.paths),
@@ -266,9 +280,14 @@ class CheckResult:
     def healthy(self) -> bool:
         return not self.signals
 
+    @property
+    def tenant(self) -> str:
+        return tenant_of(self.site_key)
+
     def to_payload(self) -> dict:
         return {
             "site_key": self.site_key,
+            "tenant": self.tenant,
             "signals": list(self.signals),
             "drifted": self.drifted,
             "result_count": self.result_count,

@@ -1,0 +1,263 @@
+""":class:`RouterClient` — one client object over N serving hosts.
+
+The cross-host scale step: every :class:`~repro.cluster.placement.ClusterMap`
+host runs ``python -m repro.runtime serve --listen --own-shards <group>``
+over a disjoint shard group, and the router implements the full
+:class:`~repro.api.client.WrapperClient` surface by computing the same
+placement function the hosts enforce:
+
+* keyed verbs (``induce``/``extract``/``check``/``repair``/``get``/
+  ``delete``) route to the owning host's
+  :class:`~repro.api.remote.RemoteWrapperClient`;
+* ``keys()``/``handles()`` scatter-gather across every host and merge
+  (host shard groups are disjoint, so the union is exact);
+* :meth:`extract_many` fans a batch out concurrently across hosts and
+  pipelines each host's slice through per-thread connections — the
+  N-host generalization of single-host pipelining.
+
+Failure containment mirrors the placement function: a dead host fails
+*its* keys (as :class:`~repro.api.remote.RemoteError` carrying the
+host address) and no others — requests to live hosts never wait on, or
+get poisoned by, the dead one.  The router is drop-in interchangeable
+with the local and single-host clients; the facade parity suite runs
+byte-identically against a 2-host router backend.
+
+Like :class:`RemoteWrapperClient`, one router is not thread-safe (it
+owns one keep-alive connection per host); ``extract_many`` manages its
+own per-thread connections internally.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.cluster.placement import (
+    ClusterMap,
+    DEFAULT_TENANT,
+    qualify_key,
+    validate_tenant,
+)
+from repro.api.remote import Page, RemoteWrapperClient
+from repro.api.results import (
+    CheckResult,
+    ExtractionResult,
+    FacadeError,
+    WrapperHandle,
+)
+
+
+class RouterClient:
+    """The facade, routed across a cluster of shard-owning hosts.
+
+    ``cluster`` is a :class:`ClusterMap` (or a plain host list, sharded
+    with ``n_shards``).  ``tenant`` scopes every verb into one
+    namespace, exactly as on the other two clients.  The connect/read
+    timeout split is forwarded to every per-host client so a dead host
+    is detected on the connect phase without capping live work.
+    """
+
+    def __init__(
+        self,
+        cluster: Union[ClusterMap, Iterable[str]],
+        *,
+        n_shards: Optional[int] = None,
+        tenant: str = DEFAULT_TENANT,
+        timeout: float = 60.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+    ) -> None:
+        if not isinstance(cluster, ClusterMap):
+            cluster = ClusterMap.from_hosts(cluster, n_shards)
+        elif n_shards is not None and n_shards != cluster.n_shards:
+            raise FacadeError(
+                f"cluster map has {cluster.n_shards} shards; "
+                f"n_shards={n_shards} would misroute keys"
+            )
+        self.cluster = cluster
+        try:
+            self.tenant = validate_tenant(tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
+        self._timeouts = {
+            "timeout": timeout,
+            "connect_timeout": connect_timeout,
+            "read_timeout": read_timeout,
+        }
+        self._clients: dict[str, RemoteWrapperClient] = {}
+
+    # -- routing ------------------------------------------------------------
+
+    def _qualify(self, site_key: str) -> str:
+        # Same surface as the other two clients: a cross-tenant or
+        # malformed key is a FacadeError.
+        try:
+            return qualify_key(site_key, self.tenant)
+        except ValueError as exc:
+            raise FacadeError(str(exc)) from exc
+
+    def host_of(self, site_key: str) -> str:
+        """The serving host that owns ``site_key`` (tenant-qualified
+        first, so two tenants' copies of one site may route apart)."""
+        return self.cluster.host_of(self._qualify(site_key))
+
+    def client_for_host(self, host: str) -> RemoteWrapperClient:
+        """The router's keep-alive client for one cluster host."""
+        if host not in self.cluster.hosts:
+            raise FacadeError(f"{host!r} is not in the cluster map")
+        client = self._clients.get(host)
+        if client is None:
+            client = RemoteWrapperClient(host, tenant=self.tenant, **self._timeouts)
+            self._clients[host] = client
+        return client
+
+    def _client_for(self, site_key: str) -> RemoteWrapperClient:
+        return self.client_for_host(self.host_of(site_key))
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "RouterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- keyed verbs: route to the owner ------------------------------------
+
+    def induce(self, site_key: str, samples, mode: str = "node", **options):
+        return self._client_for(site_key).induce(site_key, samples, mode, **options)
+
+    def extract(self, site_key: str, page: Page) -> ExtractionResult:
+        return self._client_for(site_key).extract(site_key, page)
+
+    def check(self, site_key: str, page: Page) -> CheckResult:
+        return self._client_for(site_key).check(site_key, page)
+
+    def repair(
+        self,
+        site_key: str,
+        page: Page,
+        target_paths: Optional[Sequence[str]] = None,
+    ) -> WrapperHandle:
+        return self._client_for(site_key).repair(site_key, page, target_paths)
+
+    def get(self, site_key: str) -> WrapperHandle:
+        return self._client_for(site_key).get(site_key)
+
+    def delete(self, site_key: str) -> None:
+        self._client_for(site_key).delete(site_key)
+
+    def __contains__(self, site_key: str) -> bool:
+        try:
+            self._qualify(site_key)
+        except FacadeError:
+            return False  # parity: an unaddressable key is not contained
+        return site_key in self._client_for(site_key)
+
+    # -- scatter-gather -----------------------------------------------------
+
+    def _gather(self, fn):
+        """Run ``fn(client)`` against every host concurrently; a failing
+        host fails the gather with its own RemoteError (a partial
+        listing silently missing a shard group would be worse)."""
+        hosts = self.cluster.hosts
+        if len(hosts) == 1:
+            return [fn(self.client_for_host(hosts[0]))]
+        with ThreadPoolExecutor(max_workers=len(hosts)) as pool:
+            return list(
+                pool.map(lambda host: fn(self.client_for_host(host)), hosts)
+            )
+
+    def handles(self) -> list[WrapperHandle]:
+        merged = [h for part in self._gather(lambda c: c.handles()) for h in part]
+        return sorted(merged, key=lambda handle: handle.site_key)
+
+    def keys(self) -> list[str]:
+        return sorted(
+            key for part in self._gather(lambda c: c.keys()) for key in part
+        )
+
+    def healthz(self) -> dict:
+        """Per-host health, keyed by address; a dead host reports its
+        RemoteError string instead of poisoning the others."""
+
+        def probe(client: RemoteWrapperClient) -> dict:
+            try:
+                return client.healthz()
+            except FacadeError as exc:
+                return {"ok": False, "error": str(exc)}
+
+        return dict(zip(self.cluster.hosts, self._gather(probe)))
+
+    def __len__(self) -> int:
+        if self.tenant:
+            # Namespace filtering happens client-side; count the keys.
+            return len(self.keys())
+        # Hosts count only their owned shard group, and groups are
+        # disjoint — summing /healthz counters avoids shipping every
+        # handle payload just to count them.
+        return sum(
+            int(count)
+            for count in self._gather(
+                lambda c: c.healthz().get("wrappers", 0)
+            )
+        )
+
+    # -- batch extraction ---------------------------------------------------
+
+    def extract_many(
+        self,
+        items: Sequence[tuple[str, Page]],
+        *,
+        concurrency: int = 4,
+        return_errors: bool = False,
+    ) -> list:
+        """Batch extraction: concurrent across hosts, pipelined per host.
+
+        Items are grouped by owning host; every host's slice runs
+        through that host's :meth:`RemoteWrapperClient.extract_many`
+        pipeline (depth ``concurrency``, the same meaning the kwarg has
+        there) while the other hosts' slices run in parallel.  Results
+        come back in item order.  A dead host yields its
+        :class:`~repro.api.remote.RemoteError` for *its* items only —
+        as does an unroutable (cross-tenant, malformed) key; with
+        ``return_errors`` those errors are returned in place, otherwise
+        the first one raises after the batch drains.
+        """
+        results: list = [None] * len(items)
+        by_host: dict[str, list[int]] = {}
+        for index, (site_key, _) in enumerate(items):
+            try:
+                host = self.host_of(site_key)
+            except FacadeError as exc:
+                # An unroutable key fails its own item only — exactly
+                # like a failed request would.
+                results[index] = exc
+                continue
+            by_host.setdefault(host, []).append(index)
+
+        def run_host(host: str, indexes: list[int]) -> None:
+            slice_items = [items[i] for i in indexes]
+            try:
+                part = self.client_for_host(host).extract_many(
+                    slice_items, concurrency=concurrency, return_errors=True
+                )
+            except Exception as exc:  # noqa: BLE001 - host-wide failure
+                part = [exc] * len(indexes)
+            for index, result in zip(indexes, part):
+                results[index] = result
+
+        if by_host:
+            with ThreadPoolExecutor(max_workers=len(by_host)) as pool:
+                list(pool.map(lambda kv: run_host(*kv), by_host.items()))
+        if not return_errors:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
+
+__all__ = ["RouterClient"]

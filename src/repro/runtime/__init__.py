@@ -28,7 +28,9 @@ This package provides that layer:
   chaining repairs generation over generation;
 * :mod:`repro.runtime.net` — an HTTP/1.1 JSON front-end serving the
   :mod:`repro.api` facade over TCP (``serve --listen HOST:PORT``), with
-  extraction traffic coalesced through the async serving layer;
+  extraction traffic coalesced through the async serving layer and
+  optional shard ownership (``--own-shards``) for cluster members
+  routed by :mod:`repro.cluster`;
 * ``python -m repro.runtime`` — an ``induce`` / ``extract`` / ``check``
   / ``serve`` / ``sweep`` CLI driving the loop over the synthetic
   archive corpus.

@@ -37,6 +37,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro.cluster.placement import PlacementError, qualify_key, validate_tenant
 from repro.dom.serialize import to_html
 from repro.evolution.archive import SyntheticArchive
 from repro.induction import InductionConfig, WrapperInducer
@@ -88,7 +89,16 @@ def _site_specs(artifacts: Sequence[WrapperArtifact]):
     return by_id
 
 
+def _validated_tenant(args: argparse.Namespace) -> str:
+    """Fail fast on a malformed --tenant, before any work happens."""
+    try:
+        return validate_tenant(args.tenant)
+    except PlacementError as exc:
+        raise SystemExit(str(exc))
+
+
 def cmd_induce(args: argparse.Namespace) -> int:
+    _validated_tenant(args)
     store: Optional[ShardedArtifactStore] = None
     if args.store:
         try:
@@ -125,7 +135,7 @@ def cmd_induce(args: argparse.Namespace) -> int:
         artifact = WrapperArtifact.from_induction(
             result,
             [sample],
-            task_id=task.task_id,
+            task_id=qualify_key(task.task_id, args.tenant),
             site_id=spec.site_id,
             role=task.role,
             ensemble_size=args.ensemble_size,
@@ -260,26 +270,49 @@ def _parse_listen(value: str) -> tuple[str, int]:
     return host, port
 
 
-def _client_for_listen(path: Optional[str]):
+def _client_for_listen(path: Optional[str], tenant: str = ""):
     """The network server's backend: a sharded store when ``path`` is
     (or can become) one, an in-memory preload for flat artifact dirs,
     a fresh in-memory registry when no path is given."""
     from repro.api.client import WrapperClient
 
     if path is None:
-        return WrapperClient()
+        return WrapperClient(tenant=tenant)
     root = pathlib.Path(path)
     if not ShardedArtifactStore.is_store(root) and root.is_dir() and any(
         root.glob("*.json")
     ):
-        client = WrapperClient()
-        for artifact in _load_artifacts(root):
+        client = WrapperClient(tenant=tenant)
+        artifacts = _load_artifacts(root)
+        for artifact in artifacts:
             client.deploy(artifact)
-        print(f"preloaded {len(client)} artifact(s) from flat directory {root}")
+        print(f"preloaded {len(artifacts)} artifact(s) from flat directory {root}")
         return client
     try:
-        return WrapperClient(store=root)
+        return WrapperClient(store=root, tenant=tenant)
     except StoreError as exc:
+        raise SystemExit(str(exc))
+
+
+def _serve_ownership(args: argparse.Namespace, client):
+    """The shard group this host answers for (``--own-shards``), sized
+    against the store's recorded shard count when one backs the server."""
+    from repro.cluster.placement import PlacementError, ShardOwnership
+
+    if client.store is not None:
+        n_shards = client.store.n_shards
+        if args.shards is not None and args.shards != n_shards:
+            raise SystemExit(
+                f"--shards {args.shards} conflicts with the store's "
+                f"{n_shards} shards (placement follows the store)"
+            )
+    else:
+        n_shards = args.shards if args.shards is not None else DEFAULT_SHARDS
+    if not args.own_shards:
+        return None
+    try:
+        return ShardOwnership.parse(args.own_shards, n_shards)
+    except PlacementError as exc:
         raise SystemExit(str(exc))
 
 
@@ -290,7 +323,8 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
     from repro.runtime.net import NetConfig, serve_http
 
     host, port = _parse_listen(args.listen)
-    client = _client_for_listen(args.artifacts)
+    client = _client_for_listen(args.artifacts, tenant=_validated_tenant(args))
+    ownership = _serve_ownership(args, client)
     config = NetConfig(
         serving=ServingConfig(
             workers=args.workers,
@@ -301,14 +335,24 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
 
     def ready(bound_host: str, bound_port: int) -> None:
         backend = "store " + str(client.store.root) if client.store else "in-memory registry"
+        shards = (
+            f", owning shards {args.own_shards} of {ownership.n_shards}"
+            if ownership is not None
+            else ""
+        )
+        namespace = f", tenant {client.tenant}" if client.tenant else ""
         print(
             f"listening on {bound_host}:{bound_port} "
-            f"({len(client)} wrapper(s), {backend})",
+            f"({len(client)} wrapper(s), {backend}{shards}{namespace})",
             flush=True,
         )
 
     try:
-        asyncio.run(serve_http(client, host, port, config=config, ready=ready))
+        asyncio.run(
+            serve_http(
+                client, host, port, config=config, ready=ready, ownership=ownership
+            )
+        )
     except KeyboardInterrupt:
         print("shutting down")
     return 0
@@ -317,6 +361,15 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     if args.listen:
         return cmd_serve_listen(args)
+    # The one-shot stream replay has no tenancy or shard ownership —
+    # silently ignoring these flags would fake a scoped deployment.
+    for flag, value in (
+        ("--tenant", args.tenant),
+        ("--own-shards", args.own_shards),
+        ("--shards", args.shards),
+    ):
+        if value not in (None, ""):
+            raise SystemExit(f"{flag} requires --listen HOST:PORT")
     if not args.artifacts:
         raise SystemExit("serve needs --artifacts (or --listen HOST:PORT)")
     artifacts = _load_artifacts(pathlib.Path(args.artifacts))
@@ -458,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
             "reopening an existing store reads its recorded shard count"
         ),
     )
+    induce.add_argument(
+        "--tenant",
+        default="",
+        help="write artifacts into this tenant's namespace (tenant::task-id)",
+    )
     induce.add_argument("--task", action="append", help="task id (repeatable); default: all")
     induce.add_argument("--limit", type=int, default=None, help="max tasks")
     induce.add_argument("--multi", action="store_true", help="include multi-node tasks")
@@ -506,6 +564,32 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve the facade protocol over HTTP instead of replaying a "
             "one-shot stream (port 0 picks an ephemeral port, printed on start)"
+        ),
+    )
+    serve.add_argument(
+        "--own-shards",
+        metavar="N,M,...",
+        help=(
+            "with --listen: serve only these shard indexes, answering a "
+            "typed 421 shard_not_owned error for keys that place elsewhere "
+            "(cluster members behind a RouterClient)"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "total shard count --own-shards is relative to (default: the "
+            f"backing store's recorded count, else {DEFAULT_SHARDS})"
+        ),
+    )
+    serve.add_argument(
+        "--tenant",
+        default="",
+        help=(
+            "with --listen: scope the server into one tenant namespace "
+            "(site keys are qualified as tenant::key)"
         ),
     )
     serve.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")

@@ -35,9 +35,12 @@ Request routing by cost:
 
 Failure containment: malformed JSON → 400, unknown wrapper → 404,
 oversized body → 413 (bounded by ``NetConfig.max_body_bytes`` *before*
-the body is read), a client disconnecting mid-request just ends its
-connection — the server and every other connection keep serving.  Error
-bodies are ``{"error": message, "code": code}``.
+the body is read), a key placing into a shard this host does not own →
+421 with code ``shard_not_owned`` (cluster members launched with
+``--own-shards``; the body names the wanted shard and the owned
+group), a client disconnecting mid-request just ends its connection —
+the server and every other connection keep serving.  Error bodies are
+``{"error": message, "code": code, ...}``.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from repro.api.results import (
     facade_mode,
     result_from_records,
 )
+from repro.cluster.placement import PlacementError, ShardOwnership, qualify_key
 from repro.runtime.artifact import ArtifactError
 from repro.runtime.extractor import PageJob
 from repro.runtime.serve import AsyncExtractionServer, RequestError, ServingConfig
@@ -68,6 +72,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    421: "Misdirected Request",
     422: "Unprocessable Entity",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
@@ -97,9 +102,21 @@ class NetConfig:
 
 
 class _HTTPError(Exception):
-    """Internal: aborts a request with a specific status."""
+    """Internal: aborts a request with a specific status.
 
-    def __init__(self, status: int, message: str, code: str = "", close: bool = False):
+    ``extra`` fields ride in the JSON error body next to ``error`` and
+    ``code`` — the typed ownership rejection uses them to tell the
+    caller which shard the key wanted and which shards this host owns.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: str = "",
+        close: bool = False,
+        extra: Optional[dict] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
@@ -108,10 +125,15 @@ class _HTTPError(Exception):
             404: "not_found",
             405: "method_not_allowed",
             413: "payload_too_large",
+            421: "shard_not_owned",
             422: "unprocessable",
             431: "headers_too_large",
         }.get(status, "error")
         self.close = close
+        self.extra = extra or {}
+
+    def payload(self) -> dict:
+        return {"error": self.message, "code": self.code, **self.extra}
 
 
 class WrapperHTTPServer:
@@ -128,16 +150,74 @@ class WrapperHTTPServer:
     registry is the single source of truth for every connection) and
     one :class:`AsyncExtractionServer` all extraction traffic funnels
     through.
+
+    ``ownership`` makes this host a cluster member: every keyed request
+    is placed with the shared placement function and answered with a
+    typed ``421 shard_not_owned`` JSON error when the key belongs to a
+    shard outside the owned group (``serve --listen --own-shards``) —
+    a misrouted request is a deployment bug the caller must see, never
+    data quietly served from a host that does not own it.  ``/healthz``
+    reports the owned shard group so routers and probes can audit the
+    cluster map against reality.
     """
 
     def __init__(
-        self, client: WrapperClient, config: Optional[NetConfig] = None
+        self,
+        client: WrapperClient,
+        config: Optional[NetConfig] = None,
+        *,
+        ownership: Optional[ShardOwnership] = None,
     ) -> None:
         self.client = client
         self.config = config or NetConfig()
+        self.ownership = ownership
         self._serving: Optional[AsyncExtractionServer] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._address: Optional[tuple[str, int]] = None
+
+    def _check_owned(self, site_key: str) -> None:
+        """421 for keys outside this host's shard group (placement is
+        computed on the tenant-qualified key, exactly as routers do)."""
+        if self.ownership is None:
+            return
+        try:
+            qualified = qualify_key(site_key, self.client.tenant)
+        except PlacementError as exc:
+            raise _HTTPError(422, str(exc)) from exc
+        shard = self.ownership.shard_of(qualified)
+        if shard not in self.ownership.owned:
+            raise _HTTPError(
+                421,
+                f"site key {site_key!r} places into shard {shard}, "
+                f"which this host does not own",
+                code="shard_not_owned",
+                extra={
+                    "site_key": site_key,
+                    "shard": shard,
+                    "owned": self.ownership.sorted_owned(),
+                    "n_shards": self.ownership.n_shards,
+                },
+            )
+
+    def _owned_keys(self) -> list[str]:
+        """Keys restricted to owned shards — a shared store holds every
+        host's artifacts, but each host must only report the shard
+        group it answers for (router scatter-gather merges host
+        listings assuming disjointness).  Filtering keys *before*
+        loading keeps unowned artifacts out of this host's store reads
+        and cache."""
+        keys = self.client.keys()
+        if self.ownership is not None and not self.ownership.is_total:
+            keys = [key for key in keys if self.ownership.owns_task(key)]
+        return keys
+
+    def _owned_handles(self) -> list:
+        return [self.client.get(key) for key in self._owned_keys()]
+
+    def _owned_count(self) -> int:
+        if self.ownership is None or self.ownership.is_total:
+            return len(self.client)
+        return len(self._owned_keys())
 
     @property
     def address(self) -> tuple[str, int]:
@@ -204,10 +284,7 @@ class WrapperHTTPServer:
                     # head/body) are answered, then the connection dies —
                     # the stream position is no longer trustworthy.
                     await self._write_response(
-                        writer,
-                        exc.status,
-                        {"error": exc.message, "code": exc.code},
-                        close=True,
+                        writer, exc.status, exc.payload(), close=True
                     )
                     break
                 if request is None:  # client closed (possibly mid-request)
@@ -218,7 +295,7 @@ class WrapperHTTPServer:
                     status, payload = await self._dispatch(method, path, body)
                 except _HTTPError as exc:
                     status = exc.status
-                    payload = {"error": exc.message, "code": exc.code}
+                    payload = exc.payload()
                     close = close or exc.close
                 except (FacadeError, ArtifactError, RequestError, StoreError) as exc:
                     status, payload = 422, {"error": str(exc), "code": "unprocessable"}
@@ -317,22 +394,28 @@ class WrapperHTTPServer:
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "use GET /healthz")
-            count = await self._in_executor(lambda: len(self.client))
-            return 200, {
+            count = await self._in_executor(self._owned_count)
+            health = {
                 "ok": True,
                 "wrappers": count,
                 "serving": self.serving_stats.as_dict(),
             }
+            if self.ownership is not None:
+                health["shards"] = self.ownership.as_payload()
+            if self.client.tenant:
+                health["tenant"] = self.client.tenant
+            return 200, health
         if path == "/wrappers" and method == "GET":
             return 200, await self._in_executor(
                 lambda: {
                     "wrappers": [
-                        handle.to_payload() for handle in self.client.handles()
+                        handle.to_payload() for handle in self._owned_handles()
                     ]
                 }
             )
         if path.startswith("/wrappers/"):
             site_key = path[len("/wrappers/") :]
+            self._check_owned(site_key)
             if method == "GET":
                 return 200, await self._in_executor(
                     lambda: self.client.get(site_key).to_payload()
@@ -375,6 +458,7 @@ class WrapperHTTPServer:
 
     async def _op_induce(self, payload: dict):
         site_key = self._field(payload, "site_key")
+        self._check_owned(site_key)
         mode = str(payload.get("mode", "node"))
         raw_samples = payload.get("samples")
         if not isinstance(raw_samples, list) or not raw_samples:
@@ -399,6 +483,7 @@ class WrapperHTTPServer:
 
     async def _op_extract(self, payload: dict, check_only: bool):
         site_key = self._field(payload, "site_key")
+        self._check_owned(site_key)
         html = self._field(payload, "html")
         # KeyError → 404; loaded off-loop (a cache miss reads + parses
         # + validates the artifact JSON from the store).
@@ -426,6 +511,7 @@ class WrapperHTTPServer:
 
     async def _op_repair(self, payload: dict):
         site_key = self._field(payload, "site_key")
+        self._check_owned(site_key)
         html = self._field(payload, "html")
         target_paths = payload.get("target_paths") or None
         if target_paths is not None and not isinstance(target_paths, list):
@@ -443,13 +529,15 @@ async def serve_http(
     port: int = 0,
     config: Optional[NetConfig] = None,
     ready: Optional[Callable[[str, int], Optional[Awaitable]]] = None,
+    ownership: Optional[ShardOwnership] = None,
 ) -> None:
     """Run the front-end until cancelled (the CLI's ``serve --listen``).
 
     ``ready(host, port)`` fires once the socket is bound — callers use
-    it to learn an ephemeral port.
+    it to learn an ephemeral port.  ``ownership`` makes this a cluster
+    member serving only its shard group (``--own-shards``).
     """
-    server = WrapperHTTPServer(client, config)
+    server = WrapperHTTPServer(client, config, ownership=ownership)
     bound_host, bound_port = await server.start(host, port)
     if ready is not None:
         result = ready(bound_host, bound_port)

@@ -35,7 +35,6 @@ the store the single root a fleet needs to mount.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pathlib
@@ -43,6 +42,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+# Placement is a first-class subsystem shared with the fleet, the
+# serving front-end, and the router client (repro.cluster) — the store
+# re-exports it so seed-era imports keep working.
+from repro.cluster.placement import DEFAULT_SHARDS, shard_index, site_key_of
 from repro.runtime.artifact import ArtifactError, WrapperArtifact
 
 #: Name of the store metadata file at the store root.
@@ -51,30 +54,9 @@ STORE_META = "store.json"
 #: Current store layout version; bump on incompatible layout changes.
 STORE_VERSION = 1
 
-#: Default shard count — small enough that an 84-site corpus keeps every
-#: shard populated, large enough to feed a one-process-per-shard fleet.
-DEFAULT_SHARDS = 8
-
 
 class StoreError(RuntimeError):
     """The store root is missing, corrupt, or opened inconsistently."""
-
-
-def site_key_of(task_id: str) -> str:
-    """The partition key for a task id.
-
-    Corpus task ids are ``<site_id>/<role>``; everything before the
-    first ``/`` is the site key, so co-located tasks share a shard.  Ids
-    without a ``/`` partition by the whole id.
-    """
-    return task_id.split("/", 1)[0]
-
-
-def shard_index(site_key: str, n_shards: int) -> int:
-    """Stable shard for a site key: same key → same shard, every
-    process, every run (SHA-1 based, immune to hash salting)."""
-    digest = hashlib.sha1(site_key.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % n_shards
 
 
 def _artifact_filename(task_id: str) -> str:

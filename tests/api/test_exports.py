@@ -15,6 +15,7 @@ import pytest
 AUDITED_MODULES = (
     "repro",
     "repro.api",
+    "repro.cluster",
     "repro.dom",
     "repro.induction",
     "repro.runtime",
@@ -25,13 +26,22 @@ AUDITED_MODULES = (
 #: converges on.  Each must be importable from repro.api AND from repro.
 FACADE_SYMBOLS = (
     "CheckResult",
+    "ClusterMap",
     "ExtractionResult",
     "FacadeError",
+    "OwnershipError",
+    "RemoteError",
     "RemoteWrapperClient",
+    "RouterClient",
     "Sample",
+    "ShardOwnership",
     "WrapperClient",
     "WrapperHandle",
     "mark_volatile",
+    "qualify_key",
+    "shard_index",
+    "site_key_of",
+    "split_tenant",
 )
 
 
@@ -67,6 +77,29 @@ def test_net_exports_resolve_lazily():
     for name in ("NetConfig", "WrapperHTTPServer", "serve_http"):
         assert name in runtime.__all__
         assert getattr(runtime, name) is getattr(net, name)
+
+
+def test_placement_has_one_home():
+    """Every layer must place keys with the SAME function objects: the
+    store's seed-era re-exports, the facade exports, and the cluster
+    package all resolve to repro.cluster.placement."""
+    placement = importlib.import_module("repro.cluster.placement")
+    store = importlib.import_module("repro.runtime.store")
+    runtime = importlib.import_module("repro.runtime")
+    api = importlib.import_module("repro.api")
+    for name in ("site_key_of", "shard_index"):
+        target = getattr(placement, name)
+        assert getattr(store, name) is target
+        assert getattr(runtime, name) is target
+        assert getattr(api, name) is target
+    assert store.DEFAULT_SHARDS == placement.DEFAULT_SHARDS
+
+
+def test_router_client_resolves_lazily_from_cluster():
+    cluster = importlib.import_module("repro.cluster")
+    router = importlib.import_module("repro.cluster.router")
+    assert "RouterClient" in cluster.__all__
+    assert cluster.RouterClient is router.RouterClient
 
 
 def test_top_level_dom_convenience_exports():

@@ -1,26 +1,25 @@
-"""One facade, three backends: the identical test suite runs against
+"""One facade, four backends: the identical test suite runs against
 
 * a local in-memory :class:`WrapperClient`,
-* a local store-backed :class:`WrapperClient`, and
+* a local store-backed :class:`WrapperClient`,
 * a :class:`RemoteWrapperClient` talking to a **live** ``python -m
-  repro.runtime serve --listen`` subprocess over real TCP.
+  repro.runtime serve --listen`` subprocess over real TCP, and
+* a :class:`RouterClient` over a **2-host cluster** of live ``serve
+  --listen --own-shards`` subprocesses with disjoint shard groups.
 
-Local and remote are interchangeable — that is the facade's core
-contract (and this PR's acceptance criterion).  A cross-backend test at
-the end asserts byte-identical result payloads for the same inputs.
+Local, remote, and routed are interchangeable — that is the facade's
+core contract (and the cluster PR's acceptance criterion).
+Cross-backend tests at the end assert byte-identical result payloads
+for the same inputs, single-host and 2-host-routed alike.
 """
-
-import os
-import subprocess
-import sys
-import time
 
 import pytest
 
-import repro
 from repro import (
+    ClusterMap,
     FacadeError,
     RemoteWrapperClient,
+    RouterClient,
     Sample,
     WrapperClient,
     canonical_path,
@@ -29,51 +28,47 @@ from repro import (
 )
 
 from tests.api.pages import PRICE_GONE, PRICE_V1, PRICE_V2, RECORD_PAGE
+from tests.serving_utils import spawn_listen as _spawn_server
+from tests.serving_utils import terminate as _terminate
 
 
-def _spawn_server():
-    """A live ``serve --listen`` process on an ephemeral port."""
-    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    env = dict(os.environ, PYTHONUNBUFFERED="1")
-    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.runtime", "serve", "--listen", "127.0.0.1:0"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        env=env,
-    )
-    deadline = time.monotonic() + 60
-    line = ""
-    while time.monotonic() < deadline:
-        line = proc.stdout.readline()
-        if "listening on" in line:
-            break
-        if proc.poll() is not None:
-            raise RuntimeError(f"serve --listen died: {line}")
-    else:  # pragma: no cover - CI hang guard
-        proc.kill()
-        raise RuntimeError("serve --listen never reported its port")
-    address = line.split("listening on ", 1)[1].split(" ")[0]
-    host, port = address.rsplit(":", 1)
-    return proc, host, int(port)
+def _spawn_cluster(n_hosts=2, n_shards=8):
+    """``n_hosts`` live hosts over disjoint shard groups + the map."""
+    procs, hosts = [], []
+    for index in range(n_hosts):
+        own = ",".join(str(s) for s in range(n_shards) if s % n_hosts == index)
+        proc, host, port = _spawn_server(
+            "--own-shards", own, "--shards", str(n_shards)
+        )
+        procs.append(proc)
+        hosts.append(f"{host}:{port}")
+    return procs, ClusterMap(tuple(hosts), n_shards)
 
 
-@pytest.fixture(scope="module", params=["local-memory", "local-store", "remote"])
+@pytest.fixture(
+    scope="module", params=["local-memory", "local-store", "remote", "router"]
+)
 def client(request, tmp_path_factory):
     if request.param == "local-memory":
         yield WrapperClient()
     elif request.param == "local-store":
         yield WrapperClient(store=tmp_path_factory.mktemp("parity") / "store")
-    else:
+    elif request.param == "remote":
         proc, host, port = _spawn_server()
         remote = RemoteWrapperClient(host, port)
         try:
             yield remote
         finally:
             remote.close()
-            proc.terminate()
-            proc.wait(timeout=10)
+            _terminate([proc])
+    else:
+        procs, cluster_map = _spawn_cluster()
+        router = RouterClient(cluster_map)
+        try:
+            yield router
+        finally:
+            router.close()
+            _terminate(procs)
 
 
 def price_sample():
@@ -227,3 +222,41 @@ class TestLocalRemoteEquivalence:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+    def test_router_results_are_payload_identical(self):
+        """The 2-host routed backend answers byte-for-byte what the
+        local client answers — sharding must be invisible in results."""
+        local = WrapperClient()
+        procs, cluster_map = _spawn_cluster()
+        try:
+            router = RouterClient(cluster_map)
+            for backend in (local, router):
+                backend.induce("eq/price", [price_sample()])
+                backend.induce("eq/rec", [record_sample()], mode="record")
+            assert (
+                local.get("eq/price").to_payload()
+                == router.get("eq/price").to_payload()
+            )
+            for page in (PRICE_V1, PRICE_V2, PRICE_GONE):
+                assert (
+                    local.extract("eq/price", page).to_payload()
+                    == router.extract("eq/price", page).to_payload()
+                )
+                assert (
+                    local.check("eq/price", page).to_payload()
+                    == router.check("eq/price", page).to_payload()
+                )
+            assert (
+                local.extract("eq/rec", RECORD_PAGE).to_payload()
+                == router.extract("eq/rec", RECORD_PAGE).to_payload()
+            )
+            # extract_many agrees with itself and with per-key extract,
+            # across hosts, in item order.
+            items = [("eq/price", PRICE_V1), ("eq/rec", RECORD_PAGE)] * 2
+            batched = router.extract_many(items)
+            assert [r.to_payload() for r in batched] == [
+                local.extract(key, page).to_payload() for key, page in items
+            ]
+            router.close()
+        finally:
+            _terminate(procs)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the cluster layer: live ``serve --listen``
+subprocesses with shard ownership, and a dead-host address factory."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from tests.serving_utils import spawn_listen, terminate
+
+
+def dead_address() -> str:
+    """A ``host:port`` nobody listens on (bound once, then released)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+@pytest.fixture(scope="module")
+def cluster_hosts():
+    """Two in-memory serving hosts over disjoint halves of 8 shards
+    (host 0 owns the even shards, host 1 the odd — the ClusterMap
+    assignment for a 2-host list)."""
+    procs, hosts = [], []
+    try:
+        for own in ("0,2,4,6", "1,3,5,7"):
+            proc, host, port = spawn_listen("--own-shards", own, "--shards", "8")
+            procs.append(proc)
+            hosts.append(f"{host}:{port}")
+        yield tuple(hosts)
+    finally:
+        terminate(procs)

@@ -1,0 +1,165 @@
+"""Placement is frozen: golden fixture + pure-function invariants.
+
+The shard assignment is load-bearing state — artifacts already on disk
+live where yesterday's function put them — so the corpus-wide
+``site_key → shard_index`` table is pinned the same way induction
+scores are.  A failing golden test here means stored artifacts would be
+orphaned; the fix is a store migration, not a fixture refresh.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster.placement import (
+    ClusterMap,
+    DEFAULT_SHARDS,
+    PlacementError,
+    ShardOwnership,
+    qualify_key,
+    shard_index,
+    shard_of_task,
+    site_key_of,
+    split_tenant,
+    tenant_of,
+)
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden" / "placement.json"
+
+
+class TestGoldenPlacement:
+    def test_every_corpus_site_is_pinned_and_reproduced(self):
+        payload = json.loads(GOLDEN.read_text())
+        assert payload["n_shards"] == DEFAULT_SHARDS
+        sites = payload["sites"]
+        assert len(sites) == 84, "corpus size changed — regenerate deliberately"
+        for site_id, pinned in sites.items():
+            assert shard_index(site_id, DEFAULT_SHARDS) == pinned, (
+                f"{site_id} moved off shard {pinned}: a placement change "
+                "orphans stored artifacts and requires a store migration"
+            )
+
+    def test_fixture_covers_the_live_corpus(self):
+        from repro.sites.corpus import build_corpus
+
+        live = {spec.site_id for spec in build_corpus()}
+        pinned = set(json.loads(GOLDEN.read_text())["sites"])
+        assert live == pinned
+
+    def test_every_shard_is_populated(self):
+        sites = json.loads(GOLDEN.read_text())["sites"]
+        assert set(sites.values()) == set(range(DEFAULT_SHARDS))
+
+
+class TestKeys:
+    def test_site_key_of_strips_role(self):
+        assert site_key_of("movies-0/director") == "movies-0"
+        assert site_key_of("movies-0") == "movies-0"
+
+    def test_tenant_prefix_stays_in_site_key(self):
+        assert site_key_of("acme::movies-0/director") == "acme::movies-0"
+
+    def test_shard_of_task_matches_composition(self):
+        task = "acme::movies-0/director"
+        assert shard_of_task(task, 8) == shard_index(site_key_of(task), 8)
+
+    def test_qualify_and_split_round_trip(self):
+        qualified = qualify_key("shop-0/price", "acme")
+        assert qualified == "acme::shop-0/price"
+        assert split_tenant(qualified) == ("acme", "shop-0/price")
+        assert tenant_of(qualified) == "acme"
+        assert tenant_of("shop-0/price") == ""
+
+    def test_qualify_is_idempotent_for_same_tenant(self):
+        once = qualify_key("shop-0/price", "acme")
+        assert qualify_key(once, "acme") == once
+
+    def test_default_tenant_addresses_qualified_keys_verbatim(self):
+        assert qualify_key("acme::shop-0/price", "") == "acme::shop-0/price"
+        assert qualify_key("shop-0/price", "") == "shop-0/price"
+
+    def test_cross_tenant_qualification_is_rejected(self):
+        with pytest.raises(PlacementError, match="cross-tenant"):
+            qualify_key("acme::shop-0/price", "globex")
+
+    def test_invalid_tenant_names_are_rejected(self):
+        for bad in ("with/slash", "::", ".hidden", "sp ace"):
+            with pytest.raises(PlacementError):
+                qualify_key("shop-0/price", bad)
+
+    def test_stray_separator_inside_role_is_not_a_tenant(self):
+        # Only a well-formed tenant name before any '/' re-partitions.
+        assert split_tenant("shop-0/price::usd") == ("", "shop-0/price::usd")
+
+    def test_two_tenants_same_site_key_may_shard_apart(self):
+        a = shard_of_task(qualify_key("shop-0/price", "acme"), 64)
+        b = shard_of_task(qualify_key("shop-0/price", "globex"), 64)
+        assert a != b  # independent namespaces place independently
+
+
+class TestShardOwnership:
+    def test_parse_and_membership(self):
+        own = ShardOwnership.parse("0,2,5", 8)
+        assert own.sorted_owned() == [0, 2, 5]
+        assert not own.is_total
+        assert own.as_payload() == {"n_shards": 8, "owned": [0, 2, 5]}
+
+    def test_owns_task_follows_placement(self):
+        own = ShardOwnership.parse("0,1,2,3", 8)
+        for task in ("movies-0/director", "acme::movies-0/director"):
+            assert own.owns_task(task) == (shard_of_task(task, 8) in own.owned)
+
+    def test_all_shards(self):
+        assert ShardOwnership.all_shards(4).is_total
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            ShardOwnership.parse("9", 8)  # out of range
+        with pytest.raises(PlacementError):
+            ShardOwnership.parse("", 8)  # empty group
+        with pytest.raises(PlacementError):
+            ShardOwnership.parse("a,b", 8)  # not integers
+
+
+class TestClusterMap:
+    def test_assignment_partitions_all_shards(self):
+        cmap = ClusterMap(("h0:1", "h1:2", "h2:3"), n_shards=8)
+        groups = cmap.assignments()
+        seen = sorted(s for group in groups.values() for s in group)
+        assert seen == list(range(8))  # disjoint and complete
+
+    def test_host_of_agrees_with_ownership(self):
+        cmap = ClusterMap(("h0:1", "h1:2"), n_shards=8)
+        for task in ("movies-0/director", "shop-1/title", "acme::shop-0/price"):
+            host = cmap.host_of(task)
+            assert cmap.ownership_of(host).owns_task(task)
+
+    def test_ownership_round_trips_through_cli_arg(self):
+        cmap = ClusterMap(("h0:1", "h1:2"), n_shards=8)
+        for host in cmap.hosts:
+            arg = cmap.own_shards_arg(host)
+            assert ShardOwnership.parse(arg, 8) == cmap.ownership_of(host)
+
+    def test_assignment_is_pure_in_host_order(self):
+        a = ClusterMap(("h0:1", "h1:2"), n_shards=8)
+        b = ClusterMap(("h0:1", "h1:2"), n_shards=8)
+        assert a.assignments() == b.assignments()
+
+    def test_more_hosts_than_shards_leaves_spares_idle(self):
+        cmap = ClusterMap(("h0:1", "h1:2", "h2:3"), n_shards=2)
+        assert cmap.shards_of("h2:3") == ()
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            ClusterMap((), n_shards=8)
+        with pytest.raises(PlacementError):
+            ClusterMap(("h0:1", "h0:1"), n_shards=8)
+        with pytest.raises(PlacementError):
+            ClusterMap(("not-an-address",), n_shards=8)
+
+    def test_unknown_host_is_a_typed_error(self):
+        cmap = ClusterMap(("h0:1", "h1:2"), n_shards=8)
+        for call in (cmap.shards_of, cmap.ownership_of, cmap.own_shards_arg):
+            with pytest.raises(PlacementError, match="not in the cluster map"):
+                call("typo:9")

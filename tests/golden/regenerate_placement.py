@@ -1,0 +1,55 @@
+"""Regenerate the golden placement fixture (``tests/golden/placement.json``).
+
+Placement (``site_key → shard_index``) is the one function the store,
+the sweep fleet, the shard-owning serving hosts, and the router client
+must all compute identically — a refactor that silently remaps shards
+would orphan every stored artifact and misroute every request.  This
+fixture freezes the SHA-1 assignment for all corpus sites at the
+default shard count; ``tests/cluster/test_placement.py`` asserts the
+live function reproduces it bit-for-bit.
+
+Only regenerate after an *intentional*, migration-accompanied placement
+change:
+
+    PYTHONPATH=src python tests/golden/regenerate_placement.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "placement.json"
+
+
+def build_golden() -> dict:
+    from repro.cluster.placement import DEFAULT_SHARDS, shard_index
+    from repro.sites.corpus import build_corpus
+
+    sites = {
+        spec.site_id: shard_index(spec.site_id, DEFAULT_SHARDS)
+        for spec in build_corpus()
+    }
+    return {
+        "description": (
+            "Frozen SHA-1 site_key -> shard_index assignment for every "
+            "corpus site at the default shard count.  Changing any entry "
+            "orphans stored artifacts and requires an explicit store "
+            "migration.  Regenerate with: PYTHONPATH=src python "
+            "tests/golden/regenerate_placement.py"
+        ),
+        "n_shards": DEFAULT_SHARDS,
+        "sites": sites,
+    }
+
+
+def main() -> int:
+    payload = build_golden()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"{len(payload['sites'])} site placements frozen to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

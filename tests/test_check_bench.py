@@ -120,6 +120,29 @@ class TestGate:
         write(current, "BENCH_demo.json", payload)
         assert run_gate(baseline, current).returncode == 0
 
+    def test_gate_applies_false_skips_comparison_either_side(self, tmp_path):
+        """A bench that disarmed itself (``gate_applies: false`` — e.g.
+        the cluster bench on a single-CPU host) is reported, never
+        compared: a 1-CPU run must not fail against a multi-core
+        baseline, nor a 1-CPU baseline rubber-stamp a regression."""
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        strong = {"throughput": {"r": 2.0}, "gate_applies": True}
+        weak = {"throughput": {"r": 0.8}, "gate_applies": False}
+        # current disarmed: huge apparent drop, still passes as a skip
+        write(baseline, "BENCH_demo.json", strong)
+        write(current, "BENCH_demo.json", weak)
+        result = run_gate(baseline, current)
+        assert result.returncode == 0
+        assert "skip" in result.stdout and "gate_applies" in result.stdout
+        # baseline disarmed: the weak number must not gate anything
+        write(baseline, "BENCH_demo.json", weak)
+        write(current, "BENCH_demo.json", {"throughput": {"r": 0.1}})
+        assert run_gate(baseline, current).returncode == 0
+        # both armed: the same drop fails as usual
+        write(baseline, "BENCH_demo.json", strong)
+        write(current, "BENCH_demo.json", {"throughput": {"r": 0.1}})
+        assert run_gate(baseline, current).returncode == 1
+
 
 class TestRealBaselines:
     def test_committed_baselines_cover_every_bench_file(self):
@@ -127,6 +150,7 @@ class TestRealBaselines:
             p.name for p in (REPO_ROOT / "benchmarks" / "baselines").glob("BENCH_*.json")
         )
         assert names == [
+            "BENCH_cluster.json",
             "BENCH_net.json",
             "BENCH_runtime.json",
             "BENCH_serving.json",
