@@ -36,6 +36,7 @@ from repro.induction import (
 from repro.scoring import KBestTable, QueryInstance, Scorer, ScoringParams
 from repro.xpath import Query, canonical_path, evaluate, parse_query
 from repro.api import (
+    REPLICATION_FACTOR,
     CheckResult,
     ClusterMap,
     ExtractionResult,
@@ -50,12 +51,13 @@ from repro.api import (
     WrapperHandle,
     mark_volatile,
     qualify_key,
+    replica_indexes,
     shard_index,
     site_key_of,
     split_tenant,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Deprecated top-level entry points → (home module, facade replacement).
 #: They keep working — engine layers are public at their own paths — but
@@ -97,6 +99,7 @@ __all__ = [
     "Query",
     "QueryInstance",
     "QuerySample",
+    "REPLICATION_FACTOR",
     "RemoteError",
     "RemoteWrapperClient",
     "RouterClient",
@@ -115,6 +118,7 @@ __all__ = [
     "parse_html",
     "parse_query",
     "qualify_key",
+    "replica_indexes",
     "shard_index",
     "site_key_of",
     "split_tenant",

@@ -57,8 +57,10 @@ from repro.api.results import (
 from repro.api.sample import Sample, mark_volatile
 from repro.cluster.placement import (
     ClusterMap,
+    REPLICATION_FACTOR,
     ShardOwnership,
     qualify_key,
+    replica_indexes,
     shard_index,
     site_key_of,
     split_tenant,
@@ -70,6 +72,7 @@ MODES = ("node", "record", "ensemble")
 
 __all__ = [
     "MODES",
+    "REPLICATION_FACTOR",
     "CheckResult",
     "ClusterMap",
     "ExtractionResult",
@@ -84,6 +87,7 @@ __all__ = [
     "WrapperHandle",
     "mark_volatile",
     "qualify_key",
+    "replica_indexes",
     "shard_index",
     "site_key_of",
     "split_tenant",

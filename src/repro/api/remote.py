@@ -25,9 +25,12 @@ through a small pool of per-thread connections to this one host.
 
 from __future__ import annotations
 
+import dataclasses
 import http.client
 import json
+import random
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence, Union
 from urllib.parse import quote
@@ -60,13 +63,16 @@ class RemoteError(FacadeError):
     """A request could not be transported to (or answered by) a host.
 
     Carries the ``host:port`` it failed against so a router fan-out can
-    attribute every per-key failure to the host that caused it.
+    attribute every per-key failure to the host that caused it, and
+    ``attempts`` — how many connect tries were burned before giving up
+    (1 means the failure was not retryable: a read-phase error).
     """
 
-    def __init__(self, message: str, host: str = "", port: int = 0):
+    def __init__(self, message: str, host: str = "", port: int = 0, attempts: int = 1):
         super().__init__(message)
         self.host = host
         self.port = int(port)
+        self.attempts = int(attempts)
 
     @property
     def address(self) -> str:
@@ -88,12 +94,18 @@ class OwnershipError(FacadeError):
         shard: int = -1,
         owned: Sequence[int] = (),
         n_shards: int = 0,
+        epoch: int = -1,
     ):
         super().__init__(message)
         self.site_key = site_key
         self.shard = int(shard)
         self.owned = tuple(int(s) for s in owned)
         self.n_shards = int(n_shards)
+        # Topology generation the rejecting server was serving (-1 when
+        # the server predates epochs).  A router holding an older epoch
+        # treats the 421 as "my map is stale" and refreshes; an equal
+        # epoch means plain misrouting — fail over to the replica.
+        self.epoch = int(epoch)
 
 
 class RemoteWrapperClient:
@@ -113,6 +125,8 @@ class RemoteWrapperClient:
         connect_timeout: Optional[float] = None,
         read_timeout: Optional[float] = None,
         tenant: str = DEFAULT_TENANT,
+        connect_attempts: int = 3,
+        connect_backoff_s: float = 0.05,
     ):
         if port is None:
             host, _, port_text = host.rpartition(":")
@@ -126,6 +140,16 @@ class RemoteWrapperClient:
         # capping slow-but-alive work (read).
         self.connect_timeout = timeout if connect_timeout is None else connect_timeout
         self.read_timeout = timeout if read_timeout is None else read_timeout
+        # Connect-phase failures (refused, unreachable, timeout before a
+        # byte is exchanged) are retried with jittered exponential
+        # backoff — they cannot double-execute anything.  Read-phase
+        # failures stay no-retry (see _request).
+        if connect_attempts < 1:
+            raise FacadeError("connect_attempts must be >= 1")
+        if connect_backoff_s < 0:
+            raise FacadeError("connect_backoff_s must be >= 0")
+        self.connect_attempts = int(connect_attempts)
+        self.connect_backoff_s = float(connect_backoff_s)
         try:
             self.tenant = validate_tenant(tenant)
         except ValueError as exc:
@@ -154,18 +178,48 @@ class RemoteWrapperClient:
             connect_timeout=self.connect_timeout,
             read_timeout=self.read_timeout,
             tenant=self.tenant,
+            connect_attempts=self.connect_attempts,
+            connect_backoff_s=self.connect_backoff_s,
         )
 
+    _CONNECT_BACKOFF_CAP_S = 1.0
+
     def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
+        if self._conn is not None:
+            return self._conn
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                # Full-jitter exponential backoff, capped: spreads the
+                # reconnect herd when a host flaps under a fan-out.
+                delay = min(
+                    self.connect_backoff_s * (2 ** (attempt - 1)),
+                    self._CONNECT_BACKOFF_CAP_S,
+                )
+                time.sleep(delay * random.uniform(0.5, 1.0))
             conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.connect_timeout
             )
-            conn.connect()
+            try:
+                conn.connect()
+            except (ConnectionError, OSError) as exc:
+                conn.close()
+                last_exc = exc
+                continue
             if conn.sock is not None:
                 conn.sock.settimeout(self.read_timeout)
             self._conn = conn
-        return self._conn
+            return conn
+        # RemoteError is a FacadeError, so it sails past _request's
+        # transport-retry handler — connect retries happen only here.
+        raise RemoteError(
+            f"connect to {self.host}:{self.port} failed after "
+            f"{self.connect_attempts} attempt(s): "
+            f"{type(last_exc).__name__}: {last_exc}",
+            host=self.host,
+            port=self.port,
+            attempts=self.connect_attempts,
+        ) from last_exc
 
     def _transport_error(self, method: str, path: str, exc: Exception) -> RemoteError:
         return RemoteError(
@@ -219,6 +273,7 @@ class RemoteWrapperClient:
                     shard=int(answer.get("shard", -1)),
                     owned=answer.get("owned", ()),
                     n_shards=int(answer.get("n_shards", 0)),
+                    epoch=int(answer.get("epoch", -1)),
                 )
             raise FacadeError(message)
         return answer
@@ -354,6 +409,20 @@ class RemoteWrapperClient:
         if target_paths:
             payload["target_paths"] = [str(path) for path in target_paths]
         return WrapperHandle.from_payload(self._request("POST", "/repair", payload))
+
+    def deploy(self, artifact) -> WrapperHandle:
+        """Deploy a prebuilt :class:`~repro.runtime.artifact.WrapperArtifact`
+        to the server (same semantics as the local client's ``deploy``).
+
+        The ``task_id`` is qualified into this client's tenant before it
+        goes on the wire, so the wrapper lands in — and is only
+        reachable through — this namespace.
+        """
+        qualified = self._qualify(artifact.task_id)
+        if qualified != artifact.task_id:
+            artifact = dataclasses.replace(artifact, task_id=qualified)
+        answer = self._request("POST", "/deploy", {"artifact": artifact.to_payload()})
+        return WrapperHandle.from_payload(answer)
 
     def get(self, site_key: str) -> WrapperHandle:
         return WrapperHandle.from_payload(

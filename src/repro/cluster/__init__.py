@@ -7,15 +7,20 @@ placement function.  This package holds that layer:
 
 * :mod:`repro.cluster.placement` — the shared pure-function placement
   vocabulary (site keys, SHA-1 shard indexes, tenant namespaces,
-  :class:`ShardOwnership`, :class:`ClusterMap`);
+  :class:`ShardOwnership`, the epoch-versioned :class:`ClusterMap`,
+  and :func:`replica_indexes` — each shard's primary plus ring-order
+  replica hosts at :data:`REPLICATION_FACTOR`);
 * :mod:`repro.cluster.router` — :class:`RouterClient`, the full
   :class:`~repro.api.client.WrapperClient` surface routed per site key
-  to the owning host, with scatter-gather listing and ``extract_many``
-  batch extraction fanned out concurrently across hosts.
+  to the shard's primary with failover to the replica, writes fanned
+  to every replica at write-quorum 1, a per-host circuit breaker, and
+  scatter-gather listing / ``extract_many`` batch extraction fanned
+  out concurrently across hosts.
 
 Independent shard owners fail independently — one dead host degrades
 only its own shard group, the same diversification argument the
-ensemble layer makes for committee members.
+ensemble layer makes for committee members; with replication, one dead
+host degrades *nothing* until its replica dies too.
 """
 
 from repro.cluster.placement import (
@@ -23,9 +28,11 @@ from repro.cluster.placement import (
     DEFAULT_SHARDS,
     DEFAULT_TENANT,
     PlacementError,
+    REPLICATION_FACTOR,
     ShardOwnership,
     TENANT_SEP,
     qualify_key,
+    replica_indexes,
     shard_index,
     shard_of_task,
     site_key_of,
@@ -53,10 +60,12 @@ __all__ = [
     "DEFAULT_SHARDS",
     "DEFAULT_TENANT",
     "PlacementError",
+    "REPLICATION_FACTOR",
     "RouterClient",
     "ShardOwnership",
     "TENANT_SEP",
     "qualify_key",
+    "replica_indexes",
     "shard_index",
     "shard_of_task",
     "site_key_of",

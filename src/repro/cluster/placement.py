@@ -44,6 +44,12 @@ from typing import Iterable, Optional
 #: shard populated, large enough to feed a one-process-per-shard fleet.
 DEFAULT_SHARDS = 8
 
+#: Every shard lives on this many hosts (capped by the host count): a
+#: primary and one independently-placed secondary.  The same redundancy
+#: argument the ensemble layer makes for committee members, one layer
+#: up — one dead host must never take out the only copy of a shard.
+REPLICATION_FACTOR = 2
+
 #: The unnamed namespace: keys stay bare, all seed-era behavior intact.
 DEFAULT_TENANT = ""
 
@@ -87,6 +93,28 @@ def shard_index(site_key: str, n_shards: int) -> int:
 def shard_of_task(task_id: str, n_shards: int) -> int:
     """Shard of a (possibly tenant-qualified) task id."""
     return shard_index(site_key_of(task_id), n_shards)
+
+
+def replica_indexes(
+    shard: int, n_hosts: int, replication: int = REPLICATION_FACTOR
+) -> tuple[int, ...]:
+    """Host indexes serving one shard: ``(primary, secondary, ...)``.
+
+    Pure and deterministic — every router and every launch script
+    derive the same replica set with no coordination.  The primary is
+    the classic ``shard % n_hosts`` owner; each further replica is the
+    next host in ring order, so with ≥ 2 hosts the secondary is never
+    on the primary's host.  ``replication`` is capped by the host count
+    (a 1-host cluster has no independent second home to offer).
+    """
+    if n_hosts < 1:
+        raise PlacementError("replica placement needs at least one host")
+    if replication < 1:
+        raise PlacementError("replication factor must be >= 1")
+    primary = shard % n_hosts
+    return tuple(
+        (primary + offset) % n_hosts for offset in range(min(replication, n_hosts))
+    )
 
 
 # -- tenant namespaces -------------------------------------------------------
@@ -226,12 +254,31 @@ class ClusterMap:
     same pair computes identical ownership with no coordination — the
     cross-host generalization of the store's coordination-free on-disk
     placement.
+
+    ``epoch`` versions the map: two maps with different epochs describe
+    the cluster at different points of its life (hosts joined/left, a
+    store was re-sharded by ``python -m repro.runtime migrate``).
+    Serving hosts advertise their epoch in ``/healthz`` and stamp it
+    into every ``421 shard_not_owned`` payload, so a client holding a
+    stale map can *detect* the mismatch and refresh instead of
+    hammering the wrong owner.
+
+    Replication: :meth:`replica_hosts` places every shard on
+    :data:`REPLICATION_FACTOR` hosts — ``(primary, secondary)`` in ring
+    order, the secondary never on the primary's host — and
+    :meth:`replica_ownership_of` is the shard group to *launch* one
+    replicated host with (its primary shards plus every shard it
+    seconds; a host launched with only its primary group would 421 the
+    replica traffic the router sends it).
     """
 
     hosts: tuple[str, ...]
     n_shards: int = DEFAULT_SHARDS
+    epoch: int = 0
 
     def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise PlacementError("cluster map epoch must be >= 0")
         if not self.hosts:
             raise PlacementError("a cluster map needs at least one host")
         if len(set(self.hosts)) != len(self.hosts):
@@ -247,11 +294,28 @@ class ClusterMap:
 
     @classmethod
     def from_hosts(
-        cls, hosts: Iterable[str], n_shards: Optional[int] = None
+        cls,
+        hosts: Iterable[str],
+        n_shards: Optional[int] = None,
+        epoch: int = 0,
     ) -> "ClusterMap":
         return cls(
             hosts=tuple(hosts),
             n_shards=DEFAULT_SHARDS if n_shards is None else int(n_shards),
+            epoch=int(epoch),
+        )
+
+    def advanced(
+        self,
+        hosts: Optional[Iterable[str]] = None,
+        n_shards: Optional[int] = None,
+    ) -> "ClusterMap":
+        """The next-epoch map: same cluster, one topology step later
+        (hosts joined/left, or the store was re-sharded)."""
+        return ClusterMap(
+            hosts=self.hosts if hosts is None else tuple(hosts),
+            n_shards=self.n_shards if n_shards is None else int(n_shards),
+            epoch=self.epoch + 1,
         )
 
     # -- ownership ----------------------------------------------------------
@@ -301,15 +365,77 @@ class ClusterMap:
         """The ``--own-shards`` CLI value for one host (``"0,2,4"``)."""
         return ",".join(str(s) for s in self.shards_of(host))
 
+    # -- replication --------------------------------------------------------
+
+    def replica_indexes_of_shard(
+        self, shard: int, replication: int = REPLICATION_FACTOR
+    ) -> tuple[int, ...]:
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+        return replica_indexes(shard, len(self.hosts), replication)
+
+    def replica_hosts_of_shard(
+        self, shard: int, replication: int = REPLICATION_FACTOR
+    ) -> tuple[str, ...]:
+        return tuple(
+            self.hosts[index]
+            for index in self.replica_indexes_of_shard(shard, replication)
+        )
+
+    def replica_hosts(
+        self, task_id: str, replication: int = REPLICATION_FACTOR
+    ) -> tuple[str, ...]:
+        """``(primary, secondary)`` hosts for a (qualified) task id —
+        deterministic, and the secondary is never the primary's host
+        (when the cluster has a second host to offer)."""
+        return self.replica_hosts_of_shard(self.shard_of(task_id), replication)
+
+    def replica_shards_of(
+        self, host: str, replication: int = REPLICATION_FACTOR
+    ) -> tuple[int, ...]:
+        """Every shard this host serves as *any* replica (primary or
+        secondary) — the group a replicated cluster member must own."""
+        try:
+            index = self.hosts.index(host)
+        except ValueError:
+            raise PlacementError(
+                f"{host!r} is not in the cluster map {self.hosts}"
+            ) from None
+        return tuple(
+            shard
+            for shard in range(self.n_shards)
+            if index in replica_indexes(shard, len(self.hosts), replication)
+        )
+
+    def replica_ownership_of(
+        self, host: str, replication: int = REPLICATION_FACTOR
+    ) -> ShardOwnership:
+        """The :class:`ShardOwnership` to launch one *replicated* host
+        with (primary group plus seconded shards)."""
+        return ShardOwnership(
+            n_shards=self.n_shards,
+            owned=frozenset(self.replica_shards_of(host, replication)),
+        )
+
+    def replica_own_shards_arg(
+        self, host: str, replication: int = REPLICATION_FACTOR
+    ) -> str:
+        """The ``--own-shards`` CLI value for one replicated host."""
+        return ",".join(str(s) for s in self.replica_shards_of(host, replication))
+
 
 __all__ = [
     "ClusterMap",
     "DEFAULT_SHARDS",
     "DEFAULT_TENANT",
     "PlacementError",
+    "REPLICATION_FACTOR",
     "ShardOwnership",
     "TENANT_SEP",
     "qualify_key",
+    "replica_indexes",
     "shard_index",
     "shard_of_task",
     "site_key_of",

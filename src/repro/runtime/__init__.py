@@ -77,10 +77,13 @@ from repro.runtime.serve import (
     serve_jobs_sync,
 )
 from repro.runtime.store import (
+    MigrationMove,
+    MigrationPlan,
     ShardedArtifactStore,
     StoreError,
     artifacts_from_path,
     migrate_directory,
+    migrate_store,
     shard_index,
     site_key_of,
 )
@@ -122,6 +125,8 @@ __all__ = [
     "DriftReport",
     "ExtractionRecord",
     "MaintenanceRecord",
+    "MigrationMove",
+    "MigrationPlan",
     "PageJob",
     "RankedQuery",
     "RequestError",
@@ -142,6 +147,7 @@ __all__ = [
     "jobs_for_artifacts",
     "maintain_over_archive",
     "migrate_directory",
+    "migrate_store",
     "reinduce",
     "serve_http",
     "serve_jobs",

@@ -17,7 +17,10 @@ synthetic archive corpus:
   report throughput;
 * ``sweep`` — run the multi-process drift fleet over a sharded store:
   full telemetry streams, repair chains, repaired generations written
-  back.
+  back;
+* ``migrate`` — re-shard a store into a new root at the next placement
+  epoch (atomic per-artifact cut-over, ``--dry-run`` move plan) so a
+  cluster can change shape without restarts losing data.
 
 Exit codes (``check`` and ``sweep``): 0 = no drift detected; 1 = drift
 detected; 3 = drift detected and at least one repair failed (human
@@ -52,6 +55,7 @@ from repro.runtime.store import (
     ShardedArtifactStore,
     StoreError,
     artifacts_from_path,
+    migrate_store,
 )
 from repro.sites.corpus import CorpusTask, multi_node_tasks, single_node_tasks
 
@@ -325,6 +329,15 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
     host, port = _parse_listen(args.listen)
     client = _client_for_listen(args.artifacts, tenant=_validated_tenant(args))
     ownership = _serve_ownership(args, client)
+    # The placement epoch this host serves at: --epoch wins, a backing
+    # store's recorded epoch is the natural default (a migrated store
+    # carries its new epoch with it), a fresh registry starts at 0.
+    if args.epoch is not None:
+        if args.epoch < 0:
+            raise SystemExit(f"--epoch must be >= 0, got {args.epoch}")
+        epoch = args.epoch
+    else:
+        epoch = client.store.epoch if client.store is not None else 0
     config = NetConfig(
         serving=ServingConfig(
             workers=args.workers,
@@ -343,14 +356,21 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
         namespace = f", tenant {client.tenant}" if client.tenant else ""
         print(
             f"listening on {bound_host}:{bound_port} "
-            f"({len(client)} wrapper(s), {backend}{shards}{namespace})",
+            f"({len(client)} wrapper(s), {backend}{shards}{namespace}, "
+            f"epoch {epoch})",
             flush=True,
         )
 
     try:
         asyncio.run(
             serve_http(
-                client, host, port, config=config, ready=ready, ownership=ownership
+                client,
+                host,
+                port,
+                config=config,
+                ready=ready,
+                ownership=ownership,
+                epoch=epoch,
             )
         )
     except KeyboardInterrupt:
@@ -367,6 +387,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ("--tenant", args.tenant),
         ("--own-shards", args.own_shards),
         ("--shards", args.shards),
+        ("--epoch", args.epoch),
     ):
         if value not in (None, ""):
             raise SystemExit(f"{flag} requires --listen HOST:PORT")
@@ -484,6 +505,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """``migrate`` — re-shard a store into a new root at the next epoch."""
+    try:
+        plan = migrate_store(
+            args.store,
+            args.dest,
+            n_shards=args.shards,
+            epoch=args.epoch,
+            dry_run=args.dry_run,
+        )
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    verb = "would move" if plan.dry_run else "moved"
+    for move in plan.moves:
+        marker = "->" if move.moved else "=="
+        print(
+            f"{verb:>10}  {move.task_id}: shard {move.src_shard:02d} "
+            f"{marker} shard {move.dest_shard:02d}"
+        )
+    print(
+        f"\n{'DRY RUN: ' if plan.dry_run else ''}"
+        f"{len(plan.moves)} artifact(s) ({plan.n_moved} re-placed), "
+        f"{plan.report_streams} telemetry stream(s): "
+        f"{plan.src_root} [{plan.src_shards} shards, epoch {plan.src_epoch}] -> "
+        f"{plan.dest_root} [{plan.dest_shards} shards, epoch {plan.dest_epoch}]"
+    )
+    if not plan.dry_run:
+        print(
+            "cut over by relaunching hosts against the new root with "
+            f"--epoch {plan.dest_epoch}; stale clients refresh on the "
+            "first 421 that names the new epoch"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime",
@@ -592,6 +648,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(site keys are qualified as tenant::key)"
         ),
     )
+    serve.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help=(
+            "with --listen: the placement epoch this host serves at, "
+            "advertised in /healthz and stamped into 421 payloads "
+            "(default: the backing store's recorded epoch, else 0)"
+        ),
+    )
     serve.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")
     serve.add_argument("--workers", type=int, default=1, help="execution pool size")
     serve.add_argument("--concurrency", type=int, default=8, help="client concurrency")
@@ -625,6 +691,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help=(
+            "re-shard a sharded store into a new root at the next epoch "
+            "(atomic per-artifact cut-over; --dry-run prints the move plan)"
+        ),
+    )
+    migrate.add_argument("--store", required=True, help="source store root")
+    migrate.add_argument("--dest", required=True, help="destination store root")
+    migrate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="destination shard count (default: same as the source store)",
+    )
+    migrate.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help=(
+            "destination placement epoch (default: source epoch + 1; "
+            "must advance the source epoch)"
+        ),
+    )
+    migrate.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the per-artifact move plan without writing anything",
+    )
+    migrate.set_defaults(func=cmd_migrate)
     return parser
 
 

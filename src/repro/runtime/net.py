@@ -20,6 +20,7 @@ endpoint      method  body                                        returns
 /extract      POST    site_key, html                              extraction result
 /check        POST    site_key, html                              check result
 /repair       POST    site_key, html, target_paths?               handle
+/deploy       POST    artifact (WrapperArtifact payload)          handle
 ============  ======  ==========================================  =========
 
 Request routing by cost:
@@ -167,10 +168,14 @@ class WrapperHTTPServer:
         config: Optional[NetConfig] = None,
         *,
         ownership: Optional[ShardOwnership] = None,
+        epoch: int = 0,
     ) -> None:
         self.client = client
         self.config = config or NetConfig()
         self.ownership = ownership
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        self.epoch = int(epoch)
         self._serving: Optional[AsyncExtractionServer] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._address: Optional[tuple[str, int]] = None
@@ -186,6 +191,10 @@ class WrapperHTTPServer:
             raise _HTTPError(422, str(exc)) from exc
         shard = self.ownership.shard_of(qualified)
         if shard not in self.ownership.owned:
+            # The epoch rides in the rejection so a client holding a
+            # stale ClusterMap can tell "misrouted" (same epoch: fail
+            # over to the replica) from "my map is old" (newer epoch:
+            # refresh ownership from /healthz, then retry once).
             raise _HTTPError(
                 421,
                 f"site key {site_key!r} places into shard {shard}, "
@@ -196,6 +205,7 @@ class WrapperHTTPServer:
                     "shard": shard,
                     "owned": self.ownership.sorted_owned(),
                     "n_shards": self.ownership.n_shards,
+                    "epoch": self.epoch,
                 },
             )
 
@@ -398,6 +408,7 @@ class WrapperHTTPServer:
             health = {
                 "ok": True,
                 "wrappers": count,
+                "epoch": self.epoch,
                 "serving": self.serving_stats.as_dict(),
             }
             if self.ownership is not None:
@@ -432,7 +443,9 @@ class WrapperHTTPServer:
             return await self._op_extract(self._json(body), check_only=True)
         if path == "/repair" and method == "POST":
             return await self._op_repair(self._json(body))
-        if path in ("/induce", "/extract", "/check", "/repair"):
+        if path == "/deploy" and method == "POST":
+            return await self._op_deploy(self._json(body))
+        if path in ("/induce", "/extract", "/check", "/repair", "/deploy"):
             raise _HTTPError(405, f"use POST {path}")
         raise _HTTPError(404, f"no such endpoint: {method} {path}")
 
@@ -509,6 +522,20 @@ class WrapperHTTPServer:
             artifact, records, self.client.drift
         ).to_payload()
 
+    async def _op_deploy(self, payload: dict):
+        raw = payload.get("artifact")
+        if not isinstance(raw, dict):
+            raise _HTTPError(400, "missing or invalid field 'artifact'")
+
+        def op() -> dict:
+            from repro.runtime.artifact import WrapperArtifact
+
+            artifact = WrapperArtifact.from_payload(raw)
+            self._check_owned(artifact.task_id)
+            return self.client.deploy(artifact).to_payload()
+
+        return 200, await self._in_executor(op)
+
     async def _op_repair(self, payload: dict):
         site_key = self._field(payload, "site_key")
         self._check_owned(site_key)
@@ -530,14 +557,17 @@ async def serve_http(
     config: Optional[NetConfig] = None,
     ready: Optional[Callable[[str, int], Optional[Awaitable]]] = None,
     ownership: Optional[ShardOwnership] = None,
+    epoch: int = 0,
 ) -> None:
     """Run the front-end until cancelled (the CLI's ``serve --listen``).
 
     ``ready(host, port)`` fires once the socket is bound — callers use
     it to learn an ephemeral port.  ``ownership`` makes this a cluster
-    member serving only its shard group (``--own-shards``).
+    member serving only its shard group (``--own-shards``).  ``epoch``
+    is the topology generation advertised in ``/healthz`` and stamped
+    into 421 rejections so stale clients can detect a re-shard.
     """
-    server = WrapperHTTPServer(client, config, ownership=ownership)
+    server = WrapperHTTPServer(client, config, ownership=ownership, epoch=epoch)
     bound_host, bound_port = await server.start(host, port)
     if ready is not None:
         result = ready(bound_host, bound_port)

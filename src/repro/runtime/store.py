@@ -99,6 +99,7 @@ class ShardedArtifactStore:
         root: str | os.PathLike,
         n_shards: Optional[int] = None,
         cache_size: int = 128,
+        epoch: Optional[int] = None,
     ) -> None:
         self.root = pathlib.Path(root)
         meta_path = self.root / STORE_META
@@ -110,17 +111,33 @@ class ShardedArtifactStore:
                     f"reopening with n_shards={n_shards} would misplace keys "
                     "(re-sharding requires an explicit migration)"
                 )
+            if epoch is not None and epoch != meta["epoch"]:
+                raise StoreError(
+                    f"store at {self.root} was written at epoch {meta['epoch']}; "
+                    f"reopening with epoch={epoch} would mislabel its placement "
+                    "(advancing the epoch requires an explicit migration)"
+                )
             self.n_shards = int(meta["n_shards"])
+            self.epoch = int(meta["epoch"])
         else:
             self.n_shards = DEFAULT_SHARDS if n_shards is None else int(n_shards)
+            self.epoch = 0 if epoch is None else int(epoch)
             if self.n_shards < 1:
                 raise StoreError("a store needs at least one shard")
+            if self.epoch < 0:
+                raise StoreError("a store epoch must be >= 0")
             self.root.mkdir(parents=True, exist_ok=True)
             for index in range(self.n_shards):
                 self._shard_dir(index).mkdir(exist_ok=True)
             tmp = meta_path.with_name(STORE_META + f".tmp-{os.getpid()}")
             tmp.write_text(
-                json.dumps({"version": STORE_VERSION, "n_shards": self.n_shards})
+                json.dumps(
+                    {
+                        "version": STORE_VERSION,
+                        "n_shards": self.n_shards,
+                        "epoch": self.epoch,
+                    }
+                )
                 + "\n"
             )
             os.replace(tmp, meta_path)
@@ -136,6 +153,8 @@ class ShardedArtifactStore:
             meta = json.loads(meta_path.read_text())
             version = int(meta["version"])
             n_shards = int(meta["n_shards"])
+            # Pre-epoch stores (written before migrate existed) are epoch 0.
+            epoch = int(meta.get("epoch", 0))
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise StoreError(f"corrupt store metadata at {meta_path}: {exc}") from exc
         if version != STORE_VERSION:
@@ -144,7 +163,9 @@ class ShardedArtifactStore:
             )
         if n_shards < 1:
             raise StoreError(f"store metadata claims {n_shards} shards")
-        return {"version": version, "n_shards": n_shards}
+        if epoch < 0:
+            raise StoreError(f"store metadata claims epoch {epoch}")
+        return {"version": version, "n_shards": n_shards, "epoch": epoch}
 
     @classmethod
     def is_store(cls, root: str | os.PathLike) -> bool:
@@ -320,6 +341,127 @@ def migrate_directory(
     return store
 
 
+@dataclass(frozen=True)
+class MigrationMove:
+    """One artifact's placement across a migration."""
+
+    task_id: str
+    src_shard: int
+    dest_shard: int
+
+    @property
+    def moved(self) -> bool:
+        return self.src_shard != self.dest_shard
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """What ``migrate_store`` did (or, with ``dry_run``, would do)."""
+
+    src_root: pathlib.Path
+    dest_root: pathlib.Path
+    src_shards: int
+    dest_shards: int
+    src_epoch: int
+    dest_epoch: int
+    moves: tuple[MigrationMove, ...]
+    report_streams: int
+    dry_run: bool
+
+    @property
+    def n_moved(self) -> int:
+        return sum(1 for move in self.moves if move.moved)
+
+
+def migrate_store(
+    src: str | os.PathLike,
+    dest: str | os.PathLike,
+    n_shards: Optional[int] = None,
+    epoch: Optional[int] = None,
+    dry_run: bool = False,
+) -> MigrationPlan:
+    """Re-shard a store into a new root at the next epoch.
+
+    Every artifact is re-placed under ``n_shards`` (default: the source
+    count — a pure epoch bump) and published into ``dest`` with the
+    store's usual tmp+fsync+``os.replace`` write, so the cut-over is
+    **atomic per artifact**: a crash mid-migration leaves a prefix of
+    fully-published artifacts and zero torn ones, and re-running the
+    same migration resumes idempotently (an existing destination store
+    is reopened when its recorded shape matches).  Drift-report streams
+    ride along the same way (whole-file tmp+replace, so a resume never
+    duplicates telemetry lines).  Corrupt source artifacts raise — a
+    migration must not silently drop wrappers.
+
+    ``epoch`` defaults to ``src.epoch + 1`` and must advance: the epoch
+    is what lets serving hosts and routers tell the old placement from
+    the new one during the cut-over.  ``dry_run`` computes and returns
+    the full move plan without creating or writing anything.
+    """
+    if not ShardedArtifactStore.is_store(src):
+        raise StoreError(f"{src} is not a sharded artifact store")
+    source = ShardedArtifactStore(src)
+    dest_root = pathlib.Path(dest)
+    if dest_root.resolve() == source.root.resolve():
+        raise StoreError(
+            "cannot migrate a store onto itself — re-sharding cuts over "
+            "into a fresh root, then traffic moves at the new epoch"
+        )
+    dest_shards = source.n_shards if n_shards is None else int(n_shards)
+    if dest_shards < 1:
+        raise StoreError("a store needs at least one shard")
+    dest_epoch = source.epoch + 1 if epoch is None else int(epoch)
+    if dest_epoch <= source.epoch:
+        raise StoreError(
+            f"migration epoch {dest_epoch} does not advance the source "
+            f"epoch {source.epoch} — epochs order placements; stale clients "
+            "must be able to tell old from new"
+        )
+
+    task_ids = source.task_ids()
+    moves = tuple(
+        MigrationMove(
+            task_id=task_id,
+            src_shard=source.shard_of(task_id),
+            dest_shard=shard_index(site_key_of(task_id), dest_shards),
+        )
+        for task_id in task_ids
+    )
+    streams = sum(1 for task_id in task_ids if source.reports_path(task_id).exists())
+    plan = MigrationPlan(
+        src_root=source.root,
+        dest_root=dest_root,
+        src_shards=source.n_shards,
+        dest_shards=dest_shards,
+        src_epoch=source.epoch,
+        dest_epoch=dest_epoch,
+        moves=moves,
+        report_streams=streams,
+        dry_run=dry_run,
+    )
+    if dry_run:
+        return plan
+
+    dest_store = ShardedArtifactStore(dest_root, n_shards=dest_shards, epoch=dest_epoch)
+    for task_id in task_ids:
+        try:
+            artifact = source.get(task_id)
+        except ArtifactError as exc:
+            raise StoreError(f"cannot migrate {task_id!r}: {exc}") from exc
+        dest_store.put(artifact)
+        src_reports = source.reports_path(task_id)
+        if src_reports.exists():
+            dest_reports = dest_store.reports_path(task_id)
+            dest_reports.parent.mkdir(exist_ok=True)
+            tmp = dest_reports.with_name(dest_reports.name + f".tmp-{os.getpid()}")
+            tmp.write_text(src_reports.read_text())
+            os.replace(tmp, dest_reports)
+    missing = [task_id for task_id in task_ids if task_id not in dest_store]
+    if missing:  # pragma: no cover - put() raising is the expected path
+        raise StoreError(f"migration lost {len(missing)} artifact(s): {missing[:3]}")
+    return plan
+
+
 def artifacts_from_path(path: str | os.PathLike) -> list[WrapperArtifact]:
     """Load every artifact under ``path`` — a store root or a flat
     directory of ``*.json`` files (the CLI accepts both)."""
@@ -344,12 +486,15 @@ def open_or_none(path: str | os.PathLike) -> Optional[ShardedArtifactStore]:
 __all__ = [
     "CacheInfo",
     "DEFAULT_SHARDS",
+    "MigrationMove",
+    "MigrationPlan",
     "STORE_META",
     "STORE_VERSION",
     "ShardedArtifactStore",
     "StoreError",
     "artifacts_from_path",
     "migrate_directory",
+    "migrate_store",
     "open_or_none",
     "shard_index",
     "site_key_of",

@@ -30,6 +30,7 @@ FACADE_SYMBOLS = (
     "ExtractionResult",
     "FacadeError",
     "OwnershipError",
+    "REPLICATION_FACTOR",
     "RemoteError",
     "RemoteWrapperClient",
     "RouterClient",
@@ -39,6 +40,7 @@ FACADE_SYMBOLS = (
     "WrapperHandle",
     "mark_volatile",
     "qualify_key",
+    "replica_indexes",
     "shard_index",
     "site_key_of",
     "split_tenant",

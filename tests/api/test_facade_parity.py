@@ -1,16 +1,20 @@
-"""One facade, four backends: the identical test suite runs against
+"""One facade, five backends: the identical test suite runs against
 
 * a local in-memory :class:`WrapperClient`,
 * a local store-backed :class:`WrapperClient`,
 * a :class:`RemoteWrapperClient` talking to a **live** ``python -m
-  repro.runtime serve --listen`` subprocess over real TCP, and
+  repro.runtime serve --listen`` subprocess over real TCP,
 * a :class:`RouterClient` over a **2-host cluster** of live ``serve
-  --listen --own-shards`` subprocesses with disjoint shard groups.
+  --listen --own-shards`` subprocesses with disjoint shard groups, and
+* a :class:`RouterClient` over a **replicated 3-host cluster** where
+  every shard lives on two hosts (replica-union ownership) and writes
+  go to both replicas.
 
 Local, remote, and routed are interchangeable — that is the facade's
 core contract (and the cluster PR's acceptance criterion).
 Cross-backend tests at the end assert byte-identical result payloads
-for the same inputs, single-host and 2-host-routed alike.
+for the same inputs, single-host and routed alike — replication must
+be invisible in results.
 """
 
 import pytest
@@ -46,7 +50,8 @@ def _spawn_cluster(n_hosts=2, n_shards=8):
 
 
 @pytest.fixture(
-    scope="module", params=["local-memory", "local-store", "remote", "router"]
+    scope="module",
+    params=["local-memory", "local-store", "remote", "router", "router-replicated"],
 )
 def client(request, tmp_path_factory):
     if request.param == "local-memory":
@@ -61,7 +66,7 @@ def client(request, tmp_path_factory):
         finally:
             remote.close()
             _terminate([proc])
-    else:
+    elif request.param == "router":
         procs, cluster_map = _spawn_cluster()
         router = RouterClient(cluster_map)
         try:
@@ -69,6 +74,16 @@ def client(request, tmp_path_factory):
         finally:
             router.close()
             _terminate(procs)
+    else:
+        from tests.cluster.faults import spawn_replicated
+
+        cluster = spawn_replicated(n_hosts=3, n_shards=8)
+        router = RouterClient(cluster.cluster_map)
+        try:
+            yield router
+        finally:
+            router.close()
+            cluster.close()
 
 
 def price_sample():

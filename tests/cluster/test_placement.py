@@ -16,8 +16,10 @@ from repro.cluster.placement import (
     ClusterMap,
     DEFAULT_SHARDS,
     PlacementError,
+    REPLICATION_FACTOR,
     ShardOwnership,
     qualify_key,
+    replica_indexes,
     shard_index,
     shard_of_task,
     site_key_of,
@@ -50,6 +52,43 @@ class TestGoldenPlacement:
     def test_every_shard_is_populated(self):
         sites = json.loads(GOLDEN.read_text())["sites"]
         assert set(sites.values()) == set(range(DEFAULT_SHARDS))
+
+    def test_every_epoch_pins_shard_and_replica_set(self):
+        """The epoch table freezes replica placement per topology: a
+        silent change to replica derivation strands the secondary copy
+        of every artifact exactly as a shard remap strands the primary."""
+        payload = json.loads(GOLDEN.read_text())
+        assert payload["replication"] == REPLICATION_FACTOR == 2
+        epochs = payload["epochs"]
+        assert set(epochs) == {"0", "1"}, "epoch set changed — migrate deliberately"
+        for epoch, topology in epochs.items():
+            n_shards, n_hosts = topology["n_shards"], topology["n_hosts"]
+            sites = topology["sites"]
+            assert len(sites) == 84
+            for site_id, pinned in sites.items():
+                assert shard_index(site_id, n_shards) == pinned["shard"], (
+                    f"epoch {epoch}: {site_id} moved off shard "
+                    f"{pinned['shard']} — requires a store migration"
+                )
+                assert (
+                    list(replica_indexes(pinned["shard"], n_hosts))
+                    == pinned["replicas"]
+                )
+
+    def test_pinned_replicas_are_on_distinct_hosts(self):
+        epochs = json.loads(GOLDEN.read_text())["epochs"]
+        for topology in epochs.values():
+            for pinned in topology["sites"].values():
+                replicas = pinned["replicas"]
+                assert len(replicas) == 2
+                assert replicas[0] != replicas[1], (
+                    "secondary on the primary's host defeats replication"
+                )
+
+    def test_epoch_one_is_the_migrate_target_shape(self):
+        epochs = json.loads(GOLDEN.read_text())["epochs"]
+        assert epochs["0"]["n_shards"] == DEFAULT_SHARDS
+        assert epochs["1"]["n_shards"] == 2 * DEFAULT_SHARDS
 
 
 class TestKeys:
@@ -163,3 +202,67 @@ class TestClusterMap:
         for call in (cmap.shards_of, cmap.ownership_of, cmap.own_shards_arg):
             with pytest.raises(PlacementError, match="not in the cluster map"):
                 call("typo:9")
+
+
+class TestReplicaPlacement:
+    def test_replica_indexes_are_primary_plus_ring_successors(self):
+        assert replica_indexes(0, 3) == (0, 1)
+        assert replica_indexes(5, 3) == (2, 0)  # wraps the ring
+        assert replica_indexes(4, 3, replication=3) == (1, 2, 0)
+
+    def test_secondary_is_never_the_primary_host(self):
+        for n_hosts in (2, 3, 5):
+            for shard in range(32):
+                replicas = replica_indexes(shard, n_hosts)
+                assert len(set(replicas)) == len(replicas)
+
+    def test_replication_caps_at_host_count(self):
+        assert replica_indexes(3, 1) == (0,)  # one host: no second copy
+        assert replica_indexes(3, 2, replication=5) == (1, 0)
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            replica_indexes(0, 0)
+        with pytest.raises(PlacementError):
+            replica_indexes(0, 3, replication=0)
+
+    def test_cluster_map_replica_hosts_follow_indexes(self):
+        cmap = ClusterMap(("h0:1", "h1:2", "h2:3"), n_shards=8)
+        for task in ("movies-0/director", "shop-1/title", "acme::shop-0/price"):
+            shard = cmap.shard_of(task)
+            replicas = cmap.replica_hosts(task)
+            assert replicas[0] == cmap.host_of(task)  # primary first
+            assert replicas == tuple(
+                cmap.hosts[i] for i in replica_indexes(shard, 3)
+            )
+
+    def test_replica_ownership_is_the_union_group(self):
+        """A replicated host must be launched owning its primary shards
+        PLUS every shard it seconds — otherwise it 421s replica traffic."""
+        cmap = ClusterMap(("h0:1", "h1:2", "h2:3"), n_shards=8)
+        for host in cmap.hosts:
+            union = cmap.replica_ownership_of(host)
+            assert set(cmap.shards_of(host)) <= set(union.owned)
+            assert set(union.owned) == set(cmap.replica_shards_of(host))
+        # Every shard is seconded somewhere: union groups cover each
+        # shard exactly `replication` times.
+        coverage = [0] * 8
+        for host in cmap.hosts:
+            for shard in cmap.replica_shards_of(host):
+                coverage[shard] += 1
+        assert coverage == [REPLICATION_FACTOR] * 8
+
+    def test_epoch_is_carried_and_validated(self):
+        assert ClusterMap(("h0:1",), 8).epoch == 0
+        cmap = ClusterMap(("h0:1", "h1:2"), 8, epoch=3)
+        assert cmap.epoch == 3
+        with pytest.raises(PlacementError):
+            ClusterMap(("h0:1",), 8, epoch=-1)
+
+    def test_advanced_bumps_the_epoch_and_may_reshape(self):
+        cmap = ClusterMap(("h0:1", "h1:2"), 8, epoch=1)
+        regrown = cmap.advanced(n_shards=16)
+        assert regrown.epoch == 2
+        assert regrown.n_shards == 16
+        assert regrown.hosts == cmap.hosts
+        assert cmap.advanced().epoch == 2  # same shape, next generation

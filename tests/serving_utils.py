@@ -58,11 +58,25 @@ def spawn_listen(*extra_args: str, deadline_s: float = 60.0):
 
 
 def terminate(procs, timeout: float = 10.0) -> None:
-    """Terminate spawned servers, politely and in parallel."""
+    """Terminate spawned servers, politely and in parallel.
+
+    A server that ignores SIGTERM past ``timeout`` (wedged event loop,
+    blocked executor thread) is escalated to ``kill()`` and always
+    reaped with a final ``wait()`` — a leaked subprocess outlives the
+    test run and holds its port.
+    """
     for proc in procs:
         proc.terminate()
+    stubborn = []
     for proc in procs:
-        proc.wait(timeout=timeout)
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            stubborn.append(proc)
+    for proc in stubborn:
+        proc.kill()
+    for proc in stubborn:
+        proc.wait()
 
 
 __all__ = ["spawn_listen", "terminate"]
