@@ -19,6 +19,12 @@ three ways:
   :func:`repro.runtime.serve.serve_jobs` with no sockets: the reference
   ceiling, recorded (not gated) so the wire overhead stays visible
   across PRs.
+
+A fourth pass replays the concurrent stream against a *hardened*
+server — API keys plus an (unsaturated) per-tenant limiter — and
+records the auth-on vs. auth-off throughput ratio, so the per-request
+cost of authentication/admission stays visible (reported, not gated:
+the ratio is new relative to the committed baseline).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from conftest import scale
 
 from repro.api import RemoteWrapperClient, WrapperClient
 from repro.runtime import PageJob, ServingConfig, serve_jobs
+from repro.runtime.auth import ApiKeyTable, QuotaConfig
 from repro.runtime.net import NetConfig, WrapperHTTPServer
 from repro.api.results import extraction_wrappers
 
@@ -45,13 +52,27 @@ REQUIRED_SPEEDUP = 1.2
 
 CONCURRENCY = 8
 
+#: Wildcard key for the hardened-server pass.
+BENCH_KEY = "k-bench-3f9c2a7e"
+
+
+def hardened_config() -> NetConfig:
+    """Auth + limiter enabled, quotas far above the bench's offered
+    load — measures the admission-path overhead, never throttling."""
+    return NetConfig(
+        serving=ServingConfig(),
+        auth=ApiKeyTable.from_lines([f"{BENCH_KEY} *"]),
+        quota=QuotaConfig(rate=1e6, burst=10**6, max_inflight=CONCURRENCY * 8),
+    )
+
 
 class ServerThread:
     """A WrapperHTTPServer on its own event loop in a daemon thread, so
     the benchmark's client code can be plain blocking calls."""
 
-    def __init__(self, client: WrapperClient) -> None:
+    def __init__(self, client: WrapperClient, config: NetConfig | None = None) -> None:
         self.client = client
+        self.config = config
         self.address: tuple[str, int] | None = None
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -64,7 +85,9 @@ class ServerThread:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        server = WrapperHTTPServer(self.client, NetConfig(serving=ServingConfig()))
+        server = WrapperHTTPServer(
+            self.client, self.config or NetConfig(serving=ServingConfig())
+        )
         self.address = await server.start()
         self._ready.set()
         try:
@@ -123,13 +146,15 @@ def serial_http(address, requests) -> list:
         return [remote.extract(site_key, html) for site_key, html in requests]
 
 
-def concurrent_http(address, requests, concurrency: int = CONCURRENCY) -> list:
+def concurrent_http(
+    address, requests, concurrency: int = CONCURRENCY, api_key: str = ""
+) -> list:
     host, port = address
     local = threading.local()
 
     def one(request):
         if not hasattr(local, "client"):
-            local.client = RemoteWrapperClient(host, port)
+            local.client = RemoteWrapperClient(host, port, api_key=api_key)
         site_key, html = request
         return local.client.extract(site_key, html)
 
@@ -182,9 +207,22 @@ def test_net_bench(benchmark, emit):
 
         results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
+    with ServerThread(client, config=hardened_config()) as hardened:
+        # Auth must be transparent to the payloads: keyed answers match
+        # the open server's, request for request.
+        assert concurrent_http(hardened.address, requests, api_key=BENCH_KEY) == expected
+        results["auth_concurrent8_http_s"] = timeit(
+            lambda: concurrent_http(hardened.address, requests, api_key=BENCH_KEY)
+        )
+
     throughput = {
         "concurrent8_vs_serial_http": results["serial_http_s"]
         / results["concurrent8_http_s"],
+        # Admission-path overhead: auth-off vs. auth-on concurrent
+        # throughput (new vs. the committed baseline → reported, not
+        # gated, by scripts/check_bench.py).
+        "auth_on_vs_off_concurrent8": results["concurrent8_http_s"]
+        / results["auth_concurrent8_http_s"],
     }
     results["remote_requests_per_sec"] = len(requests) / results["concurrent8_http_s"]
     results["inprocess_vs_remote_concurrent"] = (

@@ -81,9 +81,11 @@ def headline_ratios(payload: dict) -> dict[str, float]:
 
 def iter_rows(
     baseline_dir: pathlib.Path, current_dir: pathlib.Path, names: list[str]
-) -> Iterator[tuple[str, str, float, float | None, bool]]:
-    """Yield (file, metric, baseline, current-or-None, gated) for every
-    baselined headline ratio.
+) -> Iterator[tuple[str, str, float | None, float | None, bool]]:
+    """Yield (file, metric, baseline-or-None, current-or-None, gated)
+    for every baselined headline ratio, then every ratio that is new in
+    the current run (baseline ``None`` — reported, never gated, so a
+    bench growing a metric does not invalidate existing baselines).
 
     ``gated`` is False when either side recorded ``gate_applies:
     false`` — a bench declaring its own ratio meaningless on that host
@@ -105,8 +107,11 @@ def iter_rows(
             base_payload.get("gate_applies", True) is not False
             and current_payload.get("gate_applies", True) is not False
         )
-        for metric, base_value in sorted(headline_ratios(base_payload).items()):
+        base = headline_ratios(base_payload)
+        for metric, base_value in sorted(base.items()):
             yield name, metric, base_value, current.get(metric), gated
+        for metric in sorted(current.keys() - base.keys()):
+            yield name, metric, None, current[metric], gated
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         if current_value is None:
             print(f"FAIL {label:<{width}}  missing from current run")
             failures += 1
+            continue
+        if base_value is None:
+            print(
+                f"new  {label:<{width}}  current {current_value:8.2f}x  "
+                f"[not in baseline — reported, not gated]"
+            )
             continue
         ratio = current_value / base_value if base_value else float("inf")
         line = (

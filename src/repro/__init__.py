@@ -41,7 +41,9 @@ from repro.api import (
     ClusterMap,
     ExtractionResult,
     FacadeError,
+    AuthError,
     OwnershipError,
+    RateLimitError,
     RemoteError,
     RemoteWrapperClient,
     RouterClient,
@@ -57,7 +59,7 @@ from repro.api import (
     split_tenant,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Deprecated top-level entry points → (home module, facade replacement).
 #: They keep working — engine layers are public at their own paths — but
@@ -95,11 +97,13 @@ __all__ = [
     "InductionConfig",
     "InductionResult",
     "KBestTable",
+    "AuthError",
     "OwnershipError",
     "Query",
     "QueryInstance",
     "QuerySample",
     "REPLICATION_FACTOR",
+    "RateLimitError",
     "RemoteError",
     "RemoteWrapperClient",
     "RouterClient",

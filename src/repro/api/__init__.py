@@ -47,7 +47,13 @@ See docs/API.md for the full facade reference and the wire protocol.
 """
 
 from repro.api.client import WrapperClient
-from repro.api.remote import OwnershipError, RemoteError, RemoteWrapperClient
+from repro.api.remote import (
+    AuthError,
+    OwnershipError,
+    RateLimitError,
+    RemoteError,
+    RemoteWrapperClient,
+)
 from repro.api.results import (
     CheckResult,
     ExtractionResult,
@@ -77,7 +83,9 @@ __all__ = [
     "ClusterMap",
     "ExtractionResult",
     "FacadeError",
+    "AuthError",
     "OwnershipError",
+    "RateLimitError",
     "RemoteError",
     "RemoteWrapperClient",
     "RouterClient",

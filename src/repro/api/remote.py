@@ -54,6 +54,12 @@ from repro.api.sample import Sample, coerce_samples
 
 Page = Union[str, Document]
 
+#: How many times ``extract_many`` requeues a 429'd item before its
+#: :class:`RateLimitError` surfaces, and the cap on how long one
+#: Retry-After hint may stall a worker thread.
+_RATE_LIMIT_RETRIES = 3
+_RATE_LIMIT_WAIT_CAP_S = 2.0
+
 
 def _as_html(page: Page) -> str:
     return to_html(page) if isinstance(page, Document) else page
@@ -77,6 +83,31 @@ class RemoteError(FacadeError):
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+
+class AuthError(FacadeError):
+    """The server refused the request's credentials.
+
+    ``status`` distinguishes a missing/unknown key (401) from a valid
+    key addressing a tenant namespace it does not grant (403).
+    """
+
+    def __init__(self, message: str, status: int = 401):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class RateLimitError(FacadeError):
+    """The server throttled this tenant (429).
+
+    ``retry_after_s`` is the server's backoff hint (from the JSON body
+    or the ``Retry-After`` header); :meth:`RemoteWrapperClient.extract_many`
+    honors it by requeueing the item after the hinted delay.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = max(0.0, float(retry_after_s))
 
 
 class OwnershipError(FacadeError):
@@ -125,6 +156,7 @@ class RemoteWrapperClient:
         connect_timeout: Optional[float] = None,
         read_timeout: Optional[float] = None,
         tenant: str = DEFAULT_TENANT,
+        api_key: str = "",
         connect_attempts: int = 3,
         connect_backoff_s: float = 0.05,
     ):
@@ -154,6 +186,9 @@ class RemoteWrapperClient:
             self.tenant = validate_tenant(tenant)
         except ValueError as exc:
             raise FacadeError(str(exc)) from exc
+        # Sent as ``Authorization: Bearer <key>`` on every request when
+        # non-empty; a server launched without ``--auth-keys`` ignores it.
+        self.api_key = str(api_key)
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ----------------------------------------------------------
@@ -178,6 +213,7 @@ class RemoteWrapperClient:
             connect_timeout=self.connect_timeout,
             read_timeout=self.read_timeout,
             tenant=self.tenant,
+            api_key=self.api_key,
             connect_attempts=self.connect_attempts,
             connect_backoff_s=self.connect_backoff_s,
         )
@@ -235,6 +271,8 @@ class RemoteWrapperClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
         for attempt in (0, 1):
             sent = False
             try:
@@ -266,6 +304,17 @@ class RemoteWrapperClient:
             code = answer.get("code")
             if code == "unknown_wrapper":
                 raise KeyError(message)
+            if code in ("unauthorized", "forbidden"):
+                raise AuthError(message, status=response.status)
+            if code == "rate_limited":
+                retry_after = answer.get("retry_after")
+                if retry_after is None:
+                    retry_after = response.getheader("Retry-After") or 1.0
+                try:
+                    retry_after = float(retry_after)
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                raise RateLimitError(message, retry_after_s=retry_after)
             if code == "shard_not_owned":
                 raise OwnershipError(
                     message,
@@ -295,6 +344,12 @@ class RemoteWrapperClient:
         """Liveness + the server's serving-layer counters + (for shard
         owners) the shard group it answers for."""
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The server's traffic counters (``GET /metrics``): admission
+        queue depth, coalescing rate, per-status and per-tenant
+        request/error/429 counters.  Unauthenticated, like healthz."""
+        return self._request("GET", "/metrics")
 
     def induce(
         self,
@@ -354,6 +409,11 @@ class RemoteWrapperClient:
         item yields its exception in place (other items keep their
         results); without it the first failure raises after the batch
         drains.
+
+        A 429 does not fail the item: the worker honors the server's
+        ``Retry-After`` hint (capped) and requeues the extraction up to
+        :data:`_RATE_LIMIT_RETRIES` times before the
+        :class:`RateLimitError` surfaces like any other failure.
         """
         if concurrency < 1:
             raise FacadeError("extract_many concurrency must be >= 1")
@@ -372,10 +432,21 @@ class RemoteWrapperClient:
                     clones.append(client)
                 local.client = client
             site_key, page = items[index]
-            try:
-                results[index] = client.extract(site_key, page)
-            except Exception as exc:  # noqa: BLE001 - reported per item
-                results[index] = exc
+            for retry in range(_RATE_LIMIT_RETRIES + 1):
+                try:
+                    results[index] = client.extract(site_key, page)
+                    return
+                except RateLimitError as exc:
+                    if retry == _RATE_LIMIT_RETRIES:
+                        results[index] = exc
+                        return
+                    time.sleep(
+                        min(exc.retry_after_s, _RATE_LIMIT_WAIT_CAP_S)
+                        or _RATE_LIMIT_WAIT_CAP_S / 10
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported per item
+                    results[index] = exc
+                    return
 
         try:
             with ThreadPoolExecutor(
@@ -463,4 +534,10 @@ class RemoteWrapperClient:
         return int(self.healthz().get("wrappers", 0))
 
 
-__all__ = ["OwnershipError", "RemoteError", "RemoteWrapperClient"]
+__all__ = [
+    "AuthError",
+    "OwnershipError",
+    "RateLimitError",
+    "RemoteError",
+    "RemoteWrapperClient",
+]

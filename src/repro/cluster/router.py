@@ -59,7 +59,13 @@ from repro.cluster.placement import (
     shard_of_task,
     validate_tenant,
 )
-from repro.api.remote import OwnershipError, Page, RemoteError, RemoteWrapperClient
+from repro.api.remote import (
+    OwnershipError,
+    Page,
+    RateLimitError,
+    RemoteError,
+    RemoteWrapperClient,
+)
 from repro.api.results import (
     CheckResult,
     ExtractionResult,
@@ -101,6 +107,7 @@ class RouterClient:
         connect_timeout: Optional[float] = None,
         read_timeout: Optional[float] = None,
         replication: int = REPLICATION_FACTOR,
+        api_key: str = "",
         breaker_threshold: int = 3,
         breaker_reset_s: float = 5.0,
         failover_backoff_s: float = 0.05,
@@ -123,6 +130,10 @@ class RouterClient:
         if breaker_threshold < 1:
             raise FacadeError("breaker_threshold must be >= 1")
         self.replication = int(replication)
+        # One credential for the whole cluster: forwarded to every
+        # per-host client (hosts share one key table, so one key grants
+        # the same tenant everywhere).
+        self.api_key = str(api_key)
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_reset_s = float(breaker_reset_s)
         self.failover_backoff_s = float(failover_backoff_s)
@@ -240,7 +251,9 @@ class RouterClient:
             raise FacadeError(f"{host!r} is not in the cluster map")
         client = self._clients.get(host)
         if client is None:
-            client = RemoteWrapperClient(host, tenant=self.tenant, **self._timeouts)
+            client = RemoteWrapperClient(
+                host, tenant=self.tenant, api_key=self.api_key, **self._timeouts
+            )
             self._clients[host] = client
         return client
 
@@ -315,6 +328,7 @@ class RouterClient:
         candidates = self._candidates(qualified)
         first_remote: Optional[RemoteError] = None
         last_ownership: Optional[OwnershipError] = None
+        last_ratelimit: Optional[RateLimitError] = None
         refreshed = False
         tried = 0
         i = 0
@@ -339,6 +353,21 @@ class RouterClient:
                     first_remote = exc
                 i += 1
                 continue
+            except RateLimitError as exc:
+                # A 429 is a live, answering host — never a breaker
+                # strike.  Another replica may still have budget for
+                # this tenant, so the walk continues; the telemetry
+                # event is what surfaces per-host throttling upstream.
+                self._record_success(host)
+                self._emit(
+                    "rate_limited",
+                    host=host,
+                    site_key=site_key,
+                    retry_after_s=exc.retry_after_s,
+                )
+                last_ratelimit = exc
+                i += 1
+                continue
             except OwnershipError as exc:
                 self._record_success(host)  # the host is alive, just not the owner
                 if exc.epoch > self._epoch and not refreshed:
@@ -357,8 +386,12 @@ class RouterClient:
             return result
         # Surfacing order: a transport failure names the host that
         # actually died; an OwnershipError only surfaces when every
-        # replica answered and none owned the key (a real routing bug).
-        error: Optional[FacadeError] = first_remote or last_ownership
+        # replica answered and none owned the key (a real routing bug);
+        # a RateLimitError means every live owner throttled the tenant
+        # — the caller gets the Retry-After hint to honor.
+        error: Optional[FacadeError] = (
+            last_ratelimit or first_remote or last_ownership
+        )
         if error is None:
             error = RemoteError(f"no live replica reachable for {site_key!r}")
         raise error
@@ -400,6 +433,7 @@ class RouterClient:
         result = _UNSET
         first_remote: Optional[RemoteError] = None
         last_ownership: Optional[OwnershipError] = None
+        last_ratelimit: Optional[RateLimitError] = None
         missing: Optional[KeyError] = None
         repair_needed: list[tuple[str, Exception]] = []
         refreshed = False
@@ -420,6 +454,22 @@ class RouterClient:
                 repair_needed.append((host, exc))
                 if first_remote is None:
                     first_remote = exc
+                i += 1
+                continue
+            except RateLimitError as exc:
+                # The replica is alive but throttled this tenant: the
+                # write did not land there, which is exactly the
+                # write_repair_needed situation — another replica may
+                # still accept it.
+                self._record_success(host)
+                self._emit(
+                    "rate_limited",
+                    host=host,
+                    site_key=site_key,
+                    retry_after_s=exc.retry_after_s,
+                )
+                repair_needed.append((host, exc))
+                last_ratelimit = exc
                 i += 1
                 continue
             except OwnershipError as exc:
@@ -459,7 +509,9 @@ class RouterClient:
                     error=str(exc),
                 )
             return result
-        error: Optional[Exception] = first_remote or last_ownership or missing
+        error: Optional[Exception] = (
+            last_ratelimit or first_remote or last_ownership or missing
+        )
         if error is None:
             error = RemoteError(f"no live replica accepted {verb} of {site_key!r}")
         raise error
@@ -567,6 +619,31 @@ class RouterClient:
         return {
             host: (part if ok else {"ok": False, "error": str(part)})
             for host, (ok, part) in parts.items()
+        }
+
+    def metrics(self) -> dict:
+        """Cluster-wide traffic counters: per-host ``GET /metrics``
+        scatter-gather (dead hosts report their error, like healthz)
+        plus the router's own view — breaker/failover/429/write-repair
+        event counts from the retained telemetry window and which
+        breakers are open right now."""
+        parts = self._gather_parts(lambda c: c.metrics())
+        events: dict[str, int] = {}
+        for record in self.telemetry:
+            name = str(record.get("event", ""))
+            events[name] = events.get(name, 0) + 1
+        return {
+            "hosts": {
+                host: (part if ok else {"ok": False, "error": str(part)})
+                for host, (ok, part) in parts.items()
+            },
+            "router": {
+                "epoch": self._epoch,
+                "events": events,
+                "breaker_open": sorted(
+                    host for host in self.cluster.hosts if self._breaker_open(host)
+                ),
+            },
         }
 
     def __len__(self) -> int:
@@ -690,6 +767,20 @@ class RouterClient:
                                 site_key=items[index][0],
                                 error=str(result),
                             )
+                            pos[index] += 1
+                            next_pending.append(index)
+                        elif isinstance(result, RateLimitError):
+                            # The per-host pipeline already honored the
+                            # Retry-After hint and still got throttled;
+                            # requeue against the next replica.
+                            answered += 1
+                            self._emit(
+                                "rate_limited",
+                                host=host,
+                                site_key=items[index][0],
+                                retry_after_s=result.retry_after_s,
+                            )
+                            last_err[index] = result
                             pos[index] += 1
                             next_pending.append(index)
                         elif isinstance(result, OwnershipError):

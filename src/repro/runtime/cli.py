@@ -320,6 +320,36 @@ def _serve_ownership(args: argparse.Namespace, client):
         raise SystemExit(str(exc))
 
 
+def _serve_hardening(args: argparse.Namespace):
+    """Auth table / quota / access log from the hardening flags
+    (``--auth-keys`` falls back to ``REPRO_AUTH_KEYS``; everything
+    defaults to off — a plain launch is the seed-era open server)."""
+    import os
+
+    from repro.runtime.auth import AccessLog, ApiKeyTable, AuthConfigError, QuotaConfig
+
+    auth = None
+    keys_path = args.auth_keys or os.environ.get("REPRO_AUTH_KEYS", "")
+    if keys_path:
+        try:
+            auth = ApiKeyTable.from_file(keys_path)
+        except AuthConfigError as exc:
+            raise SystemExit(str(exc))
+    quota = None
+    if args.rate_limit or args.max_inflight:
+        try:
+            quota = QuotaConfig(
+                rate=args.rate_limit,
+                burst=args.burst,
+                max_inflight=args.max_inflight,
+                max_tenants=args.limiter_tenants,
+            )
+        except AuthConfigError as exc:
+            raise SystemExit(str(exc))
+    access_log = AccessLog.open(args.access_log) if args.access_log else None
+    return auth, quota, access_log
+
+
 def cmd_serve_listen(args: argparse.Namespace) -> int:
     """``serve --listen HOST:PORT`` — the facade over TCP."""
     import asyncio
@@ -327,6 +357,7 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
     from repro.runtime.net import NetConfig, serve_http
 
     host, port = _parse_listen(args.listen)
+    auth, quota, access_log = _serve_hardening(args)
     client = _client_for_listen(args.artifacts, tenant=_validated_tenant(args))
     ownership = _serve_ownership(args, client)
     # The placement epoch this host serves at: --epoch wins, a backing
@@ -343,7 +374,10 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
             workers=args.workers,
             max_pending=args.max_pending,
             per_site_limit=args.per_site_limit,
-        )
+        ),
+        auth=auth,
+        quota=quota,
+        access_log=access_log,
     )
 
     def ready(bound_host: str, bound_port: int) -> None:
@@ -354,10 +388,16 @@ def cmd_serve_listen(args: argparse.Namespace) -> int:
             else ""
         )
         namespace = f", tenant {client.tenant}" if client.tenant else ""
+        hardening = f", auth ({len(auth)} key(s))" if auth is not None else ""
+        if quota is not None:
+            hardening += (
+                f", quotas (rate={quota.rate:g}/s, "
+                f"inflight={quota.max_inflight or 'off'})"
+            )
         print(
             f"listening on {bound_host}:{bound_port} "
             f"({len(client)} wrapper(s), {backend}{shards}{namespace}, "
-            f"epoch {epoch})",
+            f"epoch {epoch}{hardening})",
             flush=True,
         )
 
@@ -383,13 +423,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return cmd_serve_listen(args)
     # The one-shot stream replay has no tenancy or shard ownership —
     # silently ignoring these flags would fake a scoped deployment.
-    for flag, value in (
-        ("--tenant", args.tenant),
-        ("--own-shards", args.own_shards),
-        ("--shards", args.shards),
-        ("--epoch", args.epoch),
+    for flag, value, default in (
+        ("--tenant", args.tenant, ""),
+        ("--own-shards", args.own_shards, None),
+        ("--shards", args.shards, None),
+        ("--epoch", args.epoch, None),
+        ("--auth-keys", args.auth_keys, ""),
+        ("--rate-limit", args.rate_limit, 0.0),
+        ("--burst", args.burst, 0),
+        ("--max-inflight", args.max_inflight, 0),
+        ("--access-log", args.access_log, ""),
     ):
-        if value not in (None, ""):
+        if value != default:
             raise SystemExit(f"{flag} requires --listen HOST:PORT")
     if not args.artifacts:
         raise SystemExit("serve needs --artifacts (or --listen HOST:PORT)")
@@ -656,6 +701,65 @@ def build_parser() -> argparse.ArgumentParser:
             "with --listen: the placement epoch this host serves at, "
             "advertised in /healthz and stamped into 421 payloads "
             "(default: the backing store's recorded epoch, else 0)"
+        ),
+    )
+    serve.add_argument(
+        "--auth-keys",
+        metavar="FILE",
+        default="",
+        help=(
+            "with --listen: enforce per-tenant API keys from this file "
+            "(one '<key> [tenant]' per line, '*' = admin; falls back to "
+            "$REPRO_AUTH_KEYS; omit both for an open server)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help=(
+            "with --listen: per-tenant token-bucket rate in requests/s "
+            "(0 = unlimited); throttled requests get 429 + Retry-After"
+        ),
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --listen: token-bucket capacity (default: one second "
+            "of --rate-limit refill)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --listen: cap on one tenant's concurrent in-flight "
+            "requests (0 = unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--limiter-tenants",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "with --listen: LRU bound on per-tenant limiter/metrics "
+            "state (default: 1024)"
+        ),
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="FILE",
+        default="",
+        help=(
+            "with --listen: append one JSONL record per answered request "
+            "(tenant, verb, status, latency_ms, coalesced)"
         ),
     )
     serve.add_argument("--snapshot", type=int, default=0, help="archive snapshot index")

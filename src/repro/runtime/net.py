@@ -13,6 +13,7 @@ for :class:`~repro.api.client.WrapperClient`.
 endpoint      method  body                                        returns
 ============  ======  ==========================================  =========
 /healthz      GET     —                                           liveness + serving stats
+/metrics      GET     —                                           traffic counters (see below)
 /wrappers     GET     —                                           deployed handle list
 /wrappers/K   GET     —                                           one handle (404 unknown)
 /wrappers/K   DELETE  —                                           ``{"deleted": K}``
@@ -22,6 +23,30 @@ endpoint      method  body                                        returns
 /repair       POST    site_key, html, target_paths?               handle
 /deploy       POST    artifact (WrapperArtifact payload)          handle
 ============  ======  ==========================================  =========
+
+Traffic hardening (ROADMAP's "safe to point the internet at", all
+**off by default** — a no-auth launch behaves exactly as before):
+
+* **per-tenant API keys** (``NetConfig.auth`` / ``serve --listen
+  --auth-keys FILE``) are enforced *before any routing*: a missing or
+  unknown ``Authorization: Bearer <key>`` (or ``X-API-Key``) header is
+  a typed ``401 unauthorized``; a valid key addressing a site key in a
+  tenant namespace the key does not grant is ``403 forbidden`` — the
+  enforcement point the ``tenant::`` isolation has been missing since
+  the cluster PR.  ``/healthz`` and ``/metrics`` stay open so routers
+  and probes keep working without credentials (they expose counters,
+  never wrapper data);
+* **per-tenant quotas** (``NetConfig.quota``): a token-bucket request
+  rate and an in-flight cap, both per tenant, answered with ``429
+  rate_limited`` + a ``Retry-After`` header.  Limiter state is
+  LRU-bounded (:class:`~repro.runtime.auth.TenantRateLimiter`) so
+  distinct dead tenants never grow server memory;
+* **structured access logs** (``NetConfig.access_log``): one JSONL
+  object per answered request — tenant, verb, status, latency,
+  coalesced flag;
+* **GET /metrics**: admission-queue depth, coalescing rate, per-status
+  and per-tenant request/error/429 counters, 421 rejection count —
+  the scrape surface for ``RouterClient.metrics()`` and nightly CI.
 
 Request routing by cost:
 
@@ -47,7 +72,10 @@ the server and every other connection keep serving.  Error bodies are
 from __future__ import annotations
 
 import asyncio
+import http.client
 import json
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Optional
 from urllib.parse import unquote
@@ -60,24 +88,50 @@ from repro.api.results import (
     facade_mode,
     result_from_records,
 )
-from repro.cluster.placement import PlacementError, ShardOwnership, qualify_key
+from repro.cluster.placement import (
+    PlacementError,
+    ShardOwnership,
+    qualify_key,
+    tenant_of,
+)
 from repro.runtime.artifact import ArtifactError
+from repro.runtime.auth import (
+    AccessLog,
+    ApiKeyTable,
+    DEFAULT_MAX_TENANTS,
+    InflightGauge,
+    NetMetrics,
+    QuotaConfig,
+    TenantRateLimiter,
+    WILDCARD_TENANT,
+)
 from repro.runtime.extractor import PageJob
 from repro.runtime.serve import AsyncExtractionServer, RequestError, ServingConfig
 from repro.runtime.store import StoreError
 
-#: HTTP status → reason phrases the server emits.
+#: HTTP status → reason phrases the server emits.  ``_reason`` falls
+#: back to the stdlib table, then to "Unknown" — an unlisted status
+#: must never crash (or blank) the response writer.
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    411: "Length Required",
     413: "Payload Too Large",
     421: "Misdirected Request",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
 }
+
+
+def _reason(status: int) -> str:
+    """The reason phrase for any status — listed, stdlib-known, or not."""
+    return _REASONS.get(status) or http.client.responses.get(status) or "Unknown"
 
 
 @dataclass(frozen=True)
@@ -89,11 +143,21 @@ class NetConfig:
     without buffering it).  ``max_header_bytes`` bounds the request
     head.  ``serving`` configures the shared extraction server behind
     ``extract``/``check``.
+
+    The hardening knobs all default to off (a no-auth launch is fully
+    backward compatible): ``auth`` is the per-tenant API key table
+    (``None`` = unauthenticated), ``quota`` the per-tenant rate/
+    in-flight limits (``None`` or a disabled config = unlimited), and
+    ``access_log`` a :class:`~repro.runtime.auth.AccessLog` receiving
+    one JSONL record per answered request.
     """
 
     max_body_bytes: int = 8 * 1024 * 1024
     max_header_bytes: int = 32768
     serving: ServingConfig = field(default_factory=ServingConfig)
+    auth: Optional[ApiKeyTable] = None
+    quota: Optional[QuotaConfig] = None
+    access_log: Optional[AccessLog] = None
 
     def __post_init__(self) -> None:
         if self.max_body_bytes < 1:
@@ -117,21 +181,28 @@ class _HTTPError(Exception):
         code: str = "",
         close: bool = False,
         extra: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ):
         super().__init__(message)
         self.status = status
         self.message = message
         self.code = code or {
             400: "bad_request",
+            401: "unauthorized",
+            403: "forbidden",
             404: "not_found",
             405: "method_not_allowed",
+            411: "length_required",
             413: "payload_too_large",
             421: "shard_not_owned",
             422: "unprocessable",
+            429: "rate_limited",
             431: "headers_too_large",
         }.get(status, "error")
         self.close = close
         self.extra = extra or {}
+        #: Extra response headers (``Retry-After``, ``WWW-Authenticate``).
+        self.headers = headers or {}
 
     def payload(self) -> dict:
         return {"error": self.message, "code": self.code, **self.extra}
@@ -179,6 +250,21 @@ class WrapperHTTPServer:
         self._serving: Optional[AsyncExtractionServer] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._address: Optional[tuple[str, int]] = None
+        # Hardening state (None everywhere = the seed-era open server).
+        self._auth = self.config.auth
+        quota = self.config.quota
+        self.metrics = NetMetrics(
+            max_tenants=quota.max_tenants if quota is not None else DEFAULT_MAX_TENANTS
+        )
+        self._limiter: Optional[TenantRateLimiter] = None
+        self._inflight: Optional[InflightGauge] = None
+        if quota is not None and quota.rate > 0:
+            self._limiter = TenantRateLimiter(
+                quota.rate, quota.effective_burst, quota.max_tenants
+            )
+        if quota is not None and quota.max_inflight > 0:
+            self._inflight = InflightGauge(quota.max_inflight)
+        self._access_log = self.config.access_log
 
     def _check_owned(self, site_key: str) -> None:
         """421 for keys outside this host's shard group (placement is
@@ -208,6 +294,91 @@ class WrapperHTTPServer:
                     "epoch": self.epoch,
                 },
             )
+
+    # -- auth + quotas -------------------------------------------------------
+
+    def _authenticate(self, headers: dict) -> Optional[str]:
+        """The tenant this request's API key grants (``"*"`` = every
+        tenant), or ``None`` when auth is not configured.
+
+        401 before any routing: an unauthenticated request must learn
+        nothing — not even whether an endpoint or wrapper exists.
+        """
+        if self._auth is None:
+            return None
+        key = ""
+        authorization = headers.get("authorization", "")
+        if authorization.lower().startswith("bearer "):
+            key = authorization[len("bearer ") :].strip()
+        if not key:
+            key = headers.get("x-api-key", "").strip()
+        if not key:
+            raise _HTTPError(
+                401,
+                "missing API key (send 'Authorization: Bearer <key>' "
+                "or 'X-API-Key: <key>')",
+                headers={"WWW-Authenticate": "Bearer"},
+            )
+        tenant = self._auth.tenant_for(key)
+        if tenant is None:
+            raise _HTTPError(
+                401, "unknown API key", headers={"WWW-Authenticate": "Bearer"}
+            )
+        return tenant
+
+    def _qualified(self, site_key: str) -> str:
+        """Tenant-qualify a key exactly as routing does (422 malformed)."""
+        try:
+            return qualify_key(site_key, self.client.tenant)
+        except PlacementError as exc:
+            raise _HTTPError(422, str(exc)) from exc
+
+    def _authorize(self, principal: Optional[str], site_key: str) -> None:
+        """403 when the key's tenant does not own the request's
+        ``tenant::`` namespace — the enforcement point for the
+        isolation the cluster PR introduced."""
+        if principal is None or principal == WILDCARD_TENANT:
+            return
+        if tenant_of(self._qualified(site_key)) != principal:
+            raise _HTTPError(
+                403,
+                f"API key for tenant {principal!r} cannot address "
+                f"site key {site_key!r}",
+            )
+
+    def _admit(self, tenant: str, ctx: dict) -> None:
+        """Per-tenant quota gate: 429 + Retry-After when the tenant's
+        token bucket is dry or its in-flight cap is reached.  Runs
+        before any store or extraction work — a throttled request must
+        be cheap to refuse."""
+        ctx["tenant"] = tenant
+        if self._limiter is not None:
+            allowed, retry_after = self._limiter.acquire(tenant)
+            if not allowed:
+                raise _HTTPError(
+                    429,
+                    f"tenant {tenant!r} exceeded its request rate",
+                    extra={"retry_after": round(retry_after, 3)},
+                    headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+                )
+        if self._inflight is not None:
+            if not self._inflight.try_enter(tenant):
+                raise _HTTPError(
+                    429,
+                    f"tenant {tenant!r} has too many requests in flight",
+                    extra={"retry_after": 1.0},
+                    headers={"Retry-After": "1"},
+                )
+            ctx["inflight"] = tenant
+
+    def _check_key(
+        self, site_key: str, principal: Optional[str], ctx: dict
+    ) -> None:
+        """Every keyed verb's gate, in order: 403 (authorization),
+        429 (quota), 421 (shard ownership)."""
+        self._authorize(principal, site_key)
+        self._admit(tenant_of(self._qualified(site_key)), ctx)
+        self._check_owned(site_key)
 
     def _owned_keys(self) -> list[str]:
         """Keys restricted to owned shards — a shared store holds every
@@ -267,6 +438,8 @@ class WrapperHTTPServer:
         if self._serving is not None:
             await self._serving.aclose()
             self._serving = None
+        if self._access_log is not None:
+            self._access_log.close()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -282,42 +455,75 @@ class WrapperHTTPServer:
 
     # -- connection handling ------------------------------------------------
 
+    def _observe(self, ctx: dict, status: int, started: float) -> None:
+        """Metrics + access log for one answered request (including
+        protocol violations, which carry an empty tenant/verb)."""
+        self.metrics.observe(ctx.get("tenant", ""), status)
+        if self._access_log is not None:
+            self._access_log.emit(
+                tenant=ctx.get("tenant", ""),
+                verb=ctx.get("verb", ""),
+                status=status,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                coalesced=bool(ctx.get("coalesced", False)),
+            )
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             while True:
+                started = time.perf_counter()
+                ctx: dict = {}
                 try:
                     request = await self._read_request(reader)
                 except _HTTPError as exc:
                     # Protocol violations (bad request line, oversized
                     # head/body) are answered, then the connection dies —
                     # the stream position is no longer trustworthy.
+                    self._observe(ctx, exc.status, started)
                     await self._write_response(
-                        writer, exc.status, exc.payload(), close=True
+                        writer, exc.status, exc.payload(), close=True,
+                        headers=exc.headers,
                     )
                     break
                 if request is None:  # client closed (possibly mid-request)
                     break
                 method, path, headers, body = request
+                ctx["verb"] = f"{method} {path.split('?', 1)[0]}"
                 close = headers.get("connection", "").lower() == "close"
+                extra_headers: dict = {}
                 try:
-                    status, payload = await self._dispatch(method, path, body)
-                except _HTTPError as exc:
-                    status = exc.status
-                    payload = exc.payload()
-                    close = close or exc.close
-                except (FacadeError, ArtifactError, RequestError, StoreError) as exc:
-                    status, payload = 422, {"error": str(exc), "code": "unprocessable"}
-                except KeyError as exc:
-                    key = exc.args[0] if exc.args else ""
-                    status, payload = 404, {
-                        "error": f"unknown site_key {key!r}",
-                        "code": "unknown_wrapper",
-                    }
-                except Exception as exc:  # noqa: BLE001 - last-resort isolation
-                    status, payload = 500, {"error": str(exc), "code": "internal"}
-                await self._write_response(writer, status, payload, close)
+                    try:
+                        status, payload = await self._dispatch(
+                            method, path, headers, body, ctx
+                        )
+                    except _HTTPError as exc:
+                        status = exc.status
+                        payload = exc.payload()
+                        close = close or exc.close
+                        extra_headers = exc.headers
+                    except (
+                        FacadeError, ArtifactError, RequestError, StoreError
+                    ) as exc:
+                        status, payload = 422, {
+                            "error": str(exc), "code": "unprocessable"
+                        }
+                    except KeyError as exc:
+                        key = exc.args[0] if exc.args else ""
+                        status, payload = 404, {
+                            "error": f"unknown site_key {key!r}",
+                            "code": "unknown_wrapper",
+                        }
+                    except Exception as exc:  # noqa: BLE001 - last-resort isolation
+                        status, payload = 500, {"error": str(exc), "code": "internal"}
+                finally:
+                    if self._inflight is not None and "inflight" in ctx:
+                        self._inflight.leave(ctx["inflight"])
+                self._observe(ctx, status, started)
+                await self._write_response(
+                    writer, status, payload, close, headers=extra_headers
+                )
                 if close:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -352,14 +558,31 @@ class WrapperHTTPServer:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
+        # Body framing: the server only speaks Content-Length.  Chunked
+        # (or any other) Transfer-Encoding is a typed 411, as is a POST
+        # that promises a body without declaring its length — treating
+        # either as "empty body" would fail deeper with a misleading
+        # 400/422 about invalid JSON.
         if "transfer-encoding" in headers:
-            raise _HTTPError(400, "chunked bodies are not supported", close=True)
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise _HTTPError(400, "invalid Content-Length", close=True) from None
-        if length < 0:
-            raise _HTTPError(400, "invalid Content-Length", close=True)
+            raise _HTTPError(
+                411,
+                "Transfer-Encoding is not supported; send Content-Length",
+                close=True,
+            )
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            if method.upper() in ("POST", "PUT", "PATCH"):
+                raise _HTTPError(
+                    411, f"{method.upper()} requires Content-Length", close=True
+                )
+            length = 0
+        else:
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise _HTTPError(400, "invalid Content-Length", close=True) from None
+            if length < 0:
+                raise _HTTPError(400, "negative Content-Length", close=True)
         if length > self.config.max_body_bytes:
             # Refuse before reading: the body never enters memory.
             raise _HTTPError(
@@ -382,14 +605,18 @@ class WrapperHTTPServer:
         status: int,
         payload: dict,
         close: bool,
+        headers: Optional[dict] = None,
     ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
-        reason = _REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
+            f"HTTP/1.1 {status} {_reason(status)}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -397,10 +624,19 @@ class WrapperHTTPServer:
 
     # -- dispatch -----------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
-        path = unquote(path.split("?", 1)[0])
-        # Registry reads hit the store (directory scans, artifact JSON
-        # parsing on cache misses) — disk work, so off the event loop.
+    async def _dispatch(
+        self, method: str, path: str, headers: dict, body: bytes, ctx: dict
+    ):
+        # Route on the RAW path: the query split and every endpoint
+        # match happen before any percent-decoding, and only the
+        # /wrappers/<key> remainder is ever unquoted.  Decoding first
+        # let encoded key bytes (%2F, %3F) grow extra path/query
+        # structure — '/wrappers%2Fx' routed as a key lookup, and a key
+        # segment could alias a fixed endpoint.
+        path = path.split("?", 1)[0]
+        # /healthz and /metrics stay open (no auth, no quotas): routers
+        # probe them to drive failover and scrape counters — they
+        # expose liveness and aggregates, never wrapper data.
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "use GET /healthz")
@@ -416,17 +652,31 @@ class WrapperHTTPServer:
             if self.client.tenant:
                 health["tenant"] = self.client.tenant
             return 200, health
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "use GET /metrics")
+            return 200, self._metrics_payload()
+        principal = self._authenticate(headers)
+        # Registry reads hit the store (directory scans, artifact JSON
+        # parsing on cache misses) — disk work, so off the event loop.
         if path == "/wrappers" and method == "GET":
+            self._admit(
+                principal if principal not in (None, WILDCARD_TENANT) else "",
+                ctx,
+            )
             return 200, await self._in_executor(
                 lambda: {
                     "wrappers": [
-                        handle.to_payload() for handle in self._owned_handles()
+                        handle.to_payload()
+                        for handle in self._owned_handles()
+                        if principal in (None, WILDCARD_TENANT)
+                        or tenant_of(handle.site_key) == principal
                     ]
                 }
             )
         if path.startswith("/wrappers/"):
-            site_key = path[len("/wrappers/") :]
-            self._check_owned(site_key)
+            site_key = unquote(path[len("/wrappers/") :])
+            self._check_key(site_key, principal, ctx)
             if method == "GET":
                 return 200, await self._in_executor(
                     lambda: self.client.get(site_key).to_payload()
@@ -436,18 +686,40 @@ class WrapperHTTPServer:
                 return 200, {"deleted": site_key}
             raise _HTTPError(405, "use GET or DELETE on /wrappers/<site_key>")
         if path == "/induce" and method == "POST":
-            return await self._op_induce(self._json(body))
+            return await self._op_induce(self._json(body), principal, ctx)
         if path == "/extract" and method == "POST":
-            return await self._op_extract(self._json(body), check_only=False)
+            return await self._op_extract(
+                self._json(body), principal, ctx, check_only=False
+            )
         if path == "/check" and method == "POST":
-            return await self._op_extract(self._json(body), check_only=True)
+            return await self._op_extract(
+                self._json(body), principal, ctx, check_only=True
+            )
         if path == "/repair" and method == "POST":
-            return await self._op_repair(self._json(body))
+            return await self._op_repair(self._json(body), principal, ctx)
         if path == "/deploy" and method == "POST":
-            return await self._op_deploy(self._json(body))
+            return await self._op_deploy(self._json(body), principal, ctx)
         if path in ("/induce", "/extract", "/check", "/repair", "/deploy"):
             raise _HTTPError(405, f"use POST {path}")
         raise _HTTPError(404, f"no such endpoint: {method} {path}")
+
+    def _metrics_payload(self) -> dict:
+        stats = self.serving_stats
+        payload = {
+            "ok": True,
+            "epoch": self.epoch,
+            "queue_depth": (
+                self._serving.queue_depth if self._serving is not None else 0
+            ),
+            "serving": stats.as_dict(),
+            "coalescing_rate": (
+                stats.coalesced_requests / stats.requests if stats.requests else 0.0
+            ),
+            **self.metrics.as_payload(),
+        }
+        if self.client.tenant:
+            payload["tenant"] = self.client.tenant
+        return payload
 
     @staticmethod
     def _json(body: bytes) -> dict:
@@ -469,9 +741,9 @@ class WrapperHTTPServer:
     async def _in_executor(self, fn: Callable[[], dict]) -> dict:
         return await asyncio.get_running_loop().run_in_executor(None, fn)
 
-    async def _op_induce(self, payload: dict):
+    async def _op_induce(self, payload: dict, principal: Optional[str], ctx: dict):
         site_key = self._field(payload, "site_key")
-        self._check_owned(site_key)
+        self._check_key(site_key, principal, ctx)
         mode = str(payload.get("mode", "node"))
         raw_samples = payload.get("samples")
         if not isinstance(raw_samples, list) or not raw_samples:
@@ -494,9 +766,15 @@ class WrapperHTTPServer:
 
         return 200, await self._in_executor(op)
 
-    async def _op_extract(self, payload: dict, check_only: bool):
+    async def _op_extract(
+        self,
+        payload: dict,
+        principal: Optional[str],
+        ctx: dict,
+        check_only: bool,
+    ):
         site_key = self._field(payload, "site_key")
-        self._check_owned(site_key)
+        self._check_key(site_key, principal, ctx)
         html = self._field(payload, "html")
         # KeyError → 404; loaded off-loop (a cache miss reads + parses
         # + validates the artifact JSON from the store).
@@ -513,7 +791,8 @@ class WrapperHTTPServer:
             html=html,
             wrappers=tuple(extraction_wrappers(artifact)),
         )
-        records = await self._serving.extract(job)
+        records, coalesced = await self._serving.extract_info(job)
+        ctx["coalesced"] = coalesced
         if check_only:
             return 200, check_from_records(
                 artifact, records, self.client.drift
@@ -522,10 +801,17 @@ class WrapperHTTPServer:
             artifact, records, self.client.drift
         ).to_payload()
 
-    async def _op_deploy(self, payload: dict):
+    async def _op_deploy(self, payload: dict, principal: Optional[str], ctx: dict):
         raw = payload.get("artifact")
         if not isinstance(raw, dict):
             raise _HTTPError(400, "missing or invalid field 'artifact'")
+        # Auth/quota gates need the artifact's task_id, which is payload
+        # data — validate it cheaply before the full (executor-side)
+        # artifact parse so a forbidden or throttled deploy stays cheap.
+        task_id = raw.get("task_id")
+        if not isinstance(task_id, str) or not task_id:
+            raise _HTTPError(400, "missing or invalid field 'artifact'")
+        self._check_key(task_id, principal, ctx)
 
         def op() -> dict:
             from repro.runtime.artifact import WrapperArtifact
@@ -536,9 +822,9 @@ class WrapperHTTPServer:
 
         return 200, await self._in_executor(op)
 
-    async def _op_repair(self, payload: dict):
+    async def _op_repair(self, payload: dict, principal: Optional[str], ctx: dict):
         site_key = self._field(payload, "site_key")
-        self._check_owned(site_key)
+        self._check_key(site_key, principal, ctx)
         html = self._field(payload, "html")
         target_paths = payload.get("target_paths") or None
         if target_paths is not None and not isinstance(target_paths, list):

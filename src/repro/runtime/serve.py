@@ -148,10 +148,16 @@ class ServerStats:
 
 @dataclass
 class _Pending:
-    """One admitted request waiting for its records."""
+    """One admitted request waiting for its records.
+
+    ``coalesced`` is set by the dispatcher when this request shared a
+    page parse with another request in its batch — surfaced per
+    request (access logs) next to the aggregate counter in stats.
+    """
 
     job: PageJob
     future: "asyncio.Future[list[ExtractionRecord]]" = field(repr=False, default=None)
+    coalesced: bool = False
 
 
 class AsyncExtractionServer:
@@ -242,9 +248,21 @@ class AsyncExtractionServer:
 
     # -- request API --------------------------------------------------------
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the admission queue (0 when
+        the server is not running) — scraped by ``GET /metrics``."""
+        return self._queue.qsize() if self._queue is not None else 0
+
     async def extract(self, job: PageJob) -> list[ExtractionRecord]:
         """Serve one request; resolves to the records for *this* job's
         wrappers (in job order), however the page was batched."""
+        records, _ = await self.extract_info(job)
+        return records
+
+    async def extract_info(self, job: PageJob) -> tuple[list[ExtractionRecord], bool]:
+        """Like :meth:`extract`, also reporting whether this request
+        coalesced onto another request's page parse."""
         if self._queue is None or self._closed:
             raise RuntimeError("server is not running (use 'async with')")
         site = self.site_key(job)
@@ -270,7 +288,7 @@ class AsyncExtractionServer:
                 self.stats.peak_pending = max(
                     self.stats.peak_pending, self._queue.qsize()
                 )
-                return await pending.future
+                return await pending.future, pending.coalesced
             finally:
                 self._site_inflight[site] -= 1
 
@@ -313,6 +331,7 @@ class AsyncExtractionServer:
             merged = groups.setdefault(key, {})
             if merged:
                 self.stats.coalesced_requests += 1
+                pending.coalesced = True
             placement = []
             for wrapper in pending.job.wrappers:
                 if wrapper not in merged:

@@ -17,11 +17,16 @@ for the same inputs, single-host and routed alike — replication must
 be invisible in results.
 """
 
+import http.client
+import json
+
 import pytest
 
 from repro import (
+    AuthError,
     ClusterMap,
     FacadeError,
+    RateLimitError,
     RemoteWrapperClient,
     RouterClient,
     Sample,
@@ -36,13 +41,13 @@ from tests.serving_utils import spawn_listen as _spawn_server
 from tests.serving_utils import terminate as _terminate
 
 
-def _spawn_cluster(n_hosts=2, n_shards=8):
+def _spawn_cluster(n_hosts=2, n_shards=8, extra_args=()):
     """``n_hosts`` live hosts over disjoint shard groups + the map."""
     procs, hosts = [], []
     for index in range(n_hosts):
         own = ",".join(str(s) for s in range(n_shards) if s % n_hosts == index)
         proc, host, port = _spawn_server(
-            "--own-shards", own, "--shards", str(n_shards)
+            "--own-shards", own, "--shards", str(n_shards), *extra_args
         )
         procs.append(proc)
         hosts.append(f"{host}:{port}")
@@ -202,6 +207,168 @@ class TestFacadeContract:
         alien = parse_html(PRICE_V1).find(tag="span", class_="price")
         with pytest.raises(FacadeError):
             client.induce("parity/alien", [Sample(doc, [alien])])
+
+
+KEY_FILE = """\
+k-admin-aaaaaaaa *
+k-acme-bbbbbbbb acme
+k-open-dddddddd
+"""
+
+
+def _raw_status_and_body(host, port, method, path, key=None, payload=None):
+    """One raw exchange, returning (status, exact body bytes) — the
+    byte-identity assertions compare these across backends."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    headers = {}
+    if key:
+        headers["Authorization"] = f"Bearer {key}"
+    body = None
+    if payload is not None:
+        body = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    try:
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestAuthQuotaParity:
+    """Failure-path parity, mirroring the 413/421 contract tests: every
+    *networked* backend (single host, each member of a routed cluster)
+    enforces auth and quotas identically, down to the error bytes.
+    Local clients have no wire and stay keyless — a no-auth launch is
+    the backward-compatible default the last test pins down."""
+
+    def test_401_403_identical_across_backends(self, tmp_path):
+        keys = tmp_path / "keys.txt"
+        keys.write_text(KEY_FILE)
+        proc, host, port = _spawn_server("--auth-keys", str(keys))
+        procs, cluster_map = _spawn_cluster(
+            extra_args=("--auth-keys", str(keys))
+        )
+        try:
+            # Typed errors through the clients, single-host and routed.
+            remote = RemoteWrapperClient(host, port)  # no key
+            router_bad = RouterClient(cluster_map, api_key="k-wrong-ffffffff")
+            sample = price_sample()
+            for call in (
+                lambda c: c.get("parity/auth"),
+                lambda c: c.extract("parity/auth", PRICE_V1),
+                lambda c: c.check("parity/auth", PRICE_V1),
+                lambda c: c.delete("parity/auth"),
+                lambda c: c.induce("parity/auth", [sample]),
+                lambda c: c.repair("parity/auth", PRICE_V1),
+                lambda c: c.handles(),
+            ):
+                for client in (remote, router_bad):
+                    with pytest.raises(AuthError) as err:
+                        call(client)
+                    assert err.value.status == 401
+            # A valid key whose tenant does not own the namespace: 403.
+            acme = RemoteWrapperClient(host, port, api_key="k-acme-bbbbbbbb")
+            with pytest.raises(AuthError) as err:
+                acme.get("parity/auth")
+            assert err.value.status == 403
+            # A granted key serves normally, end to end, on both.
+            for client in (
+                RemoteWrapperClient(host, port, api_key="k-open-dddddddd"),
+                RouterClient(cluster_map, api_key="k-admin-aaaaaaaa"),
+            ):
+                client.induce("parity/auth-ok", [price_sample()])
+                assert client.extract("parity/auth-ok", PRICE_V1).values == ("10",)
+                client.delete("parity/auth-ok")
+                client.close()
+            remote.close()
+            router_bad.close()
+            acme.close()
+            # Byte-identical error bodies across all three server
+            # processes, for every failure class.
+            servers = [(host, port)] + [
+                tuple(address.rsplit(":", 1)) for address in cluster_map.hosts
+            ]
+            servers = [(h, int(p)) for h, p in servers]
+            for method, path, key, payload in (
+                ("GET", "/wrappers", None, None),
+                ("GET", "/wrappers/parity%2Fauth", "k-wrong-ffffffff", None),
+                ("GET", "/wrappers/parity%2Fauth", "k-acme-bbbbbbbb", None),
+                ("POST", "/extract", None,
+                 {"site_key": "parity/auth", "html": "<p/>"}),
+            ):
+                answers = {
+                    _raw_status_and_body(h, p, method, path, key, payload)
+                    for h, p in servers
+                }
+                assert len(answers) == 1, (method, path, key, answers)
+                status, _ = next(iter(answers))
+                assert status in (401, 403)
+        finally:
+            _terminate([proc] + procs)
+
+    def test_429_identical_and_retryable_across_backends(self, tmp_path):
+        quota = ("--rate-limit", "0.01", "--burst", "2")
+        proc, host, port = _spawn_server(*quota)
+        procs, cluster_map = _spawn_cluster(extra_args=quota)
+        try:
+            remote = RemoteWrapperClient(host, port)
+            # Burst of 2, then the bucket is dry (refill is ~never at
+            # 0.01/s): the third keyed request is a typed 429 carrying
+            # the server's Retry-After hint.
+            for _ in range(2):
+                with pytest.raises(KeyError):
+                    remote.get("parity/throttle")
+            with pytest.raises(RateLimitError) as err:
+                remote.get("parity/throttle")
+            assert err.value.retry_after_s > 0
+            # healthz never throttles (routers must keep probing).
+            assert remote.healthz()["ok"] is True
+            remote.close()
+            # The routed backend surfaces the same typed error once
+            # every live owner throttled the tenant.
+            router = RouterClient(cluster_map)
+            for _ in range(2):
+                with pytest.raises((KeyError, RateLimitError)):
+                    router.get("parity/throttle")
+            with pytest.raises(RateLimitError):
+                router.get("parity/throttle")
+            assert any(
+                event["event"] == "rate_limited" for event in router.telemetry
+            )
+            router.close()
+            # Byte-identical 429 bodies modulo the timing-variable
+            # retry_after field.
+            servers = [(host, port)] + [
+                tuple(address.rsplit(":", 1)) for address in cluster_map.hosts
+            ]
+            bodies = set()
+            for h, p in servers:
+                h, p = h, int(p)
+                status = 0
+                for _ in range(4):  # drain whatever budget is left
+                    status, raw = _raw_status_and_body(
+                        h, p, "GET", "/wrappers/parity%2Fthrottle"
+                    )
+                    if status == 429:
+                        break
+                assert status == 429, (h, p)
+                payload = json.loads(raw)
+                assert payload.pop("retry_after") > 0
+                bodies.add(json.dumps(payload, sort_keys=True))
+            assert len(bodies) == 1
+        finally:
+            _terminate([proc] + procs)
+
+    def test_no_auth_launch_stays_open(self):
+        proc, host, port = _spawn_server()
+        try:
+            client = RemoteWrapperClient(host, port)
+            client.induce("parity/open", [price_sample()])
+            assert client.extract("parity/open", PRICE_V1).values == ("10",)
+            client.close()
+        finally:
+            _terminate([proc])
 
 
 class TestLocalRemoteEquivalence:

@@ -280,6 +280,457 @@ class TestConcurrency:
         run(go())
 
 
+def get(path: str, headers: dict = None) -> bytes:
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
+    return f"GET {path} HTTP/1.1\r\n{extra}\r\n".encode()
+
+
+def post_with_headers(path: str, payload: dict, headers: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    extra = "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+    return (
+        f"POST {path} HTTP/1.1\r\nContent-Length: {len(body)}\r\n{extra}\r\n"
+    ).encode() + body
+
+
+class TestRawPathRouting:
+    """Regression: routing happens on the RAW path; only the
+    /wrappers/<key> remainder is percent-decoded.  Decoding the whole
+    path first let %2F grow extra segments and %-encoding alias fixed
+    endpoints."""
+
+    def test_encoded_key_on_every_wrappers_verb(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, get("/wrappers/shop%2Fname")
+                )
+                assert status == 200 and body["site_key"] == "shop/name"
+                status2, _, body2 = await raw_request(
+                    host, port, b"DELETE /wrappers/shop%2Fname HTTP/1.1\r\n\r\n"
+                )
+                assert status2 == 200 and body2["deleted"] == "shop/name"
+                status3, _, body3 = await raw_request(
+                    host, port, get("/wrappers/shop%2Fname")
+                )
+                assert status3 == 404 and body3["code"] == "unknown_wrapper"
+
+        run(go())
+
+    def test_encoded_slash_cannot_grow_path_segments(self):
+        """``/wrappers%2Fx`` is NOT ``/wrappers/x`` — it must miss every
+        route (previously it decoded early and was misrouted into a key
+        lookup)."""
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, get("/wrappers%2Fshop%2Fname")
+                )
+                assert status == 404 and body["code"] == "not_found"
+
+        run(go())
+
+    def test_encoded_endpoint_name_is_not_an_alias(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post("/%65xtract", {"site_key": "shop/name", "html": "<p/>"}),
+                )
+                assert status == 404 and body["code"] == "not_found"
+
+        run(go())
+
+    def test_encoded_question_mark_stays_in_the_key(self):
+        """``%3F`` in a key segment is key data, never a query split."""
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, get("/wrappers/a%3Fb")
+                )
+                assert status == 404 and body["code"] == "unknown_wrapper"
+                assert "a?b" in body["error"]
+
+        run(go())
+
+    def test_traversal_shaped_key_is_a_key_not_a_path(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host, port, get("/wrappers/a%2F..%2Fb")
+                )
+                assert status == 404 and body["code"] == "unknown_wrapper"
+                assert "a/../b" in body["error"]
+
+        run(go())
+
+
+class TestBodyFraming:
+    """The 411/400 satellite: bodies are framed by Content-Length only,
+    and a POST that cannot be framed gets a typed answer — not a
+    confusing JSON-parse 400 on an empty body."""
+
+    def test_post_without_content_length_is_411(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, headers, body = await raw_request(
+                    host, port, b"POST /extract HTTP/1.1\r\n\r\n"
+                )
+                assert status == 411 and body["code"] == "length_required"
+                assert "Content-Length" in body["error"]
+                assert headers["connection"] == "close"
+
+        run(go())
+
+    def test_chunked_transfer_encoding_is_411(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    b"POST /extract HTTP/1.1\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                    b"0\r\n\r\n",
+                )
+                assert status == 411 and body["code"] == "length_required"
+                assert "Transfer-Encoding" in body["error"]
+
+        run(go())
+
+    def test_negative_and_garbage_content_length_are_400(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    b"POST /extract HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+                )
+                assert status == 400 and "negative" in body["error"]
+                status2, _, body2 = await raw_request(
+                    host,
+                    port,
+                    b"POST /extract HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+                )
+                assert status2 == 400 and "invalid" in body2["error"]
+
+        run(go())
+
+    def test_bodyless_get_still_fine_without_content_length(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(host, port, get("/healthz"))
+                assert status == 200 and body["ok"] is True
+
+        run(go())
+
+
+class TestReasonPhrases:
+    def test_new_statuses_have_phrases(self):
+        from repro.runtime.net import _reason
+
+        assert _reason(401) == "Unauthorized"
+        assert _reason(403) == "Forbidden"
+        assert _reason(411) == "Length Required"
+        assert _reason(429) == "Too Many Requests"
+
+    def test_unlisted_status_falls_back_and_never_crashes(self):
+        from repro.runtime.net import _reason
+
+        assert _reason(418)  # stdlib-known, not in _REASONS
+        assert _reason(599) == "Unknown"
+        assert _reason(999) == "Unknown"
+
+    def test_status_line_carries_the_phrase_on_the_wire(self):
+        async def go():
+            async with WrapperHTTPServer(WrapperClient()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"POST /extract HTTP/1.1\r\n\r\n")
+                head = await reader.readuntil(b"\r\n\r\n")
+                writer.close()
+                assert head.split(b"\r\n")[0] == b"HTTP/1.1 411 Length Required"
+
+        run(go())
+
+
+def _keyed_config(**kwargs) -> NetConfig:
+    from repro.runtime.auth import ApiKeyTable
+
+    return NetConfig(
+        auth=ApiKeyTable.from_lines(
+            [
+                "k-admin-aaaaaaaa *",
+                "k-acme-bbbbbbbb acme",
+                "k-open-cccccccc",
+            ]
+        ),
+        **kwargs,
+    )
+
+
+class TestAuth:
+    def test_missing_key_is_401_before_any_routing(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                for request in (
+                    get("/wrappers"),
+                    get("/wrappers/shop%2Fname"),
+                    post("/extract", {"site_key": "shop/name", "html": "<p/>"}),
+                    post("/induce", {}),
+                    get("/nothing"),  # even unknown endpoints answer 401
+                ):
+                    status, headers, body = await raw_request(host, port, request)
+                    assert status == 401, body
+                    assert body["code"] == "unauthorized"
+                    assert headers["www-authenticate"] == "Bearer"
+
+        run(go())
+
+    def test_unknown_key_is_401(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    get("/wrappers", {"Authorization": "Bearer k-wrong-ffffffff"}),
+                )
+                assert status == 401 and body["code"] == "unauthorized"
+
+        run(go())
+
+    def test_wrong_tenant_key_is_403(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                # "shop/name" lives in the default namespace; acme's key
+                # must not reach it.
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    get(
+                        "/wrappers/shop%2Fname",
+                        {"Authorization": "Bearer k-acme-bbbbbbbb"},
+                    ),
+                )
+                assert status == 403 and body["code"] == "forbidden"
+
+        run(go())
+
+    def test_matching_and_admin_keys_pass(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                for key in ("k-open-cccccccc", "k-admin-aaaaaaaa"):
+                    status, _, body = await raw_request(
+                        host,
+                        port,
+                        get(
+                            "/wrappers/shop%2Fname",
+                            {"Authorization": f"Bearer {key}"},
+                        ),
+                    )
+                    assert status == 200 and body["site_key"] == "shop/name"
+
+        run(go())
+
+    def test_x_api_key_header_works_too(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    get("/wrappers", {"X-API-Key": "k-open-cccccccc"}),
+                )
+                assert status == 200 and len(body["wrappers"]) == 2
+
+        run(go())
+
+    def test_healthz_and_metrics_stay_open(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(host, port, get("/healthz"))
+                assert status == 200 and body["ok"] is True
+                status2, _, body2 = await raw_request(host, port, get("/metrics"))
+                assert status2 == 200 and body2["ok"] is True
+
+        run(go())
+
+    def test_no_auth_launch_is_backward_compatible(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                # Keyless requests pass; a stray key header is ignored.
+                status, _, _ = await raw_request(host, port, get("/wrappers"))
+                assert status == 200
+                status2, _, _ = await raw_request(
+                    host, port, get("/wrappers", {"Authorization": "Bearer whatever"})
+                )
+                assert status2 == 200
+
+        run(go())
+
+
+class TestQuotas:
+    def test_rate_limit_answers_429_with_retry_after(self):
+        from repro.runtime.auth import QuotaConfig
+
+        config = NetConfig(quota=QuotaConfig(rate=0.01, burst=2))
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), config) as server:
+                host, port = server.address
+                for _ in range(2):
+                    status, _, _ = await raw_request(host, port, get("/wrappers"))
+                    assert status == 200
+                status, headers, body = await raw_request(
+                    host, port, get("/wrappers")
+                )
+                assert status == 429 and body["code"] == "rate_limited"
+                assert body["retry_after"] > 0
+                assert int(headers["retry-after"]) >= 1
+                # /healthz and /metrics are never throttled.
+                status2, _, _ = await raw_request(host, port, get("/healthz"))
+                assert status2 == 200
+
+        run(go())
+
+    def test_quota_is_per_tenant_namespace(self):
+        from repro.runtime.auth import QuotaConfig
+
+        client = WrapperClient()
+        config = NetConfig(quota=QuotaConfig(rate=0.01, burst=1))
+
+        async def go():
+            async with WrapperHTTPServer(client, config) as server:
+                host, port = server.address
+                # Drain the default tenant's bucket...
+                status, _, _ = await raw_request(
+                    host, port, get("/wrappers/some%2Fkey")
+                )
+                assert status == 404
+                status2, _, body2 = await raw_request(
+                    host, port, get("/wrappers/some%2Fkey")
+                )
+                assert status2 == 429, body2
+                # ...while another tenant's bucket is untouched.
+                status3, _, _ = await raw_request(
+                    host, port, get("/wrappers/acme%3A%3Asome%2Fkey")
+                )
+                assert status3 == 404
+
+        run(go())
+
+
+class TestMetricsEndpoint:
+    def test_metrics_reports_counters_and_state(self):
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), _keyed_config()) as server:
+                host, port = server.address
+                await raw_request(
+                    host,
+                    port,
+                    post_with_headers(
+                        "/extract",
+                        {"site_key": "shop/name", "html": TITLE_PAGE},
+                        {"Authorization": "Bearer k-open-cccccccc"},
+                    ),
+                )
+                await raw_request(host, port, get("/wrappers"))  # 401
+                status, _, body = await raw_request(host, port, get("/metrics"))
+                assert status == 200
+                assert body["ok"] is True
+                assert body["queue_depth"] >= 0
+                assert body["serving"]["requests"] >= 1
+                assert 0.0 <= body["coalescing_rate"] <= 1.0
+                assert body["requests_total"] >= 2
+                assert body["by_status"]["200"] >= 1
+                assert body["auth"]["unauthorized_401"] >= 1
+                assert body["tenants"][""]["requests"] >= 2
+                assert body["tenant_state"]["cap"] >= 1
+
+        run(go())
+
+
+class TestAccessLogWire:
+    def test_one_jsonl_record_per_answered_request(self):
+        import io
+
+        from repro.runtime.auth import AccessLog
+
+        stream = io.StringIO()
+        config = NetConfig(access_log=AccessLog(stream=stream))
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), config) as server:
+                host, port = server.address
+                await raw_request(
+                    host,
+                    port,
+                    post("/extract", {"site_key": "shop/name", "html": TITLE_PAGE}),
+                )
+                await raw_request(host, port, get("/wrappers/no%2Fsuch"))
+                # aclose() closes the log stream; read it while live.
+                return stream.getvalue()
+
+        text = run(go())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 2
+        assert records[0]["verb"] == "POST /extract"
+        assert records[0]["status"] == 200
+        assert records[0]["latency_ms"] >= 0
+        assert records[0]["coalesced"] is False
+        assert records[1]["verb"] == "GET /wrappers/no%2Fsuch"
+        assert records[1]["status"] == 404
+
+    def test_coalesced_requests_are_flagged(self):
+        import io
+
+        from repro.runtime.auth import AccessLog
+
+        stream = io.StringIO()
+        client = deployed_client()
+        config = NetConfig(
+            serving=ServingConfig(workers=1),
+            access_log=AccessLog(stream=stream),
+        )
+
+        async def one(host, port, site_key):
+            return await raw_request(
+                host,
+                port,
+                post("/extract", {"site_key": site_key, "html": TITLE_PAGE}),
+            )
+
+        async def go():
+            async with WrapperHTTPServer(client, config) as server:
+                host, port = server.address
+                keys = ["shop/name", "shop/price"] * 6
+                await asyncio.gather(*(one(host, port, k) for k in keys))
+                return server.serving_stats, stream.getvalue()
+
+        stats, text = run(go())
+        records = [json.loads(line) for line in text.splitlines()]
+        flagged = sum(record["coalesced"] for record in records)
+        assert flagged == stats.coalesced_requests
+        assert flagged > 0
+
+
 class TestConfig:
     def test_invalid_net_config_rejected(self):
         with pytest.raises(ValueError):

@@ -113,12 +113,19 @@ class TestGate:
         assert result.returncode == 1
         assert "FAIL" in result.stdout
 
-    def test_new_metrics_in_current_are_not_gated(self, dirs):
+    def test_new_metrics_in_current_are_reported_not_gated(self, dirs):
+        """A bench growing a metric (e.g. BENCH_net's auth-overhead
+        ratio) must not invalidate the committed baseline: the new
+        ratio is reported as informational, never compared — even when
+        its value would fail any tolerance."""
         baseline, current = dirs
         payload = json.loads(json.dumps(BASELINE))
-        payload["speedup"]["brand_new"] = 1.0
+        payload["speedup"]["brand_new"] = 0.01
         write(current, "BENCH_demo.json", payload)
-        assert run_gate(baseline, current).returncode == 0
+        result = run_gate(baseline, current)
+        assert result.returncode == 0
+        assert "new  BENCH_demo.json:speedup.brand_new" in result.stdout
+        assert "not gated" in result.stdout
 
     def test_gate_applies_false_skips_comparison_either_side(self, tmp_path):
         """A bench that disarmed itself (``gate_applies: false`` — e.g.
