@@ -38,6 +38,18 @@ ratio is reported but not compared.  ``BENCH_runtime.json`` /
 ``BENCH_serving.json`` ratios divide two measurements from the same run
 and keep the tight default.
 
+``gate_applies`` comes in two shapes: a bare boolean covers the whole
+file (the original ``BENCH_cluster.json`` form), while a dict maps
+individual metric labels (``"throughput.cached_page_vs_cold"``) to
+booleans so one file can mix always-gated ratios with self-arming ones
+— metrics absent from the dict stay gated.
+
+When ``--summary`` names a file (default: ``$GITHUB_STEP_SUMMARY``
+when set), a markdown ratio table — headline, baseline, current,
+verdict, including ``skip`` and ``new`` lines — is appended there, so
+a bench regression is readable from the CI run page without
+downloading artifacts.
+
 Exit codes: 0 = all within tolerance, 1 = regression (or a baselined
 metric disappeared), 2 = setup problem (missing files/directories).
 """
@@ -46,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Iterator
@@ -79,6 +92,19 @@ def headline_ratios(payload: dict) -> dict[str, float]:
     return ratios
 
 
+def _gate(payload: dict, metric: str) -> bool:
+    """Whether ``payload`` arms the gate for ``metric``.
+
+    ``gate_applies`` may be a bare boolean (whole file) or a dict of
+    metric labels to booleans (per-metric self-arming); metrics the
+    dict does not mention stay gated.
+    """
+    flag = payload.get("gate_applies", True)
+    if isinstance(flag, dict):
+        return flag.get(metric, True) is not False
+    return flag is not False
+
+
 def iter_rows(
     baseline_dir: pathlib.Path, current_dir: pathlib.Path, names: list[str]
 ) -> Iterator[tuple[str, str, float | None, float | None, bool]]:
@@ -88,12 +114,12 @@ def iter_rows(
     bench growing a metric does not invalidate existing baselines).
 
     ``gated`` is False when either side recorded ``gate_applies:
-    false`` — a bench declaring its own ratio meaningless on that host
-    (e.g. ``BENCH_cluster.json`` on a single-CPU machine, where a
-    2-host parallelism ratio cannot materialize).  Such ratios are
-    reported but not compared: a single-CPU current run must not fail
-    against a multi-core baseline, and a single-CPU baseline must not
-    rubber-stamp a multi-core regression as a pass worth trusting.
+    false`` for the metric — a bench declaring the ratio meaningless on
+    that host (e.g. a cross-host parallelism or cache-race ratio on a
+    single-CPU machine).  Such ratios are reported but not compared: a
+    single-CPU current run must not fail against a multi-core baseline,
+    and a single-CPU baseline must not rubber-stamp a multi-core
+    regression as a pass worth trusting.
     """
     for name in names:
         base_payload = json.loads((baseline_dir / name).read_text())
@@ -103,14 +129,12 @@ def iter_rows(
             continue
         current_payload = json.loads(current_path.read_text())
         current = headline_ratios(current_payload)
-        gated = (
-            base_payload.get("gate_applies", True) is not False
-            and current_payload.get("gate_applies", True) is not False
-        )
         base = headline_ratios(base_payload)
         for metric, base_value in sorted(base.items()):
+            gated = _gate(base_payload, metric) and _gate(current_payload, metric)
             yield name, metric, base_value, current.get(metric), gated
         for metric in sorted(current.keys() - base.keys()):
+            gated = _gate(base_payload, metric) and _gate(current_payload, metric)
             yield name, metric, None, current[metric], gated
 
 
@@ -135,6 +159,17 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.20,
         help="max allowed fractional drop per ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--summary",
+        type=pathlib.Path,
+        default=(
+            pathlib.Path(os.environ["GITHUB_STEP_SUMMARY"])
+            if os.environ.get("GITHUB_STEP_SUMMARY")
+            else None
+        ),
+        help="append a markdown ratio table to this file "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
     )
     parser.add_argument(
         "names",
@@ -162,17 +197,25 @@ def main(argv: list[str] | None = None) -> int:
     width = max(
         (len(f"{name}:{metric}") for name, metric, _, _, _ in rows), default=20
     )
+    fmt = lambda value: "—" if value is None else f"{value:.2f}x"  # noqa: E731
+    table: list[tuple[str, str, str, str, str]] = []
     for name, metric, base_value, current_value, gated in rows:
         label = f"{name}:{metric}"
         tolerance = max(args.tolerance, FILE_TOLERANCES.get(name, 0.0))
         if current_value is None:
             print(f"FAIL {label:<{width}}  missing from current run")
             failures += 1
+            table.append(
+                (name, metric, fmt(base_value), "—", "FAIL (missing from current run)")
+            )
             continue
         if base_value is None:
             print(
                 f"new  {label:<{width}}  current {current_value:8.2f}x  "
                 f"[not in baseline — reported, not gated]"
+            )
+            table.append(
+                (name, metric, "—", fmt(current_value), "new (reported, not gated)")
             )
             continue
         ratio = current_value / base_value if base_value else float("inf")
@@ -181,19 +224,53 @@ def main(argv: list[str] | None = None) -> int:
             f"current {current_value:8.2f}x  ({ratio:6.1%} of baseline, "
             f"tolerance {tolerance:.0%})"
         )
+        detail = f"{ratio:.1%} of baseline, tolerance {tolerance:.0%}"
         if not gated:
             print(f"skip {line}  [gate_applies: false on this host]")
+            verdict = "skip (gate_applies: false)"
         elif ratio < 1.0 - tolerance:
             print(f"FAIL {line}")
             failures += 1
+            verdict = f"FAIL ({detail})"
         else:
             print(f"ok   {line}")
+            verdict = f"ok ({detail})"
+        table.append((name, metric, fmt(base_value), fmt(current_value), verdict))
+
+    if args.summary is not None:
+        write_summary(args.summary, table, failures)
 
     if failures:
         print(f"\n{failures} headline ratio(s) regressed past tolerance — see above")
         return 1
     print("\nall headline ratios within tolerance of baseline")
     return 0
+
+
+def write_summary(
+    path: pathlib.Path, table: list[tuple[str, str, str, str, str]], failures: int
+) -> None:
+    """Append the ratio table as GitHub-flavored markdown (the
+    ``$GITHUB_STEP_SUMMARY`` contract is append-only)."""
+    lines = [
+        "### Bench regression gate",
+        "",
+        "| file | headline | baseline | current | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines += [
+        f"| {name} | {metric} | {base} | {current} | {verdict} |"
+        for name, metric, base, current, verdict in table
+    ]
+    lines.append("")
+    lines.append(
+        f"**{failures} headline ratio(s) regressed past tolerance.**"
+        if failures
+        else "**All headline ratios within tolerance of baseline.**"
+    )
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":

@@ -279,7 +279,9 @@ class WrapperClient:
         """Serve one page: values + paths + the drift signals it showed."""
         artifact = self.artifact(site_key)
         doc = _as_doc(page)
-        records = extract_document(doc, extraction_wrappers(artifact))
+        records = extract_document(
+            doc, extraction_wrappers(artifact), plans=artifact.extraction_plans()
+        )
         rows: list[dict] = []
         if facade_mode(artifact) == "record":
             rows = record_rows(artifact, doc)
@@ -291,6 +293,7 @@ class WrapperClient:
         *,
         concurrency: int = 1,
         return_errors: bool = False,
+        wire: str = "pipeline",
     ) -> list:
         """Serve a batch of ``(site_key, page)`` pairs in item order.
 
@@ -302,8 +305,15 @@ class WrapperClient:
         expose the same method with the same semantics, fanned out over
         connections and hosts; ``concurrency`` is accepted for drop-in
         interchangeability with them (local extraction is synchronous —
-        in-process work is CPU-bound, so threads would add nothing).
+        in-process work is CPU-bound, so threads would add nothing);
+        ``wire`` likewise names the networked backends' transport modes
+        (``"pipeline"``/``"bulk"``/``"stream"``) and changes nothing
+        in process beyond being validated.
         """
+        if wire not in ("pipeline", "bulk", "stream"):
+            raise FacadeError(
+                f"wire must be 'pipeline', 'bulk', or 'stream' (got {wire!r})"
+            )
         del concurrency  # tuning knob of the networked backends
         results: list = [None] * len(items)
         docs: dict[str, Document] = {}
@@ -325,7 +335,9 @@ class WrapperClient:
         """Drift-check one page without materializing extraction values."""
         artifact = self.artifact(site_key)
         doc = _as_doc(page)
-        records = extract_document(doc, extraction_wrappers(artifact))
+        records = extract_document(
+            doc, extraction_wrappers(artifact), plans=artifact.extraction_plans()
+        )
         return check_from_records(artifact, records, self.drift)
 
     # -- repair -------------------------------------------------------------

@@ -139,6 +139,40 @@ class OwnershipError(FacadeError):
         self.epoch = int(epoch)
 
 
+def _error_for(status: int, answer: dict, retry_after_header=None) -> Exception:
+    """The typed exception for one error body.
+
+    Shared by ``_request`` (whole-response errors) and the bulk wire
+    modes (per-item slots carry the same ``error``/``code`` fields), so
+    a failed bulk item raises exactly what the single-item verb would.
+    """
+    message = str(answer.get("error", f"HTTP {status}"))
+    code = answer.get("code")
+    if code == "unknown_wrapper":
+        return KeyError(message)
+    if code in ("unauthorized", "forbidden"):
+        return AuthError(message, status=status)
+    if code == "rate_limited":
+        retry_after = answer.get("retry_after")
+        if retry_after is None:
+            retry_after = retry_after_header or 1.0
+        try:
+            retry_after = float(retry_after)
+        except (TypeError, ValueError):
+            retry_after = 1.0
+        return RateLimitError(message, retry_after_s=retry_after)
+    if code == "shard_not_owned":
+        return OwnershipError(
+            message,
+            site_key=str(answer.get("site_key", "")),
+            shard=int(answer.get("shard", -1)),
+            owned=answer.get("owned", ()),
+            n_shards=int(answer.get("n_shards", 0)),
+            epoch=int(answer.get("epoch", -1)),
+        )
+    return FacadeError(message)
+
+
 class RemoteWrapperClient:
     """The facade, served by a ``serve --listen`` process elsewhere.
 
@@ -300,32 +334,78 @@ class RemoteWrapperClient:
                 f"server returned non-JSON response (status {response.status}): {exc}"
             ) from exc
         if response.status >= 400:
-            message = str(answer.get("error", f"HTTP {response.status}"))
-            code = answer.get("code")
-            if code == "unknown_wrapper":
-                raise KeyError(message)
-            if code in ("unauthorized", "forbidden"):
-                raise AuthError(message, status=response.status)
-            if code == "rate_limited":
-                retry_after = answer.get("retry_after")
-                if retry_after is None:
-                    retry_after = response.getheader("Retry-After") or 1.0
-                try:
-                    retry_after = float(retry_after)
-                except (TypeError, ValueError):
-                    retry_after = 1.0
-                raise RateLimitError(message, retry_after_s=retry_after)
-            if code == "shard_not_owned":
-                raise OwnershipError(
-                    message,
-                    site_key=str(answer.get("site_key", "")),
-                    shard=int(answer.get("shard", -1)),
-                    owned=answer.get("owned", ()),
-                    n_shards=int(answer.get("n_shards", 0)),
-                    epoch=int(answer.get("epoch", -1)),
-                )
-            raise FacadeError(message)
+            raise _error_for(
+                response.status, answer, response.getheader("Retry-After")
+            )
         return answer
+
+    def _request_stream(self, path: str, payload: dict) -> list:
+        """POST expecting length-prefixed NDJSON frames; the slot list.
+
+        Sends ``Accept: application/x-ndjson`` and parses the streamed
+        answer frame by frame (``<decimal length>\\n<slot JSON>\\n`` per
+        slot, ``0\\n`` terminator).  A server that answers plain JSON
+        anyway (one predating the streaming mode) degrades gracefully:
+        its ``results`` list is returned unchanged.  The server closes
+        the connection after a stream, so this client's keep-alive
+        socket is dropped too.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Accept": "application/x-ndjson",
+        }
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        try:
+            conn = self._connection()
+            try:
+                conn.request("POST", path, body=body, headers=headers)
+                response = conn.getresponse()
+                if "x-ndjson" not in (response.getheader("Content-Type") or ""):
+                    data = response.read()
+                    try:
+                        answer = json.loads(data.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise FacadeError(
+                            "server returned non-JSON response "
+                            f"(status {response.status}): {exc}"
+                        ) from exc
+                    if response.status >= 400:
+                        raise _error_for(
+                            response.status, answer,
+                            response.getheader("Retry-After"),
+                        )
+                    return list(answer.get("results", ()))
+                slots: list = []
+                while True:
+                    prefix = response.readline()
+                    if not prefix:
+                        raise FacadeError(
+                            "bulk stream ended without its terminator frame"
+                        )
+                    try:
+                        length = int(prefix.strip())
+                    except ValueError:
+                        raise FacadeError(
+                            f"malformed bulk stream frame prefix {prefix!r}"
+                        ) from None
+                    if length == 0:
+                        return slots
+                    frame = response.read(length)
+                    if len(frame) != length:
+                        raise FacadeError("truncated bulk stream frame")
+                    try:
+                        slots.append(json.loads(frame.decode("utf-8")))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise FacadeError(
+                            f"bulk stream frame is not valid JSON: {exc}"
+                        ) from exc
+            finally:
+                self.close()
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            self.close()
+            raise self._transport_error("POST", path, exc) from exc
 
     def _qualify(self, site_key: str) -> str:
         # Same surface as the local client: a cross-tenant or malformed
@@ -401,22 +481,42 @@ class RemoteWrapperClient:
         *,
         concurrency: int = 4,
         return_errors: bool = False,
+        wire: str = "pipeline",
     ) -> list:
-        """Batch extraction pipelined through per-thread connections.
+        """Batch extraction; results come back in item order.
 
-        ``items`` is a sequence of ``(site_key, page)`` pairs; results
-        come back in item order.  With ``return_errors`` each failed
-        item yields its exception in place (other items keep their
-        results); without it the first failure raises after the batch
-        drains.
+        ``items`` is a sequence of ``(site_key, page)`` pairs.  With
+        ``return_errors`` each failed item yields its exception in
+        place (other items keep their results); without it the first
+        failure raises after the batch drains.
 
-        A 429 does not fail the item: the worker honors the server's
-        ``Retry-After`` hint (capped) and requeues the extraction up to
-        :data:`_RATE_LIMIT_RETRIES` times before the
-        :class:`RateLimitError` surfaces like any other failure.
+        ``wire`` picks the transport:
+
+        * ``"pipeline"`` (default) — one ``POST /extract`` per item
+          through a small pool of per-thread connections.  Byte-for-byte
+          the pre-bulk behavior; the only mode where a 429 is retried
+          (the worker honors ``Retry-After``, capped, up to
+          :data:`_RATE_LIMIT_RETRIES` times before the
+          :class:`RateLimitError` surfaces).
+        * ``"bulk"`` — the whole batch in one ``POST /extract_many``
+          JSON request; per-item failures come back as slots carrying
+          the same ``error``/``code`` fields, raised as the same typed
+          exceptions.
+        * ``"stream"`` — one ``POST /extract_many`` negotiated to the
+          length-prefixed NDJSON answer (``Accept:
+          application/x-ndjson``); slots arrive as the server finishes
+          each item instead of after the whole batch serializes.
         """
         if concurrency < 1:
             raise FacadeError("extract_many concurrency must be >= 1")
+        if wire not in ("pipeline", "bulk", "stream"):
+            raise FacadeError(
+                f"wire must be 'pipeline', 'bulk', or 'stream' (got {wire!r})"
+            )
+        if wire != "pipeline":
+            return self._extract_many_bulk(
+                list(items), return_errors, stream=(wire == "stream")
+            )
         results: list = [None] * len(items)
         if not items:
             return results
@@ -461,6 +561,60 @@ class RemoteWrapperClient:
                 if isinstance(result, BaseException):
                     raise result
         return results
+
+    def _extract_many_bulk(
+        self, items: list, return_errors: bool, stream: bool
+    ) -> list:
+        """The single-request wire modes behind :meth:`extract_many`."""
+        results: list = [None] * len(items)
+        wire_items: list[dict] = []
+        indexes: list[int] = []
+        for index, (site_key, page) in enumerate(items):
+            try:
+                wire_items.append(
+                    {"site_key": self._qualify(site_key), "html": _as_html(page)}
+                )
+                indexes.append(index)
+            except FacadeError as exc:
+                # Keys this client could never address fail client-side,
+                # exactly as the pipelined mode's per-item extract does.
+                results[index] = exc
+        if wire_items:
+            if stream:
+                slots = self._request_stream("/extract_many", {"items": wire_items})
+            else:
+                answer = self._request(
+                    "POST", "/extract_many", {"items": wire_items}
+                )
+                slots = list(answer.get("results", ()))
+            if len(slots) != len(wire_items):
+                raise FacadeError(
+                    f"server answered {len(slots)} slot(s) for "
+                    f"{len(wire_items)} item(s)"
+                )
+            for index, slot in zip(indexes, slots):
+                results[index] = self._slot_result(slot)
+        if not return_errors:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
+    @staticmethod
+    def _slot_result(slot):
+        """One bulk slot → the same value per-item ``extract`` yields."""
+        if not isinstance(slot, dict):
+            return FacadeError(f"malformed bulk result slot: {slot!r}")
+        status = int(slot.get("status", 500))
+        if status >= 400:
+            return _error_for(status, slot)
+        result = slot.get("result")
+        if not isinstance(result, dict):
+            return FacadeError("bulk result slot is missing its 'result'")
+        try:
+            return ExtractionResult.from_payload(result)
+        except Exception as exc:  # noqa: BLE001 - reported per item
+            return exc
 
     def check(self, site_key: str, page: Page) -> CheckResult:
         answer = self._request(

@@ -667,6 +667,7 @@ class RouterClient:
         *,
         concurrency: int = 4,
         return_errors: bool = False,
+        wire: str = "pipeline",
     ) -> list:
         """Batch extraction: concurrent across hosts, pipelined per host.
 
@@ -674,6 +675,11 @@ class RouterClient:
         every host's slice runs through that host's
         :meth:`RemoteWrapperClient.extract_many` pipeline (depth
         ``concurrency``) while the other hosts' slices run in parallel.
+        ``wire`` is handed through to each host's client unchanged —
+        ``"bulk"``/``"stream"`` send one ``/extract_many`` request per
+        host instead of one ``/extract`` per item (streamed slots with
+        ``"stream"``); failover and per-item error semantics are
+        identical in every mode.
         An item whose host fails mid-batch is re-queued against its
         next replica in the following round (with jittered backoff), so
         a host dying under a batch costs a retry — not the batch.
@@ -685,6 +691,10 @@ class RouterClient:
         """
         if concurrency < 1:
             raise FacadeError("extract_many concurrency must be >= 1")
+        if wire not in ("pipeline", "bulk", "stream"):
+            raise FacadeError(
+                f"wire must be 'pipeline', 'bulk', or 'stream' (got {wire!r})"
+            )
         results: list = [None] * len(items)
         qualified: dict[int, str] = {}
         pending: list[int] = []
@@ -708,7 +718,10 @@ class RouterClient:
             slice_items = [items[i] for i in indexes]
             try:
                 return self.client_for_host(host).extract_many(
-                    slice_items, concurrency=concurrency, return_errors=True
+                    slice_items,
+                    concurrency=concurrency,
+                    return_errors=True,
+                    wire=wire,
                 )
             except Exception as exc:  # noqa: BLE001 - host-wide failure
                 return [exc] * len(indexes)

@@ -70,6 +70,8 @@ from repro.runtime.fleet import (
 )
 from repro.runtime.serve import (
     AsyncExtractionServer,
+    ParseCache,
+    ParseCacheInfo,
     RequestError,
     ServerStats,
     ServingConfig,
@@ -128,6 +130,8 @@ __all__ = [
     "MigrationMove",
     "MigrationPlan",
     "PageJob",
+    "ParseCache",
+    "ParseCacheInfo",
     "RankedQuery",
     "RequestError",
     "ServerStats",

@@ -351,6 +351,27 @@ class WrapperArtifact:
             object.__setattr__(self, "_ensemble_wrapper", wrapper)
             return wrapper
 
+    def extraction_plans(self) -> dict:
+        """Compiled query plans for every deployed wrapper text, memoized.
+
+        Maps the best query's text and each ensemble member's text to its
+        :class:`~repro.xpath.compile.CompiledQuery`.  Compiled eagerly at
+        load time (:meth:`from_payload`) so the serving inner loop pays a
+        dict lookup per call instead of a parse + global-cache probe;
+        plans are document independent, so one mapping serves every page.
+        """
+        try:
+            return self._extraction_plans
+        except AttributeError:
+            from repro.xpath.compile import compile_text
+
+            plans = {
+                text: compile_text(text)
+                for text in (self.best.text, *self.ensemble)
+            }
+            object.__setattr__(self, "_extraction_plans", plans)
+            return plans
+
     def restore_samples(self) -> list[QuerySample]:
         """Rebuild the annotated samples this wrapper was induced from."""
         return [sample.restore() for sample in self.samples]
@@ -410,10 +431,13 @@ class WrapperArtifact:
             raise
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(f"malformed artifact payload: {exc}") from exc
-        # Every query must parse — catch corruption at load time.
+        # Every query must parse — catch corruption at load time — and
+        # the deployed wrappers compile to plans here, so serving never
+        # pays parse/compile cost inside a request.
         for ranked in artifact.queries:
             ranked.parse()
         artifact.ensemble_wrapper()
+        artifact.extraction_plans()
         return artifact
 
     def dumps(self, indent: int | None = 2) -> str:

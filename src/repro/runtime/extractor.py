@@ -10,8 +10,10 @@ that loop re-pays the dominant cost per *pair*.
 :class:`BatchExtractor` groups the pairs by page: one parse + one
 document index + one :class:`~repro.xpath.cache.CachedEvaluator` per
 page, all queries evaluated against it through the globally memoized
-compiled-plan cache (:func:`repro.xpath.compile.compile_query`, shared
-across pages since plans are document independent).  With ``workers >
+text-plan cache (:func:`repro.xpath.compile.compile_text`, shared
+across pages since plans are document independent) — or through plans
+an artifact pre-compiled at load time (``plans=`` on
+:func:`extract_document`).  With ``workers >
 1`` page groups fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`;
 jobs and records are plain picklable values (HTML text in, canonical
 paths + normalized text out), so nothing heavier than strings crosses
@@ -25,13 +27,13 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.dom.node import AttributeNode, Document, Node
 from repro.dom.parser import parse_html
 from repro.xpath.canonical import canonical_path
 from repro.xpath.cache import CachedEvaluator
-from repro.xpath.parser import parse_query
+from repro.xpath.compile import CompiledQuery, compile_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.artifact import WrapperArtifact
@@ -82,13 +84,24 @@ def _node_reference(doc: Document, node: Node) -> tuple[str, str]:
 
 
 def extract_document(
-    doc: Document, wrappers: Sequence[tuple[str, str]], page_id: str = ""
+    doc: Document,
+    wrappers: Sequence[tuple[str, str]],
+    page_id: str = "",
+    plans: Mapping[str, CompiledQuery] | None = None,
 ) -> list[ExtractionRecord]:
-    """Evaluate several wrappers against one already-parsed document."""
+    """Evaluate several wrappers against one already-parsed document.
+
+    ``plans`` optionally maps wrapper text to pre-compiled plans (see
+    :meth:`~repro.runtime.artifact.WrapperArtifact.extraction_plans`);
+    texts not covered fall back to the global text-plan memo.
+    """
     evaluator = CachedEvaluator(doc)
     records: list[ExtractionRecord] = []
     for wrapper_id, text in wrappers:
-        matches = evaluator.evaluate(parse_query(text), doc.root)
+        plan = plans.get(text) if plans is not None else None
+        if plan is None:
+            plan = compile_text(text)
+        matches = evaluator.evaluate_plan(plan, doc.root)
         references = [_node_reference(doc, node) for node in matches]
         records.append(
             ExtractionRecord(

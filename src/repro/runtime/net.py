@@ -9,20 +9,39 @@ serialization, which is what lets
 :class:`~repro.api.remote.RemoteWrapperClient` be a drop-in replacement
 for :class:`~repro.api.client.WrapperClient`.
 
-============  ======  ==========================================  =========
-endpoint      method  body                                        returns
-============  ======  ==========================================  =========
-/healthz      GET     —                                           liveness + serving stats
-/metrics      GET     —                                           traffic counters (see below)
-/wrappers     GET     —                                           deployed handle list
-/wrappers/K   GET     —                                           one handle (404 unknown)
-/wrappers/K   DELETE  —                                           ``{"deleted": K}``
-/induce       POST    site_key, mode, samples[], options          handle
-/extract      POST    site_key, html                              extraction result
-/check        POST    site_key, html                              check result
-/repair       POST    site_key, html, target_paths?               handle
-/deploy       POST    artifact (WrapperArtifact payload)          handle
-============  ======  ==========================================  =========
+=============  ======  ==========================================  =========
+endpoint       method  body                                        returns
+=============  ======  ==========================================  =========
+/healthz       GET     —                                           liveness + serving stats
+/metrics       GET     —                                           traffic counters (see below)
+/wrappers      GET     —                                           deployed handle list
+/wrappers/K    GET     —                                           one handle (404 unknown)
+/wrappers/K    DELETE  —                                           ``{"deleted": K}``
+/induce        POST    site_key, mode, samples[], options          handle
+/extract       POST    site_key, html                              extraction result
+/check         POST    site_key, html                              check result
+/extract_many  POST    items[] of {site_key, html}                 per-item result slots
+/repair        POST    site_key, html, target_paths?               handle
+/deploy        POST    artifact (WrapperArtifact payload)          handle
+=============  ======  ==========================================  =========
+
+``/extract_many`` answers in one of two wire modes, negotiated via the
+request's ``Accept`` header.  The default (any ``Accept``) is a single
+JSON object ``{"results": [slot, ...]}`` in item order, where each slot
+is ``{"status": 200, "result": <extraction payload>}`` on success or
+``{"status": S, "error": ..., "code": ...}`` on a per-item failure —
+the inner payloads are byte-identical to ``/extract`` responses, which
+keeps every remote/router backend parity-exact.  With ``Accept:
+application/x-ndjson`` the response streams length-prefixed NDJSON
+frames instead (``Content-Type: application/x-ndjson``, ``Connection:
+close``, no ``Content-Length``): each slot is one frame of the form
+``<decimal byte length>\\n<slot JSON><newline>`` where the declared
+length covers the JSON line *including* its trailing newline, and the
+stream ends with a lone ``0\\n`` terminator.  Slots stream in item order
+as they complete, so a bulk caller starts consuming results before the
+last page is extracted.  Per-item gates (403/404/421/422/429) fail the
+*slot*, never the batch; only authentication (401) rejects the whole
+request.
 
 Traffic hardening (ROADMAP's "safe to point the internet at", all
 **off by default** — a no-auth launch behaves exactly as before):
@@ -44,9 +63,10 @@ Traffic hardening (ROADMAP's "safe to point the internet at", all
 * **structured access logs** (``NetConfig.access_log``): one JSONL
   object per answered request — tenant, verb, status, latency,
   coalesced flag;
-* **GET /metrics**: admission-queue depth, coalescing rate, per-status
-  and per-tenant request/error/429 counters, 421 rejection count —
-  the scrape surface for ``RouterClient.metrics()`` and nightly CI.
+* **GET /metrics**: admission-queue depth, coalescing rate, parse-cache
+  hit/miss/eviction/byte counters, per-status and per-tenant
+  request/error/429 counters, 421 rejection count — the scrape surface
+  for ``RouterClient.metrics()`` and nightly CI.
 
 Request routing by cost:
 
@@ -76,7 +96,7 @@ import http.client
 import json
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Awaitable, Callable, Optional
 from urllib.parse import unquote
 
@@ -206,6 +226,17 @@ class _HTTPError(Exception):
 
     def payload(self) -> dict:
         return {"error": self.message, "code": self.code, **self.extra}
+
+
+class _NDJSONStream:
+    """Internal: a streamed ``/extract_many`` answer.
+
+    Wraps the ordered per-item tasks; the connection handler writes one
+    length-prefixed frame per completed slot instead of a JSON body.
+    """
+
+    def __init__(self, tasks: list) -> None:
+        self.tasks = tasks
 
 
 class WrapperHTTPServer:
@@ -521,6 +552,12 @@ class WrapperHTTPServer:
                     if self._inflight is not None and "inflight" in ctx:
                         self._inflight.leave(ctx["inflight"])
                 self._observe(ctx, status, started)
+                if isinstance(payload, _NDJSONStream):
+                    # Streamed bulk answer: frames instead of a body, and
+                    # the connection closes (there is no Content-Length
+                    # for the peer to resynchronize on).
+                    await self._write_stream(writer, status, payload)
+                    break
                 await self._write_response(
                     writer, status, payload, close, headers=extra_headers
                 )
@@ -622,6 +659,37 @@ class WrapperHTTPServer:
         writer.write(head + body)
         await writer.drain()
 
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, status: int, stream: _NDJSONStream
+    ) -> None:
+        """Write a streamed bulk answer: length-prefixed NDJSON frames.
+
+        Each frame is ``<decimal byte length>\\n<slot JSON>\\n`` (the
+        length covers the JSON line including its newline); a lone
+        ``0\\n`` terminates the stream.  Slots are awaited in item order,
+        so frames hit the wire as soon as their item completes without
+        reordering.  A peer that vanishes mid-stream cancels the
+        remaining items.
+        """
+        head = (
+            f"HTTP/1.1 {status} {_reason(status)}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        try:
+            for task in stream.tasks:
+                slot = await task
+                line = (json.dumps(slot) + "\n").encode("utf-8")
+                writer.write(b"%d\n" % len(line) + line)
+                await writer.drain()
+            writer.write(b"0\n")
+            await writer.drain()
+        finally:
+            for task in stream.tasks:
+                task.cancel()
+
     # -- dispatch -----------------------------------------------------------
 
     async def _dispatch(
@@ -695,11 +763,18 @@ class WrapperHTTPServer:
             return await self._op_extract(
                 self._json(body), principal, ctx, check_only=True
             )
+        if path == "/extract_many" and method == "POST":
+            return await self._op_extract_many(
+                self._json(body), principal, ctx,
+                stream="application/x-ndjson" in headers.get("accept", ""),
+            )
         if path == "/repair" and method == "POST":
             return await self._op_repair(self._json(body), principal, ctx)
         if path == "/deploy" and method == "POST":
             return await self._op_deploy(self._json(body), principal, ctx)
-        if path in ("/induce", "/extract", "/check", "/repair", "/deploy"):
+        if path in (
+            "/induce", "/extract", "/check", "/extract_many", "/repair", "/deploy"
+        ):
             raise _HTTPError(405, f"use POST {path}")
         raise _HTTPError(404, f"no such endpoint: {method} {path}")
 
@@ -714,6 +789,11 @@ class WrapperHTTPServer:
             "serving": stats.as_dict(),
             "coalescing_rate": (
                 stats.coalesced_requests / stats.requests if stats.requests else 0.0
+            ),
+            "parse_cache": (
+                asdict(self._serving.parse_cache_info())
+                if self._serving is not None
+                else {}
             ),
             **self.metrics.as_payload(),
         }
@@ -800,6 +880,70 @@ class WrapperHTTPServer:
         return 200, result_from_records(
             artifact, records, self.client.drift
         ).to_payload()
+
+    async def _op_extract_many(
+        self,
+        payload: dict,
+        principal: Optional[str],
+        ctx: dict,
+        stream: bool,
+    ):
+        """Bulk extraction: one request, per-item result slots.
+
+        Items run concurrently (identical pages coalesce onto one parse
+        in the serving layer, and repeated pages hit the parse cache),
+        but slots always come back in item order.  Every per-item gate —
+        authorization, quota, ownership, unknown wrapper, malformed
+        item — fails only its slot, with the same ``error``/``code``
+        body fields the single-item endpoints use, so remote clients
+        can raise identical typed errors per item.
+        """
+        items = payload.get("items")
+        if not isinstance(items, list):
+            raise _HTTPError(400, "missing or invalid field 'items'")
+
+        async def one(item) -> dict:
+            # Per-item ctx: _admit marks the in-flight slot on the dict,
+            # and each item must enter/leave the gauge independently.
+            sub: dict = {}
+            try:
+                try:
+                    if not isinstance(item, dict):
+                        raise _HTTPError(400, "each item must be a JSON object")
+                    status, result = await self._op_extract(
+                        item, principal, sub, check_only=False
+                    )
+                    slot = {"status": status, "result": result}
+                except _HTTPError as exc:
+                    slot = {"status": exc.status, **exc.payload()}
+                except (
+                    FacadeError, ArtifactError, RequestError, StoreError
+                ) as exc:
+                    slot = {
+                        "status": 422, "error": str(exc), "code": "unprocessable"
+                    }
+                except KeyError as exc:
+                    key = exc.args[0] if exc.args else ""
+                    slot = {
+                        "status": 404,
+                        "error": f"unknown site_key {key!r}",
+                        "code": "unknown_wrapper",
+                    }
+                except Exception as exc:  # noqa: BLE001 - slot-level isolation
+                    slot = {"status": 500, "error": str(exc), "code": "internal"}
+            finally:
+                if self._inflight is not None and "inflight" in sub:
+                    self._inflight.leave(sub["inflight"])
+            if sub.get("tenant") and "tenant" not in ctx:
+                ctx["tenant"] = sub["tenant"]
+            if sub.get("coalesced"):
+                ctx["coalesced"] = True
+            return slot
+
+        tasks = [asyncio.ensure_future(one(item)) for item in items]
+        if stream:
+            return 200, _NDJSONStream(tasks)
+        return 200, {"results": list(await asyncio.gather(*tasks))}
 
     async def _op_deploy(self, payload: dict, principal: Optional[str], ctx: dict):
         raw = payload.get("artifact")

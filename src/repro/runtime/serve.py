@@ -22,6 +22,13 @@ request/response front-end:
   ``page_id`` + identical HTML) share one parse + one document index:
   their wrapper lists are merged (deduplicated by wrapper id + query
   text) and the records are demultiplexed back to each caller;
+* **parse caching** — coalescing only dedups *within* one batch
+  window; a :class:`ParseCache` (content-hash-keyed, byte-budget
+  LRU) carries parsed documents *across* requests and batches, so the
+  production-common case — a repeated page hitting a warm server —
+  skips parsing entirely.  Thread mode only; see the class docstring
+  for the invalidation contract and :func:`_serve_chunk` for why
+  process pools run uncached;
 * **execution** — merged page groups run through :func:`_serve_chunk`
   (the batch engine's per-page loop with per-wrapper failure isolation:
   a malformed query fails only the requests that sent it, as a
@@ -39,12 +46,16 @@ must clear ≥ 1.5× the throughput of serial per-request
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import threading
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.runtime.extractor import ExtractionRecord, PageJob, extract_document
+from repro.dom.node import Document
 from repro.dom.parser import parse_html
+from repro.runtime.extractor import ExtractionRecord, PageJob, extract_document
 
 
 class RequestError(RuntimeError):
@@ -55,19 +66,142 @@ class RequestError(RuntimeError):
     """
 
 
-def _serve_chunk(payload: list) -> list:
+@dataclass(frozen=True)
+class ParseCacheInfo:
+    """Counters for a :class:`ParseCache` (surfaced via ``/metrics``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes: int
+    capacity_bytes: int
+
+
+class ParseCache:
+    """Content-hash-keyed LRU of parsed documents, byte-budget bounded.
+
+    Keys are SHA-1 of the page's HTML bytes — *content identity*, not
+    page id — so a mutated page (a re-render, a drifted template) can
+    never be served a stale document: different bytes simply miss.
+    The budget counts the HTML byte size of the cached pages (the
+    portable proxy for the parsed tree's footprint); inserting past it
+    evicts least-recently-used entries, and a single page larger than
+    the whole budget is served uncached.
+
+    Invalidation contract (extends the ``DocumentIndex`` memo contract
+    in docs/PERFORMANCE.md): document-owned memos — the index itself,
+    its ``filter_cache`` of per-(document, step) filtered lists — stay
+    owned by the document and now live exactly as long as its cache
+    entry, bounded by ``capacity_bytes``; nothing is pinned in
+    module-global state keyed by document.  Artifact redeploys need no
+    invalidation: the cache holds *pages*, never extraction results —
+    every request evaluates its wrappers against the (possibly cached)
+    document afresh.  Serving never mutates cached documents (the
+    volatile ``meta`` re-marking happens only in induction-side sample
+    restore, which parses its own copy), so ``Document.invalidate()``
+    never needs to be called on a cache resident.
+
+    Thread-safe: the serving worker thread and ``/metrics`` scrapes on
+    the event loop may touch it concurrently.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[bytes, tuple[Document, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(html: str) -> tuple[bytes, int]:
+        raw = html.encode("utf-8", "surrogatepass")
+        return hashlib.sha1(raw).digest(), len(raw)
+
+    def get(self, html: str) -> Optional[Document]:
+        key, _ = self._key(html)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, html: str, doc: Document) -> int:
+        """Insert a parsed page; returns how many entries were evicted."""
+        key, size = self._key(html)
+        if size > self.capacity_bytes:
+            return 0
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                return 0
+            self._entries[key] = (doc, size)
+            self._bytes += size
+            while self._bytes > self.capacity_bytes:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self.evictions += 1
+                evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def info(self) -> ParseCacheInfo:
+        with self._lock:
+            return ParseCacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                capacity_bytes=self.capacity_bytes,
+            )
+
+
+def _serve_chunk(payload: list, cache: Optional[ParseCache] = None) -> tuple[list, dict]:
     """Worker: like ``extractor._extract_chunk`` but with per-wrapper
     failure isolation — a malformed query must fail only the requests
     that sent it, so each result slot is ``("ok", row)`` or
-    ``("err", message)`` (strings, so process pools pickle cleanly)."""
+    ``("err", message)`` (strings, so process pools pickle cleanly).
+
+    ``cache`` is the server-owned :class:`ParseCache` in thread mode;
+    process-pool workers run uncached (``cache=None``): documents
+    cannot ride the pickle boundary, and a per-worker cache measurably
+    *slows* the pool — a retained 16 MiB of cyclic document graphs
+    makes every gen-2 GC pass in the worker expensive, the same
+    degradation the stamp-keyed engine memos hit before they were
+    moved onto ``DocumentIndex``.  The second return value reports
+    parse accounting for this chunk — ``parsed`` (parses performed),
+    ``cache_hits`` (parses the cache absorbed), ``cache_evictions``.
+    """
     out: list[list] = []
+    stats = {"parsed": 0, "cache_hits": 0, "cache_evictions": 0}
     for page_id, html, wrappers in payload:
+        doc = cache.get(html) if cache is not None else None
+        if doc is None:
+            try:
+                doc = parse_html(html)
+            except Exception as exc:
+                out.append(
+                    [("err", f"page {page_id!r} failed to parse: {exc}")] * len(wrappers)
+                )
+                continue
+            stats["parsed"] += 1
+            if cache is not None:
+                stats["cache_evictions"] += cache.put(html, doc)
+        else:
+            stats["cache_hits"] += 1
         rows: list = []
-        try:
-            doc = parse_html(html)
-        except Exception as exc:
-            out.append([("err", f"page {page_id!r} failed to parse: {exc}")] * len(wrappers))
-            continue
         for wrapper_id, text in wrappers:
             try:
                 (record,) = extract_document(doc, [(wrapper_id, text)], page_id)
@@ -77,7 +211,7 @@ def _serve_chunk(payload: list) -> list:
             except Exception as exc:
                 rows.append(("err", f"wrapper {wrapper_id!r}: {exc}"))
         out.append(rows)
-    return out
+    return out, stats
 
 
 def _chunk_payload(payload: list, n: int) -> list[list]:
@@ -112,13 +246,19 @@ class ServingConfig:
     admission queue — when full, ``extract()`` awaits instead of
     buffering without limit.  ``per_site_limit`` caps in-flight requests
     per site key.  ``max_batch_pages`` caps how many queued requests one
-    dispatch drains into a single batch.
+    dispatch drains into a single batch.  ``parse_cache_bytes`` is the
+    byte budget of the cross-request :class:`ParseCache` (0 disables
+    it); the cache is a thread-mode (``workers=1``, the default)
+    feature — process pools run uncached, because a per-worker cache
+    of cyclic document graphs degrades worker GC more than the saved
+    parses are worth (see :func:`_serve_chunk`).
     """
 
     workers: int = 1
     max_pending: int = 64
     per_site_limit: int = 8
     max_batch_pages: int = 16
+    parse_cache_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -129,15 +269,29 @@ class ServingConfig:
             raise ValueError("per_site_limit must be >= 1")
         if self.max_batch_pages < 1:
             raise ValueError("max_batch_pages must be >= 1")
+        if self.parse_cache_bytes < 0:
+            raise ValueError("parse_cache_bytes must be >= 0")
 
 
 @dataclass
 class ServerStats:
-    """Observability counters, updated as the dispatcher runs."""
+    """Observability counters, updated as the dispatcher runs.
+
+    ``pages_parsed`` counts parses actually *performed* (historically it
+    counted distinct pages per payload, silently including pages the
+    worker never parsed once the cache landed).  ``parses_avoided``
+    counts the parses the amortization machinery absorbed: requests
+    coalesced onto another request's parse within a batch, plus
+    :class:`ParseCache` hits across batches — so the cache's effect is
+    directly observable as ``parses_avoided`` vs ``pages_parsed``.
+    """
 
     requests: int = 0
     pages_parsed: int = 0
+    parses_avoided: int = 0
     coalesced_requests: int = 0
+    parse_cache_hits: int = 0
+    parse_cache_evictions: int = 0
     batches: int = 0
     peak_pending: int = 0
     peak_site_inflight: int = 0
@@ -181,6 +335,9 @@ class AsyncExtractionServer:
         self.config = config or ServingConfig()
         self.site_key = site_key
         self.stats = ServerStats()
+        #: The cross-request page cache (thread mode; ``None`` when
+        #: disabled or in process mode, where workers keep their own).
+        self.parse_cache: Optional[ParseCache] = None
         self._queue: Optional[asyncio.Queue[_Pending]] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._executor: Optional[Executor] = None
@@ -206,11 +363,21 @@ class AsyncExtractionServer:
         if self.config.workers == 1:
             # One thread keeps the event loop responsive without paying
             # pickling/IPC for the HTML payloads.
+            if self.config.parse_cache_bytes > 0:
+                self.parse_cache = ParseCache(self.config.parse_cache_bytes)
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve"
             )
         else:
-            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+            # No parse cache in process mode: documents cannot cross
+            # the pickle boundary, and a per-worker cache is a net
+            # loss — retained cyclic document graphs turn every gen-2
+            # GC pass in the worker into a full scan of the cache
+            # (~1.6x slower on the serving benchmark).  Process pools
+            # rely on batch coalescing alone.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+            )
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop()
         )
@@ -253,6 +420,25 @@ class AsyncExtractionServer:
         """Requests currently waiting in the admission queue (0 when
         the server is not running) — scraped by ``GET /metrics``."""
         return self._queue.qsize() if self._queue is not None else 0
+
+    def parse_cache_info(self) -> ParseCacheInfo:
+        """Parse-cache counters — scraped by ``GET /metrics``.
+
+        Thread mode reports the shared cache directly.  Process mode
+        and the disabled cache (both run uncached) report the
+        dispatcher's aggregate counters with zero entries/bytes and
+        ``capacity_bytes`` 0.
+        """
+        if self.parse_cache is not None:
+            return self.parse_cache.info()
+        return ParseCacheInfo(
+            hits=self.stats.parse_cache_hits,
+            misses=self.stats.pages_parsed,
+            evictions=self.stats.parse_cache_evictions,
+            entries=0,
+            bytes=0,
+            capacity_bytes=0,
+        )
 
     async def extract(self, job: PageJob) -> list[ExtractionRecord]:
         """Serve one request; resolves to the records for *this* job's
@@ -345,7 +531,9 @@ class AsyncExtractionServer:
         ]
         self.stats.batches += 1
         self.stats.requests += len(batch)
-        self.stats.pages_parsed += len(payload)
+        # Requests that shared another request's parse in this batch —
+        # the worker reports the cache's share after it runs.
+        self.stats.parses_avoided += len(batch) - len(payload)
 
         loop = asyncio.get_running_loop()
         try:
@@ -356,17 +544,24 @@ class AsyncExtractionServer:
                 parts = _chunk_payload(
                     payload, min(self.config.workers, len(payload))
                 )
-                raws = await asyncio.gather(
+                answers = await asyncio.gather(
                     *(
                         loop.run_in_executor(self._executor, _serve_chunk, part)
                         for part in parts
                     )
                 )
-                raw = [rows for part in raws for rows in part]
+                raw = [rows for part, _ in answers for rows in part]
+                chunk_stats = [stats for _, stats in answers]
             else:
-                raw = await loop.run_in_executor(
-                    self._executor, _serve_chunk, payload
+                raw, stats = await loop.run_in_executor(
+                    self._executor, _serve_chunk, payload, self.parse_cache
                 )
+                chunk_stats = [stats]
+            for stats in chunk_stats:
+                self.stats.pages_parsed += stats["parsed"]
+                self.stats.parse_cache_hits += stats["cache_hits"]
+                self.stats.parses_avoided += stats["cache_hits"]
+                self.stats.parse_cache_evictions += stats["cache_evictions"]
         except BaseException as exc:
             # Only infrastructure failures (broken pool, cancellation)
             # reach here — per-request errors come back as "err" slots.
@@ -429,6 +624,8 @@ def serve_jobs_sync(
 
 __all__ = [
     "AsyncExtractionServer",
+    "ParseCache",
+    "ParseCacheInfo",
     "RequestError",
     "ServerStats",
     "ServingConfig",

@@ -20,7 +20,7 @@ from typing import Iterable
 
 from repro.dom.node import Document, Node
 from repro.xpath.ast import Query
-from repro.xpath.compile import compile_query
+from repro.xpath.compile import CompiledQuery, compile_query
 
 
 class CachedEvaluator:
@@ -41,6 +41,22 @@ class CachedEvaluator:
             return cached
         self.misses += 1
         result = tuple(compile_query(query).run(context, self.doc))
+        self._cache[key] = result
+        return result
+
+    def evaluate_plan(self, plan: CompiledQuery, context: Node) -> tuple[Node, ...]:
+        """Evaluate a pre-compiled plan, memoized under its source query.
+
+        Shares the memo table with :meth:`evaluate` (plans carry their
+        source :class:`Query`), but skips the global plan-cache lookup —
+        the entry point for artifacts that attach load-time plans."""
+        key = (plan.query, self.doc.node_id(context))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = tuple(plan.run(context, self.doc))
         self._cache[key] = result
         return result
 

@@ -472,6 +472,31 @@ def compile_query(query: Query) -> CompiledQuery:
     return plan
 
 
+#: Global text-plan memo: canonical query text → compiled plan.  Serving
+#: hot loops receive wrappers as text; this collapses the per-call
+#: tokenize/parse + plan-cache chain into one dict lookup.
+_TEXT_CACHE: dict[str, CompiledQuery] = {}
+_TEXT_CACHE_LIMIT = 100_000
+
+
+def compile_text(text: str) -> CompiledQuery:
+    """Compile (or fetch the memoized plan for) a query's text form.
+
+    Raises the same :class:`~repro.xpath.errors.XPathParseError` as
+    :func:`~repro.xpath.parser.parse_query` on malformed text; failed
+    parses are never cached.
+    """
+    plan = _TEXT_CACHE.get(text)
+    if plan is None:
+        if len(_TEXT_CACHE) > _TEXT_CACHE_LIMIT:
+            _TEXT_CACHE.clear()
+        from repro.xpath.parser import parse_query
+
+        plan = compile_query(parse_query(text))
+        _TEXT_CACHE[text] = plan
+    return plan
+
+
 def evaluate_compiled(query: Query, context: Node | None, doc: Document) -> list[Node]:
     """Drop-in replacement for :func:`repro.xpath.evaluator.evaluate`."""
     return compile_query(query).run(context, doc)

@@ -54,6 +54,17 @@ class TestRoundTripLossless:
         votes = reloaded.ensemble_wrapper().select(doc)
         assert {id(n) for n in votes} == {id(n) for n in targets}
 
+    def test_loaded_artifact_carries_compiled_plans(self):
+        artifact, doc, targets = _build_artifact(ROUND_TRIP_TASKS[0])
+        reloaded = WrapperArtifact.loads(artifact.dumps())
+        plans = reloaded.extraction_plans()
+        # Every deployed wrapper text — best + committee — has a plan,
+        # compiled eagerly at load (memoized: same mapping every call).
+        assert set(plans) == {reloaded.best.text, *reloaded.ensemble}
+        assert reloaded.extraction_plans() is plans
+        plan = plans[reloaded.best.text]
+        assert {id(n) for n in plan.run(doc.root, doc)} == {id(n) for n in targets}
+
     def test_single_task_set_covers_every_corpus_site(self):
         """Guards the claim above: the single-node dataset touches every page."""
         sites = {t.spec.site_id for t in single_node_tasks()}

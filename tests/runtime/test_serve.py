@@ -190,9 +190,9 @@ class TestFailureIsolation:
 
         original = serve_mod._serve_chunk
 
-        def slow_chunk(payload):
+        def slow_chunk(payload, cache=None):
             _time.sleep(0.1)  # hold the dispatcher so the queue backs up
-            return original(payload)
+            return original(payload, cache)
 
         monkeypatch.setattr(serve_mod, "_serve_chunk", slow_chunk)
 

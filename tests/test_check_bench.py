@@ -5,6 +5,7 @@ synthetic baseline/current pairs, including the demonstrated-failure
 case the acceptance criteria require (a >20% regression must fail)."""
 
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -149,6 +150,77 @@ class TestGate:
         write(baseline, "BENCH_demo.json", strong)
         write(current, "BENCH_demo.json", {"throughput": {"r": 0.1}})
         assert run_gate(baseline, current).returncode == 1
+
+    def test_gate_applies_dict_disarms_per_metric(self, tmp_path):
+        """``gate_applies`` may be a dict of metric labels, so one file
+        can mix always-gated ratios with self-arming ones (BENCH_net's
+        cache ratio on a 1-CPU runner).  Unlisted metrics stay gated."""
+        baseline, current = tmp_path / "baseline", tmp_path / "current"
+        write(
+            baseline,
+            "BENCH_demo.json",
+            {"throughput": {"armed": 2.0, "selfarming": 3.0}},
+        )
+        write(
+            current,
+            "BENCH_demo.json",
+            {
+                "throughput": {"armed": 2.0, "selfarming": 0.1},
+                "gate_applies": {"throughput.selfarming": False},
+            },
+        )
+        result = run_gate(baseline, current)
+        assert result.returncode == 0
+        assert "skip BENCH_demo.json:throughput.selfarming" in result.stdout
+        assert "ok   BENCH_demo.json:throughput.armed" in result.stdout
+        # The unlisted metric is still gated: regress it and the run fails.
+        write(
+            current,
+            "BENCH_demo.json",
+            {
+                "throughput": {"armed": 0.1, "selfarming": 0.1},
+                "gate_applies": {"throughput.selfarming": False},
+            },
+        )
+        result = run_gate(baseline, current)
+        assert result.returncode == 1
+        assert "FAIL BENCH_demo.json:throughput.armed" in result.stdout
+
+    def test_summary_file_gets_the_markdown_table(self, dirs, tmp_path):
+        """``--summary`` (CI passes ``$GITHUB_STEP_SUMMARY``) appends a
+        markdown ratio table covering ok, FAIL, skip, and new rows."""
+        baseline, current = dirs
+        payload = json.loads(json.dumps(BASELINE))
+        payload["speedup"]["fast_vs_serial"] = 4.0 * 0.5  # -50%: FAIL
+        payload["speedup"]["brand_new"] = 1.5  # new
+        payload["gate_applies"] = {"throughput.served_vs_serial": False}  # skip
+        write(current, "BENCH_demo.json", payload)
+        summary = tmp_path / "step_summary.md"
+        summary.write_text("earlier content\n")
+        result = run_gate(baseline, current, "--summary", str(summary))
+        assert result.returncode == 1
+        text = summary.read_text()
+        assert text.startswith("earlier content\n")  # append, never truncate
+        assert "| file | headline | baseline | current | verdict |" in text
+        assert "| BENCH_demo.json | speedup.fast_vs_serial | 4.00x | 2.00x | FAIL" in text
+        assert "skip (gate_applies: false)" in text
+        assert "new (reported, not gated)" in text
+        assert "1 headline ratio(s) regressed" in text
+
+    def test_summary_defaults_to_github_step_summary_env(self, dirs, tmp_path):
+        baseline, current = dirs
+        write(current, "BENCH_demo.json", BASELINE)
+        summary = tmp_path / "gh_summary.md"
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), "--baseline-dir", str(baseline),
+             "--current-dir", str(current)],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "### Bench regression gate" in summary.read_text()
+        assert "All headline ratios within tolerance" in summary.read_text()
 
 
 class TestRealBaselines:
