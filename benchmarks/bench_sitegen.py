@@ -1,0 +1,137 @@
+"""Site-family fleet generation benchmark → ``BENCH_sitegen.json``.
+
+The sitegen study harness replays whole synthetic archives per task, so
+fleet generation throughput bounds how large a lead-time study can be
+and still run in CI.  This bench compiles the default family roster and
+renders every member snapshot two ways:
+
+* **serial** — one process compiles + renders family by family; the
+  headline ``pages_per_sec_vs_floor`` divides the measured rate by a
+  fixed 25 pages/sec floor (the rate below which long-archive sweeps
+  stop being interactive).  Like the ``BENCH_xpath.json`` ratios it is
+  a host-speed number, so check_bench.py gives it the wide band.
+* **process-pool fan-out** — families are independent by construction
+  (payload dicts travel to the workers, builders recompile there), so
+  ``parallel_gen_vs_serial`` should exceed 1 wherever there is more
+  than one core.  On a single-CPU host the ratio is recorded but the
+  gate self-disarms (``gate_applies`` — the bench_cluster convention).
+
+Correctness first: the parallel path must produce byte-identical HTML
+to the serial path for a probe family, or the fan-out is measuring a
+different workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import scale
+
+from repro.dom.serialize import to_html
+from repro.evolution.archive import SyntheticArchive
+from repro.sitegen import FLOOR_PAGES_PER_SEC, bench_payload, default_roster
+from repro.sitegen.family import FamilySpec, generate_family
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_sitegen.json"
+
+#: Acceptance floor: serial fleet generation, pages per second.
+REQUIRED_PAGES_PER_SEC = FLOOR_PAGES_PER_SEC
+
+
+def _probe_html(spec: FamilySpec, n_snapshots: int) -> list[str]:
+    """Every page of one family, rendered in this process."""
+    family = generate_family(spec)
+    pages = []
+    for site in family.sites:
+        archive = SyntheticArchive(site, n_snapshots=n_snapshots, cache_size=1)
+        pages.extend(to_html(archive.snapshot(i)) for i in range(n_snapshots))
+    return pages
+
+
+def _probe_html_subprocess(spec: FamilySpec, n_snapshots: int) -> list[str]:
+    """The same pages rendered from the payload in a worker process."""
+    import subprocess
+    import sys
+
+    script = (
+        "import json, sys\n"
+        "from repro.dom.serialize import to_html\n"
+        "from repro.evolution.archive import SyntheticArchive\n"
+        "from repro.sitegen.family import FamilySpec, generate_family\n"
+        "payload, n = json.loads(sys.stdin.read())\n"
+        "family = generate_family(FamilySpec.from_payload(payload))\n"
+        "pages = []\n"
+        "for site in family.sites:\n"
+        "    archive = SyntheticArchive(site, n_snapshots=n, cache_size=1)\n"
+        "    pages.extend(to_html(archive.snapshot(i)) for i in range(n))\n"
+        "json.dump(pages, sys.stdout)\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps([spec.to_payload(), n_snapshots]),
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    return json.loads(out.stdout)
+
+
+def test_sitegen_bench(benchmark, emit):
+    n_families = scale(4, 8)
+    n_snapshots = scale(10, 20)
+    cpus = len(os.sched_getaffinity(0))
+    specs = default_roster(n_families, snapshots=n_snapshots)
+
+    # Correctness first: a worker process given only the payload dict
+    # must render byte-identical HTML to this process, page for page.
+    assert _probe_html_subprocess(specs[0], 3) == _probe_html(specs[0], 3)
+
+    payload = benchmark.pedantic(
+        bench_payload, args=(specs, n_snapshots), rounds=1, iterations=1
+    )
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    from repro.experiments.reporting import banner, format_table
+
+    current = payload["current"]
+    throughput = payload["throughput"]
+    rows = [
+        ["families", str(current["families"])],
+        ["snapshots/site", str(current["snapshots"])],
+        ["cpus", str(current["cpus"])],
+        ["serial pages/sec", f"{current['serial']['pages_per_sec']:.2f}"],
+        ["parallel pages/sec", f"{current['parallel']['pages_per_sec']:.2f}"],
+        ["pages_per_sec_vs_floor", f"{throughput['pages_per_sec_vs_floor']:.2f}x"],
+        ["parallel_gen_vs_serial", f"{throughput['parallel_gen_vs_serial']:.2f}x"],
+    ]
+    emit(
+        "sitegen",
+        "\n".join(
+            [
+                banner("sitegen fleet generation benchmarks"),
+                format_table(["metric", "value"], rows),
+                f"[json saved to {BENCH_JSON}]",
+            ]
+        ),
+    )
+
+    assert current["serial"]["pages_per_sec"] >= REQUIRED_PAGES_PER_SEC, (
+        f"serial fleet generation ran at "
+        f"{current['serial']['pages_per_sec']:.2f} pages/sec "
+        f"(floor: {REQUIRED_PAGES_PER_SEC})"
+    )
+    if cpus >= 2:
+        assert throughput["parallel_gen_vs_serial"] >= 1.0, (
+            f"process-pool fan-out is {throughput['parallel_gen_vs_serial']:.2f}x "
+            f"serial on a {cpus}-CPU host (families are independent; expected >= 1x)"
+        )
+    else:
+        print(
+            f"NOTE: single-CPU host ({cpus} usable core(s)) — the fan-out "
+            f"gate cannot materialize and is recorded unasserted: "
+            f"{throughput['parallel_gen_vs_serial']:.2f}x"
+        )

@@ -19,13 +19,14 @@ reproducible; snapshots are rendered on demand.
 """
 
 from repro.evolution.archive import SyntheticArchive
-from repro.evolution.changes import ChangeModel, evolve_state, initial_state
+from repro.evolution.changes import ChangeModel, StateHook, evolve_state, initial_state
 from repro.evolution.state import SiteProfile, SiteState
 
 __all__ = [
     "ChangeModel",
     "SiteProfile",
     "SiteState",
+    "StateHook",
     "SyntheticArchive",
     "evolve_state",
     "initial_state",

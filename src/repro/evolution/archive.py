@@ -13,7 +13,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.dom.node import Document, Node
-from repro.evolution.changes import evolve_state, initial_state
+from repro.evolution.changes import StateHook, evolve_state, initial_state
 from repro.evolution.state import RenderContext
 from repro.util import seeded_rng
 
@@ -31,6 +31,7 @@ class SyntheticArchive:
         interval_days: int = 20,
         cache_size: int = 8,
         seed: int | None = None,
+        state_hook: "StateHook | None" = None,
     ) -> None:
         if n_snapshots < 1:
             raise ValueError("an archive needs at least one snapshot")
@@ -42,6 +43,14 @@ class SyntheticArchive:
         #: explicit override replays the *same site* under an alternate
         #: deterministic history without touching the global RNG.
         self.seed = spec.seed if seed is None else seed
+        #: Post-step hook on every evolution step (scripted break
+        #: points).  Defaults to the spec's own hook so generated sites
+        #: (repro.sitegen) carry their break script wherever the spec
+        #: travels — including through induce_corpus_task's throwaway
+        #: archives.
+        self.state_hook = (
+            state_hook if state_hook is not None else getattr(spec, "state_hook", None)
+        )
         self._states = [initial_state(spec.profile, self._rng())]
         self._doc_cache: OrderedDict[int, Document] = OrderedDict()
         self._cache_size = cache_size
@@ -70,6 +79,7 @@ class SyntheticArchive:
                     self.spec.change_model,
                     rng,
                     self.interval_days,
+                    hook=self.state_hook,
                 )
             )
         return self._states[index]

@@ -12,8 +12,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.evolution.state import SiteProfile, SiteState
+
+#: A post-step hook: receives the freshly evolved state and the step's
+#: RNG and returns the (possibly replaced) state.  Scripted break
+#: points (:mod:`repro.sitegen.breaks`) use this to inject *known*
+#: structural changes at chosen snapshot indices on top of the random
+#: walk, so ground truth for "when did the site actually break" exists.
+StateHook = Callable[[SiteState, random.Random], SiteState]
 
 
 def _datagen():
@@ -116,8 +124,16 @@ def evolve_state(
     model: ChangeModel,
     rng: random.Random,
     interval_days: int = 20,
+    hook: Optional[StateHook] = None,
 ) -> SiteState:
-    """One random-walk step: the state of the next archive snapshot."""
+    """One random-walk step: the state of the next archive snapshot.
+
+    ``hook`` runs after the random-walk step with the new state and the
+    same RNG stream; it may mutate the state in place or return a
+    replacement.  The walk itself consumes an identical number of RNG
+    draws with or without a hook, so hooked and unhooked archives stay
+    comparable snapshot-for-snapshot.
+    """
     new = state.clone()
     new.snapshot_index += 1
     new.day += interval_days
@@ -162,4 +178,8 @@ def evolve_state(
         if candidates:
             new.removed_roles = new.removed_roles | {rng.choice(candidates)}
 
+    if hook is not None:
+        hooked = hook(new, rng)
+        if hooked is not None:
+            new = hooked
     return new

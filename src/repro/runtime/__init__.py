@@ -53,6 +53,7 @@ from repro.runtime.drift import (
     MaintenanceRecord,
     maintain_over_archive,
     reinduce,
+    replay_archive,
 )
 from repro.runtime.extractor import (
     ExtractionRecord,
@@ -153,6 +154,7 @@ __all__ = [
     "migrate_directory",
     "migrate_store",
     "reinduce",
+    "replay_archive",
     "serve_http",
     "serve_jobs",
     "serve_jobs_sync",

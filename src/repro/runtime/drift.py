@@ -202,6 +202,33 @@ class MaintenanceRecord:
         return self.drift_snapshot is not None
 
 
+def replay_archive(
+    artifact: WrapperArtifact,
+    archive: "SyntheticArchive",
+    snapshots: Sequence[int],
+    detector: Optional[DriftDetector] = None,
+) -> list[DriftReport]:
+    """Run the detector over every snapshot — no early stop, no repair.
+
+    :func:`maintain_over_archive` answers the *operational* question
+    ("when do I first have to act?") and stops at the first hard drift.
+    Lead-time studies (:mod:`repro.sitegen.study`) need the *full*
+    signal trace instead: every report, healthy or not, so the distance
+    between a scripted break snapshot and the first signal — and any
+    false alarms before it — can be measured.  Broken archive captures
+    are skipped, exactly as in maintenance (an erroneous capture says
+    nothing about the wrapper).
+    """
+    detector = detector or DriftDetector()
+    reports: list[DriftReport] = []
+    for index in snapshots:
+        if archive.is_broken(index):
+            continue
+        doc = archive.snapshot(index)
+        reports.append(detector.check(artifact, doc, snapshot=index))
+    return reports
+
+
 def maintain_over_archive(
     artifact: WrapperArtifact,
     archive: "SyntheticArchive",

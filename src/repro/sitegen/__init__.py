@@ -1,0 +1,78 @@
+"""Parameterized site-family generation with scripted break points.
+
+The corpus (:mod:`repro.sites`) is a fixed set of 84 sites; every
+robustness claim so far rests on the same frozen scenarios and on
+*stochastic* breaks with no ground truth for when a site actually
+broke.  This package generates scenario diversity on demand:
+
+* :mod:`repro.sitegen.family` — declarative :class:`FamilySpec`
+  (vertical, layout, A/B reskin axis, list shape, locale, boilerplate
+  noise) compiled into concrete :class:`~repro.sites.spec.SiteSpec`\\ s
+  via the existing vertical factories;
+* :mod:`repro.sitegen.breaks` — :class:`BreakScript`: scripted
+  structural changes (class rename, wrapper-div insertion, label
+  relocation, section reorder) at chosen snapshot indices, riding the
+  ``evolve_state`` hook so break time is *known*;
+* :mod:`repro.sitegen.study` — the drift lead-time study: induction at
+  snapshot 0, full detector replay, per-break signal/hard lead times,
+  false-healthy audit, and re-induction policy cost (ensemble-vote
+  labels vs. re-annotation);
+* :mod:`repro.sitegen.bench` — fleet generation throughput
+  (``BENCH_sitegen.json``, gated by ``scripts/check_bench.py``);
+* ``python -m repro.sitegen`` — ``roster`` / ``generate`` / ``sweep``.
+
+See docs/SITEGEN.md for the FamilySpec schema, the break verbs, and
+the lead-time metric definition.
+"""
+
+from repro.sitegen.bench import FLOOR_PAGES_PER_SEC, bench_payload, write_bench
+from repro.sitegen.breaks import (
+    BREAK_VERBS,
+    BreakPoint,
+    BreakScript,
+)
+from repro.sitegen.family import (
+    LAYOUTS,
+    LIST_SHAPES,
+    PAGER_ROLE,
+    RESKIN_AXES,
+    FamilySpec,
+    SiteFamily,
+    default_roster,
+    generate_family,
+)
+from repro.sitegen.locale import LABELS, LOCALES, localize_document
+from repro.sitegen.study import (
+    BreakObservation,
+    FamilyStudy,
+    RepairObservation,
+    StudyConfig,
+    run_family_payload,
+    run_family_study,
+)
+
+__all__ = [
+    "BREAK_VERBS",
+    "BreakObservation",
+    "BreakPoint",
+    "BreakScript",
+    "FLOOR_PAGES_PER_SEC",
+    "FamilySpec",
+    "FamilyStudy",
+    "LABELS",
+    "LAYOUTS",
+    "LIST_SHAPES",
+    "LOCALES",
+    "PAGER_ROLE",
+    "RESKIN_AXES",
+    "RepairObservation",
+    "SiteFamily",
+    "StudyConfig",
+    "bench_payload",
+    "default_roster",
+    "generate_family",
+    "localize_document",
+    "run_family_payload",
+    "run_family_study",
+    "write_bench",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.sitegen``."""
+
+import sys
+
+from repro.sitegen.cli import main
+
+sys.exit(main())

@@ -1,0 +1,231 @@
+"""Scripted break points: known structural changes at known snapshots.
+
+The corpus archives break *stochastically* — the random walk decides
+when a class rename or redesign lands, so "when did the site actually
+break" has no ground truth and drift-signal lead time cannot be
+measured.  A :class:`BreakScript` flips that around: it injects a
+chosen structural change at a chosen snapshot index, deterministically,
+so the study harness (:mod:`repro.sitegen.study`) can score every
+detector signal against a known break time.
+
+Verbs (the paper's observed change classes, Sec. 6.2):
+
+* ``class_rename`` — a profile class token is renamed from the break
+  snapshot on (state-level; rides the :data:`repro.evolution.StateHook`
+  added to ``evolve_state``, so it persists through the walk exactly
+  like an organic rename);
+* ``wrap_div`` — every node of a target role gains a wrapper ``div``
+  (layout frameworks love wrapper divs);
+* ``label_relocate`` — target-role nodes are detached from their block
+  and re-attached under the grandparent inside a relocation ``div``;
+* ``section_reorder`` — the last top-level body section moves to the
+  front (site-wide section shuffle).
+
+Every active break additionally nests the whole body content one level
+deeper in a ``migration-shell`` div — the signature move of a real
+template migration, and the reason a break is *guaranteed* to move the
+canonical path of every body-descendant target: the detector can never
+truthfully report "healthy, nothing changed" at the break snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.dom.node import Document, ElementNode, Node
+from repro.evolution.changes import rename_attribute_value
+from repro.util import seeded_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evolution.changes import StateHook
+    from repro.evolution.state import SiteState
+
+CLASS_RENAME = "class_rename"
+WRAP_DIV = "wrap_div"
+LABEL_RELOCATE = "label_relocate"
+SECTION_REORDER = "section_reorder"
+
+#: All scriptable break verbs, in a stable order.
+BREAK_VERBS = (CLASS_RENAME, WRAP_DIV, LABEL_RELOCATE, SECTION_REORDER)
+
+#: Verbs applied to the rendered DOM (vs. the evolution state).
+_DOM_VERBS = frozenset({WRAP_DIV, LABEL_RELOCATE, SECTION_REORDER})
+
+
+@dataclass(frozen=True)
+class BreakPoint:
+    """One scripted structural change.
+
+    ``target`` names a profile class *token* for ``class_rename``, a
+    task *role* for ``wrap_div``/``label_relocate``, and is empty for
+    ``section_reorder``.  ``at_snapshot`` must be ≥ 1 — snapshot 0 is
+    the annotation page and breaking it would break the ground truth,
+    not the wrapper.
+    """
+
+    at_snapshot: int
+    verb: str
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if self.verb not in BREAK_VERBS:
+            raise ValueError(f"unknown break verb {self.verb!r} (use one of {BREAK_VERBS})")
+        if self.at_snapshot < 1:
+            raise ValueError("break points start at snapshot 1 (0 is the annotation page)")
+        if self.verb in (CLASS_RENAME, WRAP_DIV, LABEL_RELOCATE) and not self.target:
+            raise ValueError(f"{self.verb} needs a target")
+        if self.verb == SECTION_REORDER and self.target:
+            raise ValueError("section_reorder takes no target")
+
+    def to_payload(self) -> dict:
+        return {"at": self.at_snapshot, "verb": self.verb, "target": self.target}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BreakPoint":
+        return cls(
+            at_snapshot=int(payload["at"]),
+            verb=str(payload["verb"]),
+            target=str(payload.get("target", "")),
+        )
+
+
+@dataclass(frozen=True)
+class BreakScript:
+    """An ordered set of scripted break points for one site."""
+
+    points: tuple[BreakPoint, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.points, key=lambda p: (p.at_snapshot, p.verb, p.target)))
+        object.__setattr__(self, "points", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.points)
+
+    def active(self, snapshot_index: int) -> tuple[BreakPoint, ...]:
+        """Break points already in effect at a snapshot (breaks persist:
+        real sites do not revert a migration)."""
+        return tuple(p for p in self.points if snapshot_index >= p.at_snapshot)
+
+    # -- state-level breaks ------------------------------------------------
+
+    def state_hook(self, site_id: str) -> Optional["StateHook"]:
+        """The evolve_state hook firing this script's state-level verbs.
+
+        Renames draw from a seed derived of (site, break, token) — not
+        the walk's step RNG — so the scripted rename is identical under
+        every change model and consumes no walk draws.
+        """
+        renames = [p for p in self.points if p.verb == CLASS_RENAME]
+        if not renames:
+            return None
+
+        def hook(state: "SiteState", rng: random.Random) -> "SiteState":
+            for point in renames:
+                if state.snapshot_index == point.at_snapshot:
+                    current = state.class_map.get(point.target)
+                    if current is not None:
+                        state.class_map[point.target] = rename_attribute_value(
+                            current,
+                            seeded_rng(site_id, "break", point.at_snapshot, point.target),
+                        )
+            return state
+
+        return hook
+
+    # -- DOM-level breaks --------------------------------------------------
+
+    def apply_dom(self, doc: Document, snapshot_index: int) -> bool:
+        """Apply every active DOM-level verb to a rendered snapshot.
+
+        Returns whether the document was mutated; callers must
+        ``doc.invalidate()`` afterwards if any index may already exist.
+        """
+        active = self.active(snapshot_index)
+        if not active:
+            return False
+        body = doc.find(tag="body")
+        if body is None:
+            return False
+        for point in active:
+            if point.verb == WRAP_DIV:
+                for node in _role_nodes(doc, point.target):
+                    _wrap_node(node, f"brk-wrap-{point.at_snapshot}")
+            elif point.verb == LABEL_RELOCATE:
+                for node in _role_nodes(doc, point.target):
+                    _relocate_node(node, f"brk-moved-{point.at_snapshot}")
+            elif point.verb == SECTION_REORDER:
+                _reorder_sections(body)
+        for point in active:
+            # The migration shell: one level of nesting per active break,
+            # applied for every verb (including class_rename, whose
+            # rendered effect otherwise depends on which features the
+            # wrapper anchored on).
+            _wrap_children(body, f"migration-shell-{point.at_snapshot}")
+        return True
+
+    def to_payload(self) -> dict:
+        return {"points": [p.to_payload() for p in self.points]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BreakScript":
+        return cls(
+            points=tuple(BreakPoint.from_payload(p) for p in payload.get("points", ()))
+        )
+
+
+def _role_nodes(doc: Document, role: str) -> list[Node]:
+    """Ground-truth nodes of a role via a plain tree walk (``find_by_meta``
+    would build the document index mid-mutation)."""
+    return [n for n in doc.root.descendants() if n.meta.get("role") == role]
+
+
+def _wrap_node(node: Node, cls: str) -> None:
+    parent = node.parent
+    if parent is None:
+        return
+    wrapper = ElementNode("div", {"class": cls})
+    parent.replace_child(node, wrapper)
+    wrapper.append_child(node)
+
+
+def _relocate_node(node: Node, cls: str) -> None:
+    parent = node.parent
+    grandparent = parent.parent if parent is not None else None
+    if parent is None or grandparent is None:
+        return
+    parent.remove_child(node)
+    moved = ElementNode("div", {"class": cls})
+    moved.append_child(node)
+    grandparent.append_child(moved)
+
+
+def _reorder_sections(body: ElementNode) -> None:
+    sections = body.element_children()
+    if len(sections) < 2:
+        return
+    last = sections[-1]
+    body.remove_child(last)
+    body.insert_child(0, last)
+
+
+def _wrap_children(parent: ElementNode, cls: str) -> None:
+    children = list(parent.children)
+    shell = ElementNode("div", {"class": cls})
+    for child in children:
+        parent.remove_child(child)
+        shell.append_child(child)
+    parent.append_child(shell)
+
+
+__all__ = [
+    "BREAK_VERBS",
+    "CLASS_RENAME",
+    "LABEL_RELOCATE",
+    "SECTION_REORDER",
+    "WRAP_DIV",
+    "BreakPoint",
+    "BreakScript",
+]

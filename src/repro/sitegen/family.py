@@ -1,0 +1,457 @@
+"""Parameterized site families compiled onto the corpus vocabulary.
+
+A :class:`FamilySpec` declares a *family* of sites — same vertical,
+same break script cadence — varied along the axes the paper's noise
+model cares about:
+
+* ``layout`` — desktop (as-built), boxed (one shell div), or split
+  (two-column shell): systematic canonical-path depth differences;
+* ``reskin_axis`` — members > 0 get suffixed class and/or id values,
+  the A/B-reskin situation where one wrapper meets sibling sites whose
+  attributes disagree;
+* ``list_shape`` — the page's main repeated list stays flat, gets
+  paginated (truncated to ``page_size`` + a ``pager_next`` link that
+  becomes an extraction task of its own), or is chunked into
+  infinite-scroll stream segments;
+* ``locale`` — template labels are translated (volatile data never is;
+  see :mod:`repro.sitegen.locale`);
+* ``noise`` — boilerplate blocks injected at per-member-stable random
+  positions in the body, the paper's noise model;
+* ``breaks`` — scripted :class:`~repro.sitegen.breaks.BreakScript`\\ s,
+  cycled across members (see :mod:`repro.sitegen.breaks`).
+
+Compilation (:func:`generate_family`) reuses the existing corpus
+machinery end to end: the vertical factories build the base page, the
+family wraps their builder with deterministic DOM passes, and the
+result is a plain :class:`~repro.sites.spec.SiteSpec` every downstream
+consumer (archives, induction, drift, fleet) already understands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.dom.builder import E
+from repro.dom.node import Document, ElementNode, TextNode
+from repro.evolution.archive import SyntheticArchive
+from repro.evolution.changes import ChangeModel
+from repro.evolution.state import RenderContext, SiteState
+from repro.sitegen.breaks import CLASS_RENAME, SECTION_REORDER, BreakScript
+from repro.sitegen.locale import LOCALES, localize_document
+from repro.sites.corpus import CorpusTask
+from repro.sites.spec import SiteSpec, TaskSpec
+from repro.sites.verticals import VERTICAL_FACTORIES
+from repro.util import seeded_rng
+
+LAYOUTS = ("desktop", "boxed", "split")
+RESKIN_AXES = ("none", "classes", "ids", "both")
+LIST_SHAPES = ("flat", "paginated", "chunked")
+
+#: The synthetic pagination task added to every paginated member.
+PAGER_ROLE = "pager_next"
+
+#: Maximum boilerplate blocks at noise = 1.0.
+_MAX_NOISE_BLOCKS = 6
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Declarative description of one generated site family."""
+
+    family_id: str
+    vertical: str
+    n_sites: int = 2
+    layout: str = "desktop"
+    reskin_axis: str = "classes"
+    list_shape: str = "flat"
+    page_size: int = 5
+    locale: str = "en"
+    noise: float = 0.0
+    #: 0 = calm (no structural churn besides the scripted breaks — the
+    #: lead-time study's default, so every signal is attributable);
+    #: > 0 scales the corpus ChangeModel for organic churn on top.
+    change_scale: float = 0.0
+    #: Break scripts cycled across members (member i gets script
+    #: ``breaks[i % len(breaks)]``); empty = no scripted breaks.
+    breaks: tuple[BreakScript, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.family_id:
+            raise ValueError("a family needs a family_id")
+        if self.vertical not in VERTICAL_FACTORIES:
+            raise ValueError(f"unknown vertical {self.vertical!r}")
+        if self.n_sites < 1:
+            raise ValueError("a family needs at least one member site")
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {self.layout!r} (use one of {LAYOUTS})")
+        if self.reskin_axis not in RESKIN_AXES:
+            raise ValueError(f"unknown reskin axis {self.reskin_axis!r}")
+        if self.list_shape not in LIST_SHAPES:
+            raise ValueError(f"unknown list shape {self.list_shape!r}")
+        if self.page_size < 2:
+            raise ValueError("page_size must be at least 2")
+        if self.locale not in LOCALES:
+            raise ValueError(f"unknown locale {self.locale!r} (use one of {LOCALES})")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError("noise must be within [0, 1]")
+        if self.change_scale < 0:
+            raise ValueError("change_scale must be >= 0")
+
+    def to_payload(self) -> dict:
+        return {
+            "family_id": self.family_id,
+            "vertical": self.vertical,
+            "n_sites": self.n_sites,
+            "layout": self.layout,
+            "reskin_axis": self.reskin_axis,
+            "list_shape": self.list_shape,
+            "page_size": self.page_size,
+            "locale": self.locale,
+            "noise": self.noise,
+            "change_scale": self.change_scale,
+            "breaks": [script.to_payload() for script in self.breaks],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FamilySpec":
+        return cls(
+            family_id=str(payload["family_id"]),
+            vertical=str(payload["vertical"]),
+            n_sites=int(payload.get("n_sites", 2)),
+            layout=str(payload.get("layout", "desktop")),
+            reskin_axis=str(payload.get("reskin_axis", "classes")),
+            list_shape=str(payload.get("list_shape", "flat")),
+            page_size=int(payload.get("page_size", 5)),
+            locale=str(payload.get("locale", "en")),
+            noise=float(payload.get("noise", 0.0)),
+            change_scale=float(payload.get("change_scale", 0.0)),
+            breaks=tuple(
+                BreakScript.from_payload(p) for p in payload.get("breaks", ())
+            ),
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+@dataclass
+class SiteFamily:
+    """A compiled family: concrete sites plus their member break scripts."""
+
+    spec: FamilySpec
+    sites: list[SiteSpec]
+    scripts: list[BreakScript]
+
+    def archive(self, member: int, n_snapshots: int = 20, **kwargs) -> SyntheticArchive:
+        """A snapshot archive for one member (break hooks already wired
+        through the member's ``state_hook``)."""
+        return SyntheticArchive(self.sites[member], n_snapshots=n_snapshots, **kwargs)
+
+    def corpus_tasks(self) -> list[CorpusTask]:
+        return [CorpusTask(site, task) for site in self.sites for task in site.tasks]
+
+
+def generate_family(spec: FamilySpec) -> SiteFamily:
+    """Compile a declarative family spec into concrete member sites."""
+    sites: list[SiteSpec] = []
+    scripts: list[BreakScript] = []
+    for member in range(spec.n_sites):
+        site_seed = seeded_rng("sitegen", spec.family_id, spec.seed, member).randrange(
+            1 << 30
+        )
+        base = VERTICAL_FACTORIES[spec.vertical](member, seed=site_seed)
+        script = spec.breaks[member % len(spec.breaks)] if spec.breaks else BreakScript()
+        _validate_script(script, base, spec)
+        site_id = f"{spec.family_id}-{member}"
+        tasks = [
+            dataclasses.replace(task, task_id=f"{site_id}/{task.role}", site_id=site_id)
+            for task in base.tasks
+        ]
+        if spec.list_shape == "paginated":
+            tasks.append(
+                TaskSpec(
+                    task_id=f"{site_id}/{PAGER_ROLE}",
+                    site_id=site_id,
+                    role=PAGER_ROLE,
+                    multi=False,
+                    human_wrapper='descendant::a[@class="pager-next"]',
+                    description="next-page link (added by the paginated list shape)",
+                )
+            )
+        sites.append(
+            SiteSpec(
+                site_id=site_id,
+                vertical=spec.vertical,
+                url=f"http://{site_id}.example.net/",
+                profile=base.profile,
+                build=_family_builder(base.build, spec, member, script),
+                change_model=_family_change_model(spec.change_scale),
+                tasks=tasks,
+                seed=site_seed,
+                state_hook=script.state_hook(site_id),
+            )
+        )
+        scripts.append(script)
+    return SiteFamily(spec=spec, sites=sites, scripts=scripts)
+
+
+def default_roster(
+    n_families: int, snapshots: int = 20, seed: int = 0, n_sites: int = 2
+) -> list[FamilySpec]:
+    """A deterministic roster cycling every family axis and break verb.
+
+    Families are calm (``change_scale=0``) with one break point halfway
+    through the archive, so every drift signal in a sweep is
+    attributable to its scripted break.
+    """
+    from repro.sitegen.breaks import BREAK_VERBS, BreakPoint
+
+    roster_verticals = (
+        "movies",
+        "news",
+        "sports",
+        "travel",
+        "forum",
+        "shopping",
+        "techreview",
+        "weather",
+    )
+    specs: list[FamilySpec] = []
+    break_at = max(1, snapshots // 2)
+    for i in range(n_families):
+        vertical = roster_verticals[i % len(roster_verticals)]
+        verb = BREAK_VERBS[i % len(BREAK_VERBS)]
+        # Targets come from the factory's stable surface: profile token
+        # keys and task roles are identical across seeds and variants.
+        probe = VERTICAL_FACTORIES[vertical](0, seed=0)
+        if verb == CLASS_RENAME:
+            target = sorted(probe.profile.class_tokens)[0]
+        elif verb == SECTION_REORDER:
+            target = ""
+        else:
+            target = next(t.role for t in probe.tasks if not t.multi)
+        specs.append(
+            FamilySpec(
+                family_id=f"fam{i}-{vertical}",
+                vertical=vertical,
+                n_sites=n_sites,
+                layout=LAYOUTS[i % len(LAYOUTS)],
+                reskin_axis=RESKIN_AXES[(i + 1) % len(RESKIN_AXES)],
+                list_shape=LIST_SHAPES[i % len(LIST_SHAPES)],
+                locale=LOCALES[i % len(LOCALES)],
+                noise=(i % 3) * 0.35,
+                change_scale=0.0,
+                breaks=(BreakScript(points=(BreakPoint(break_at, verb, target),)),),
+                seed=seed + i,
+            )
+        )
+    return specs
+
+
+# --------------------------------------------------------------------------
+# compilation internals
+# --------------------------------------------------------------------------
+
+
+def _validate_script(script: BreakScript, base: SiteSpec, spec: FamilySpec) -> None:
+    """Break targets must exist on the base site, else the break would
+    silently do nothing and the study's ground truth would be a lie."""
+    roles = {task.role for task in base.tasks}
+    if spec.list_shape == "paginated":
+        roles.add(PAGER_ROLE)
+    for point in script.points:
+        if point.verb == CLASS_RENAME and point.target not in base.profile.class_tokens:
+            raise ValueError(
+                f"{spec.family_id}: class_rename target {point.target!r} is not a "
+                f"class token of vertical {spec.vertical!r}"
+            )
+        if point.verb in ("wrap_div", "label_relocate") and point.target not in roles:
+            raise ValueError(
+                f"{spec.family_id}: {point.verb} target {point.target!r} is not a "
+                f"task role of vertical {spec.vertical!r}"
+            )
+
+
+def _family_change_model(change_scale: float) -> ChangeModel:
+    """The family's organic-churn model.
+
+    Scripted studies must own their break ground truth, so even churny
+    families never remove targets or emit broken captures — a stochastic
+    break would be indistinguishable from the scripted one.
+    """
+    if change_scale <= 0:
+        return ChangeModel(
+            p_class_rename=0.0,
+            p_id_rename=0.0,
+            p_count_change=0.0,
+            p_list_resize=0.0,
+            p_flag_toggle=0.0,
+            p_redesign=0.0,
+            p_target_removal=0.0,
+            p_broken_snapshot=0.0,
+            data_churn_rate=0.9,
+        )
+    # ChangeModel.scaled() deliberately leaves p_list_resize,
+    # p_broken_snapshot, and data_churn_rate unscaled; the study's
+    # confounders are zeroed explicitly on top.
+    return dataclasses.replace(
+        ChangeModel().scaled(change_scale),
+        p_target_removal=0.0,
+        p_broken_snapshot=0.0,
+    )
+
+
+def _family_builder(base_build, spec: FamilySpec, member: int, script: BreakScript):
+    """Wrap a vertical builder with the family's deterministic DOM passes.
+
+    Pass order matters: reskin happens at the state level before the
+    base build; layout, list shape, and noise restructure the rendered
+    body; localization rewrites labels (including ones the passes
+    added); the break script runs last so its changes land on the final
+    page exactly as the study will see it.
+    """
+
+    def build(ctx: RenderContext) -> Document:
+        state = ctx.state
+        if member and spec.reskin_axis != "none":
+            ctx = RenderContext(
+                _reskin_state(state, member, spec.reskin_axis), ctx.rng, site=ctx.site
+            )
+        doc = base_build(ctx)
+        body = doc.find(tag="body")
+        if body is not None:
+            _apply_layout(body, spec.layout)
+            _apply_list_shape(body, spec.list_shape, spec.page_size)
+            _apply_noise(body, spec, member, ctx)
+            localize_document(doc, spec.locale)
+            script.apply_dom(doc, state.snapshot_index)
+        # The passes mutate the tree after construction; drop any caches
+        # so downstream consumers index the final shape.
+        doc.invalidate()
+        return doc
+
+    return build
+
+
+def _reskin_state(state: SiteState, member: int, axis: str) -> SiteState:
+    """Member-specific attribute values: the A/B reskin axis."""
+    reskinned = state.clone()
+    if axis in ("classes", "both"):
+        reskinned.class_map = {k: f"{v}-r{member}" for k, v in reskinned.class_map.items()}
+    if axis in ("ids", "both"):
+        reskinned.id_map = {k: f"{v}-r{member}" for k, v in reskinned.id_map.items()}
+    return reskinned
+
+
+def _apply_layout(body: ElementNode, layout: str) -> None:
+    if layout == "desktop":
+        return
+    children = list(body.children)
+    if layout == "boxed":
+        shell = ElementNode("div", {"class": "layout-boxed"})
+        for child in children:
+            body.remove_child(child)
+            shell.append_child(child)
+        body.append_child(shell)
+        return
+    # split: first half of the sections in a main column, rest in a side
+    # column — the two-column variant of the same content.
+    mid = (len(children) + 1) // 2
+    main = ElementNode("div", {"class": "col-main"})
+    side = ElementNode("div", {"class": "col-side"})
+    for child in children[:mid]:
+        body.remove_child(child)
+        main.append_child(child)
+    for child in children[mid:]:
+        body.remove_child(child)
+        side.append_child(child)
+    row = ElementNode("div", {"class": "layout-split"})
+    row.append_child(main)
+    row.append_child(side)
+    body.append_child(row)
+
+
+_LIST_CONTAINER_TAGS = frozenset({"ul", "ol", "table", "tbody", "div"})
+
+
+def _main_list(body: ElementNode, page_size: int) -> ElementNode | None:
+    """The page's main list: the largest container whose element children
+    are homogeneous and more numerous than one page."""
+    best: ElementNode | None = None
+    best_size = 0
+    for element in body.descendant_elements():
+        if element.tag not in _LIST_CONTAINER_TAGS:
+            continue
+        children = element.element_children()
+        if len(children) <= page_size or len(children) <= best_size:
+            continue
+        if len({child.tag for child in children}) != 1:
+            continue
+        best, best_size = element, len(children)
+    return best
+
+
+def _apply_list_shape(body: ElementNode, list_shape: str, page_size: int) -> None:
+    if list_shape == "flat":
+        return
+    container = _main_list(body, page_size)
+    if container is None:
+        return
+    children = container.element_children()
+    if list_shape == "paginated":
+        for extra in children[page_size:]:
+            container.remove_child(extra)
+        link = ElementNode("a", {"class": "pager-next", "href": "?page=2"})
+        link.append_child(TextNode("Next page"))
+        link.meta["role"] = PAGER_ROLE
+        pager = ElementNode("div", {"class": "pager"})
+        pager.append_child(E("span", "Page 1", class_="pager-current"))
+        pager.append_child(link)
+        parent = container.parent
+        if parent is not None:
+            parent.insert_child(parent.children.index(container) + 1, pager)
+        else:
+            container.append_child(pager)
+        return
+    # chunked: infinite-scroll stream segments of page_size items each.
+    chunk_tag = "tbody" if container.tag in ("table", "tbody") else "div"
+    for child in children:
+        container.remove_child(child)
+    for start in range(0, len(children), page_size):
+        chunk = ElementNode(chunk_tag, {"class": "stream-chunk"})
+        for child in children[start : start + page_size]:
+            chunk.append_child(child)
+        container.append_child(chunk)
+
+
+def _apply_noise(body: ElementNode, spec: FamilySpec, member: int, ctx: RenderContext) -> None:
+    """Boilerplate noise: chatter blocks at per-member-stable positions.
+
+    Positions derive from (family, member) — not the snapshot — so on a
+    calm family the noise skeleton is part of the template, while the
+    chatter text inside churns per snapshot like any page data.
+    """
+    n_blocks = round(spec.noise * _MAX_NOISE_BLOCKS)
+    if n_blocks <= 0:
+        return
+    positions = seeded_rng("sitegen", spec.family_id, member, "noise")
+    for _ in range(n_blocks):
+        block = E(
+            "div",
+            E("p", ctx.gen("sentence")),
+            class_=f"boiler-{positions.randrange(4)}",
+        )
+        body.insert_child(positions.randrange(len(body.children) + 1), block)
+
+
+__all__ = [
+    "LAYOUTS",
+    "LIST_SHAPES",
+    "PAGER_ROLE",
+    "RESKIN_AXES",
+    "FamilySpec",
+    "SiteFamily",
+    "default_roster",
+    "generate_family",
+]

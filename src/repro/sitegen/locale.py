@@ -1,0 +1,134 @@
+"""Label localization for generated site families.
+
+A site family can render its *template labels* ("Director:", "Latest
+News", "Next page", …) in one of several locales while the volatile
+page data stays untouched — exactly the situation a wrapper meets on a
+site's international editions: same template skeleton, different label
+text.  Wrappers whose predicates anchor on label text must re-anchor;
+wrappers anchored on structure and attributes survive.
+
+Localization is a best-effort table lookup over non-volatile text
+nodes: labels missing from a locale's table stay English (real
+international editions are rarely translated wall-to-wall either).
+"""
+
+from __future__ import annotations
+
+from repro.dom.node import Document, TextNode
+
+#: Supported locale codes ("en" is the identity locale).
+LOCALES = ("en", "de", "fr", "es")
+
+#: label (stripped) -> translation, per non-English locale.  Covers the
+#: template labels of the core verticals plus the labels sitegen's own
+#: passes add (pagination, noise).
+LABELS: dict[str, dict[str, str]] = {
+    "de": {
+        "Director:": "Regie:",
+        "Writers:": "Drehbuch:",
+        "Latest News": "Aktuelle Nachrichten",
+        "Top videos": "Top-Videos",
+        "BREAKING": "EILMELDUNG",
+        "Terms of use": "Nutzungsbedingungen",
+        "Privacy": "Datenschutz",
+        "Scores": "Ergebnisse",
+        "Today's offers": "Angebote des Tages",
+        "Product": "Produkt",
+        "Rate": "Zinssatz",
+        "Country:": "Land:",
+        "Price from:": "Preis ab:",
+        "Open positions": "Offene Stellen",
+        "Comments": "Kommentare",
+        "Trending:": "Beliebt:",
+        "New post": "Neuer Beitrag",
+        "Pinned:": "Angeheftet:",
+        "News and Latest Reviews": "Neuigkeiten und aktuelle Tests",
+        "Channels": "Kanäle",
+        "Newsletter": "Rundbrief",
+        "Filters": "Filter",
+        "Cart": "Warenkorb",
+        "Map": "Karte",
+        "Radar": "Radar",
+        "Next page": "Nächste Seite",
+        "Page 1": "Seite 1",
+    },
+    "fr": {
+        "Director:": "Réalisateur :",
+        "Writers:": "Scénaristes :",
+        "Latest News": "Dernières nouvelles",
+        "Top videos": "Meilleures vidéos",
+        "BREAKING": "DERNIÈRE MINUTE",
+        "Terms of use": "Conditions d'utilisation",
+        "Privacy": "Confidentialité",
+        "Scores": "Résultats",
+        "Today's offers": "Offres du jour",
+        "Product": "Produit",
+        "Rate": "Taux",
+        "Country:": "Pays :",
+        "Price from:": "Prix à partir de :",
+        "Open positions": "Postes ouverts",
+        "Comments": "Commentaires",
+        "Trending:": "Tendances :",
+        "New post": "Nouveau message",
+        "Pinned:": "Épinglé :",
+        "News and Latest Reviews": "Actualités et derniers tests",
+        "Channels": "Rubriques",
+        "Newsletter": "Lettre d'information",
+        "Filters": "Filtres",
+        "Cart": "Panier",
+        "Map": "Carte",
+        "Radar": "Radar",
+        "Next page": "Page suivante",
+        "Page 1": "Page 1",
+    },
+    "es": {
+        "Director:": "Director:",
+        "Writers:": "Guionistas:",
+        "Latest News": "Últimas noticias",
+        "Top videos": "Vídeos destacados",
+        "BREAKING": "ÚLTIMA HORA",
+        "Terms of use": "Condiciones de uso",
+        "Privacy": "Privacidad",
+        "Scores": "Resultados",
+        "Today's offers": "Ofertas de hoy",
+        "Product": "Producto",
+        "Rate": "Tasa",
+        "Country:": "País:",
+        "Price from:": "Precio desde:",
+        "Open positions": "Puestos vacantes",
+        "Comments": "Comentarios",
+        "Trending:": "Tendencias:",
+        "New post": "Nueva publicación",
+        "Pinned:": "Fijado:",
+        "News and Latest Reviews": "Noticias y últimos análisis",
+        "Channels": "Canales",
+        "Newsletter": "Boletín",
+        "Filters": "Filtros",
+        "Cart": "Cesta",
+        "Map": "Mapa",
+        "Radar": "Radar",
+        "Next page": "Página siguiente",
+        "Page 1": "Página 1",
+    },
+}
+
+
+def localize_document(doc: Document, locale: str) -> int:
+    """Translate known template labels in place; returns the number of
+    text nodes rewritten.  Volatile (data) text is never touched."""
+    table = LABELS.get(locale)
+    if not table:
+        return 0
+    replaced = 0
+    for node in doc.root.descendants():
+        if not isinstance(node, TextNode) or node.meta.get("volatile"):
+            continue
+        stripped = node.text.strip()
+        translation = table.get(stripped)
+        if translation is not None and stripped:
+            node.text = node.text.replace(stripped, translation, 1)
+            replaced += 1
+    return replaced
+
+
+__all__ = ["LABELS", "LOCALES", "localize_document"]

@@ -1,0 +1,422 @@
+"""The drift lead-time study: scripted breaks vs. detector signals.
+
+For every task of every member site of a family:
+
+1. induce the wrapper at snapshot 0 (the canonical corpus recipe,
+   :func:`repro.runtime.induce_corpus_task`) and package it exactly as
+   a deployment would (:class:`~repro.runtime.artifact.WrapperArtifact`
+   with an ensemble committee);
+2. replay the *full* archive through the
+   :class:`~repro.runtime.drift.DriftDetector`
+   (:func:`~repro.runtime.drift.replay_archive` — no early stop, every
+   report kept);
+3. score each scripted break point:
+
+   * **healthy_at_break** — the detector's verdict at the break
+     snapshot itself.  ``True`` here is a false "healthy": the page
+     verifiably changed and the detector saw nothing.
+   * **signal lead time** — ``first_signal_at - break_at``, the number
+     of snapshots between the break and the first detector signal at or
+     after it (0 = caught immediately); ``None`` = never signalled.
+   * **hard lead time** — same, counting only hard (drift-flagging)
+     signals; ``None`` means the wrapper *survived* the break, which
+     for soft structural changes is the desired outcome, not a miss.
+
+4. score the re-induction policy at the first hard drift: try the
+   automatic ensemble-vote repair first (annotation cost 0); fall back
+   to re-annotation from ground truth (cost = number of targets a human
+   would have to click).  Both outcomes record the post-repair
+   precision/recall on the drifted page, so "cheap but wrong" votes are
+   visible next to "expensive but right" re-annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.evolution.archive import SyntheticArchive
+from repro.metrics.prf import prf_counts
+from repro.runtime.artifact import ArtifactError, WrapperArtifact
+from repro.runtime.corpus import induce_corpus_task
+from repro.runtime.drift import DriftConfig, DriftDetector, reinduce, replay_archive
+from repro.sitegen.family import FamilySpec, SiteFamily, generate_family
+from repro.sites.corpus import CorpusTask
+from repro.sites.spec import SiteSpec, TaskSpec
+from repro.xpath.compile import evaluate_compiled
+
+
+def _paranoid_drift() -> DriftConfig:
+    """The study's default detector is paranoid: a c-change is a hard
+    drift.  Scripted breaks are *structural* by construction, so under
+    the serving default (c-change soft) a robust wrapper simply absorbs
+    them and the repair-policy arm of the study would never run; the
+    paranoid deployment repairs at the first structural signal, which
+    is exactly the policy whose cost the study prices."""
+    return DriftConfig(canonical_change_is_hard=True)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of one lead-time sweep."""
+
+    n_snapshots: int = 20
+    ensemble_size: int = 3
+    drift: DriftConfig = field(default_factory=_paranoid_drift)
+
+
+@dataclass(frozen=True)
+class BreakObservation:
+    """Detector behaviour around one scripted break, for one task."""
+
+    family_id: str
+    site_id: str
+    task_id: str
+    verb: str
+    target: str
+    break_at: int
+    healthy_at_break: Optional[bool]
+    signals_at_break: tuple[str, ...]
+    first_signal_at: Optional[int]
+    first_hard_at: Optional[int]
+    false_alarms_before: Optional[int]
+
+    @property
+    def signal_lead(self) -> Optional[int]:
+        if self.first_signal_at is None:
+            return None
+        return self.first_signal_at - self.break_at
+
+    @property
+    def hard_lead(self) -> Optional[int]:
+        if self.first_hard_at is None:
+            return None
+        return self.first_hard_at - self.break_at
+
+    @property
+    def detected(self) -> bool:
+        return self.first_signal_at is not None
+
+    def to_record(self) -> dict:
+        return {
+            "type": "break",
+            "family_id": self.family_id,
+            "site_id": self.site_id,
+            "task_id": self.task_id,
+            "verb": self.verb,
+            "target": self.target,
+            "break_at": self.break_at,
+            "healthy_at_break": self.healthy_at_break,
+            "signals_at_break": list(self.signals_at_break),
+            "first_signal_at": self.first_signal_at,
+            "signal_lead": self.signal_lead,
+            "first_hard_at": self.first_hard_at,
+            "hard_lead": self.hard_lead,
+            "detected": self.detected,
+            "false_alarms_before": self.false_alarms_before,
+        }
+
+
+@dataclass(frozen=True)
+class RepairObservation:
+    """Outcome and cost of repairing one wrapper at its first hard drift."""
+
+    family_id: str
+    site_id: str
+    task_id: str
+    snapshot: int
+    #: "ensemble_vote" (automatic, cost 0), "re_annotation" (a human
+    #: labels every target), or "failed" (role gone from the page).
+    policy: str
+    annotation_cost: int
+    #: What a full re-annotation would have cost at this snapshot —
+    #: the price avoided whenever the vote suffices.
+    manual_cost: int
+    repair_ok: bool
+    post_precision: float = 0.0
+    post_recall: float = 0.0
+    post_exact: bool = False
+    error: str = ""
+
+    def to_record(self) -> dict:
+        return {
+            "type": "repair",
+            "family_id": self.family_id,
+            "site_id": self.site_id,
+            "task_id": self.task_id,
+            "snapshot": self.snapshot,
+            "policy": self.policy,
+            "annotation_cost": self.annotation_cost,
+            "manual_cost": self.manual_cost,
+            "repair_ok": self.repair_ok,
+            "post_precision": round(self.post_precision, 4),
+            "post_recall": round(self.post_recall, 4),
+            "post_exact": self.post_exact,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FamilyStudy:
+    """Everything one family's sweep produced."""
+
+    family_id: str
+    observations: list[BreakObservation] = field(default_factory=list)
+    repairs: list[RepairObservation] = field(default_factory=list)
+    skips: list[dict] = field(default_factory=list)
+    checks: int = 0
+    n_sites: int = 0
+    n_tasks: int = 0
+
+    @property
+    def breaks_detected(self) -> int:
+        return sum(1 for o in self.observations if o.detected)
+
+    @property
+    def false_healthy(self) -> int:
+        return sum(1 for o in self.observations if o.healthy_at_break is True)
+
+    @property
+    def all_detected(self) -> bool:
+        return self.breaks_detected == len(self.observations)
+
+    def _mean(self, values: list[int]) -> Optional[float]:
+        return round(sum(values) / len(values), 3) if values else None
+
+    def summary_record(self) -> dict:
+        signal_leads = [o.signal_lead for o in self.observations if o.signal_lead is not None]
+        hard_leads = [o.hard_lead for o in self.observations if o.hard_lead is not None]
+        by_policy: dict[str, int] = {}
+        for repair in self.repairs:
+            by_policy[repair.policy] = by_policy.get(repair.policy, 0) + 1
+        return {
+            "type": "family_summary",
+            "family_id": self.family_id,
+            "n_sites": self.n_sites,
+            "n_tasks": self.n_tasks,
+            "checks": self.checks,
+            "breaks": len(self.observations),
+            "breaks_detected": self.breaks_detected,
+            "false_healthy_at_break": self.false_healthy,
+            "mean_signal_lead": self._mean(signal_leads),
+            "mean_hard_lead": self._mean(hard_leads),
+            "survived_hard": sum(1 for o in self.observations if o.first_hard_at is None),
+            "repairs_by_policy": by_policy,
+            "annotation_cost": sum(r.annotation_cost for r in self.repairs),
+            "manual_cost_if_always": sum(r.manual_cost for r in self.repairs),
+            "repairs_exact": sum(1 for r in self.repairs if r.post_exact),
+            "skipped_tasks": len(self.skips),
+        }
+
+    def records(self) -> list[dict]:
+        out = [o.to_record() for o in self.observations]
+        out.extend(r.to_record() for r in self.repairs)
+        out.extend(self.skips)
+        out.append(self.summary_record())
+        return out
+
+
+def run_family_study(
+    family: SiteFamily | FamilySpec, config: Optional[StudyConfig] = None
+) -> FamilyStudy:
+    """Induce, replay, and score one family end to end."""
+    if isinstance(family, FamilySpec):
+        family = generate_family(family)
+    config = config or StudyConfig()
+    study = FamilyStudy(
+        family_id=family.spec.family_id,
+        n_sites=len(family.sites),
+        n_tasks=sum(len(site.tasks) for site in family.sites),
+    )
+    detector = DriftDetector(config.drift)
+    for member, site in enumerate(family.sites):
+        script = family.scripts[member]
+        breaks = [p for p in script.points if p.at_snapshot < config.n_snapshots]
+        # One archive per site, cache sized to hold the whole replay so
+        # every task reuses the same rendered snapshots.
+        archive = SyntheticArchive(
+            site,
+            n_snapshots=config.n_snapshots,
+            cache_size=max(8, config.n_snapshots),
+        )
+        for task in site.tasks:
+            seeded = induce_corpus_task(CorpusTask(site, task))
+            if seeded is None:
+                study.skips.append(
+                    {
+                        "type": "skip",
+                        "family_id": family.spec.family_id,
+                        "site_id": site.site_id,
+                        "task_id": task.task_id,
+                        "reason": "no targets on the snapshot-0 page",
+                    }
+                )
+                continue
+            result, sample = seeded
+            artifact = WrapperArtifact.from_induction(
+                result,
+                [sample],
+                task_id=task.task_id,
+                site_id=site.site_id,
+                role=task.role,
+                ensemble_size=config.ensemble_size,
+                provenance={
+                    "generator": "repro.sitegen",
+                    "family_id": family.spec.family_id,
+                },
+            )
+            reports = replay_archive(
+                artifact, archive, range(1, config.n_snapshots), detector
+            )
+            study.checks += len(reports)
+            by_snapshot = {r.snapshot: r for r in reports}
+            for k, point in enumerate(breaks):
+                window_end = (
+                    breaks[k + 1].at_snapshot
+                    if k + 1 < len(breaks)
+                    else config.n_snapshots
+                )
+                study.observations.append(
+                    _observe_break(
+                        family.spec.family_id, site, task, point, by_snapshot,
+                        window_end, first_break=(k == 0),
+                    )
+                )
+            first_hard = next((r for r in reports if r.drifted), None)
+            if first_hard is not None:
+                study.repairs.append(
+                    _score_repair(
+                        family.spec.family_id, site, task, artifact, archive,
+                        first_hard.snapshot,
+                    )
+                )
+    return study
+
+
+def run_family_payload(
+    payload: dict,
+    n_snapshots: int,
+    ensemble_size: int = 3,
+    hard_canonical: bool = True,
+) -> dict:
+    """Process-pool entry point: payload in, JSONL-ready records out."""
+    spec = FamilySpec.from_payload(payload)
+    study = run_family_study(
+        generate_family(spec),
+        StudyConfig(
+            n_snapshots=n_snapshots,
+            ensemble_size=ensemble_size,
+            drift=DriftConfig(canonical_change_is_hard=hard_canonical),
+        ),
+    )
+    return {"family_id": study.family_id, "records": study.records()}
+
+
+def _observe_break(
+    family_id: str,
+    site: SiteSpec,
+    task: TaskSpec,
+    point,
+    by_snapshot: dict,
+    window_end: int,
+    first_break: bool,
+) -> BreakObservation:
+    report_at_break = by_snapshot.get(point.at_snapshot)
+    window = [
+        by_snapshot[s] for s in range(point.at_snapshot, window_end) if s in by_snapshot
+    ]
+    first_signal = next((r.snapshot for r in window if not r.healthy), None)
+    first_hard = next((r.snapshot for r in window if r.drifted), None)
+    false_alarms: Optional[int] = None
+    if first_break:
+        false_alarms = sum(
+            1
+            for s in range(1, point.at_snapshot)
+            if s in by_snapshot and not by_snapshot[s].healthy
+        )
+    return BreakObservation(
+        family_id=family_id,
+        site_id=site.site_id,
+        task_id=task.task_id,
+        verb=point.verb,
+        target=point.target,
+        break_at=point.at_snapshot,
+        healthy_at_break=(
+            report_at_break.healthy if report_at_break is not None else None
+        ),
+        signals_at_break=(
+            report_at_break.signals if report_at_break is not None else ()
+        ),
+        first_signal_at=first_signal,
+        first_hard_at=first_hard,
+        false_alarms_before=false_alarms,
+    )
+
+
+def _score_repair(
+    family_id: str,
+    site: SiteSpec,
+    task: TaskSpec,
+    artifact: WrapperArtifact,
+    archive: SyntheticArchive,
+    snapshot: int,
+) -> RepairObservation:
+    doc = archive.snapshot(snapshot)
+    truth = archive.targets(doc, task.role)
+    manual_cost = len(truth)
+    try:
+        repaired = reinduce(artifact, doc, snapshot=snapshot)
+        policy, cost = "ensemble_vote", 0
+    except ArtifactError as vote_error:
+        if not truth:
+            return RepairObservation(
+                family_id=family_id,
+                site_id=site.site_id,
+                task_id=task.task_id,
+                snapshot=snapshot,
+                policy="failed",
+                annotation_cost=0,
+                manual_cost=0,
+                repair_ok=False,
+                error=str(vote_error),
+            )
+        try:
+            repaired = reinduce(artifact, doc, targets=truth, snapshot=snapshot)
+        except ArtifactError as annotation_error:
+            return RepairObservation(
+                family_id=family_id,
+                site_id=site.site_id,
+                task_id=task.task_id,
+                snapshot=snapshot,
+                policy="failed",
+                annotation_cost=manual_cost,
+                manual_cost=manual_cost,
+                repair_ok=False,
+                error=str(annotation_error),
+            )
+        policy, cost = "re_annotation", manual_cost
+    predicted = evaluate_compiled(repaired.best_query(), doc.root, doc)
+    prf = prf_counts(predicted, truth)
+    return RepairObservation(
+        family_id=family_id,
+        site_id=site.site_id,
+        task_id=task.task_id,
+        snapshot=snapshot,
+        policy=policy,
+        annotation_cost=cost,
+        manual_cost=manual_cost,
+        repair_ok=True,
+        post_precision=prf.precision,
+        post_recall=prf.recall,
+        post_exact=prf.exact,
+    )
+
+
+__all__ = [
+    "BreakObservation",
+    "FamilyStudy",
+    "RepairObservation",
+    "StudyConfig",
+    "run_family_payload",
+    "run_family_study",
+]

@@ -45,6 +45,11 @@ class SiteSpec:
     change_model: ChangeModel
     tasks: list[TaskSpec] = field(default_factory=list)
     seed: int = 0
+    #: Optional post-evolution hook (see repro.evolution.changes.StateHook)
+    #: applied by every SyntheticArchive built from this spec; generated
+    #: site families (repro.sitegen) use it to fire scripted break
+    #: points at known snapshot indices.
+    state_hook: Callable[[SiteState, random.Random], SiteState] | None = None
 
     def initial_rng(self) -> random.Random:
         return seeded_rng(self.seed, self.site_id)

@@ -19,6 +19,7 @@ AUDITED_MODULES = (
     "repro.dom",
     "repro.induction",
     "repro.runtime",
+    "repro.sitegen",
     "repro.xpath",
 )
 
@@ -71,6 +72,19 @@ def test_facade_symbols_are_exported_everywhere(name):
     assert name in api.__all__, f"repro.api.__all__ is missing facade symbol {name}"
     assert name in root.__all__, f"repro.__all__ is missing facade symbol {name}"
     assert getattr(api, name) is getattr(root, name)
+
+
+def test_sitegen_core_symbols_are_exported():
+    """The generator fleet's working surface: spec in, family out, with
+    the break script alongside — importable straight off the package."""
+    sitegen = importlib.import_module("repro.sitegen")
+    family = importlib.import_module("repro.sitegen.family")
+    breaks = importlib.import_module("repro.sitegen.breaks")
+    for name in ("FamilySpec", "BreakScript", "generate_family"):
+        assert name in sitegen.__all__, f"repro.sitegen.__all__ missing {name}"
+    assert sitegen.FamilySpec is family.FamilySpec
+    assert sitegen.generate_family is family.generate_family
+    assert sitegen.BreakScript is breaks.BreakScript
 
 
 def test_net_exports_resolve_lazily():

@@ -1,0 +1,146 @@
+"""BreakScript semantics: known change, known snapshot, guaranteed shift."""
+
+import pytest
+
+from repro.dom.serialize import to_html
+from repro.sitegen import BreakPoint, BreakScript, FamilySpec, generate_family
+from repro.xpath import canonical_path
+
+
+def family_with(script, **overrides):
+    defaults = dict(
+        family_id="t-brk", vertical="movies", n_sites=1, breaks=(script,)
+    )
+    defaults.update(overrides)
+    return generate_family(FamilySpec(**defaults))
+
+
+def one_break(verb, target, at=3):
+    return BreakScript(points=(BreakPoint(at, verb, target),))
+
+
+class TestBreakPointValidation:
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ValueError, match="verb"):
+            BreakPoint(3, "explode", "x")
+
+    def test_snapshot_zero_rejected(self):
+        with pytest.raises(ValueError, match="snapshot 1"):
+            BreakPoint(0, "wrap_div", "cast")
+
+    def test_targeted_verbs_need_a_target(self):
+        with pytest.raises(ValueError, match="target"):
+            BreakPoint(3, "class_rename", "")
+
+    def test_section_reorder_takes_no_target(self):
+        with pytest.raises(ValueError, match="no target"):
+            BreakPoint(3, "section_reorder", "cast")
+
+    def test_script_sorts_points_and_round_trips(self):
+        script = BreakScript(
+            points=(
+                BreakPoint(7, "section_reorder"),
+                BreakPoint(3, "wrap_div", "cast"),
+            )
+        )
+        assert [p.at_snapshot for p in script.points] == [3, 7]
+        assert BreakScript.from_payload(script.to_payload()) == script
+
+    def test_active_is_persistent(self):
+        script = one_break("wrap_div", "cast", at=3)
+        assert script.active(2) == ()
+        assert len(script.active(3)) == 1
+        assert len(script.active(9)) == 1  # migrations do not revert
+
+
+class TestScriptedBreaks:
+    def test_page_is_untouched_before_the_break(self):
+        broken = family_with(one_break("wrap_div", "cast", at=3))
+        calm = generate_family(
+            FamilySpec(family_id="t-brk", vertical="movies", n_sites=1)
+        )
+        a = broken.archive(0, n_snapshots=5)
+        b = calm.archive(0, n_snapshots=5)
+        for index in range(3):
+            assert to_html(a.snapshot(index)) == to_html(b.snapshot(index)), index
+
+    def test_migration_shell_appears_exactly_at_break(self):
+        archive = family_with(one_break("wrap_div", "cast", at=3)).archive(
+            0, n_snapshots=6
+        )
+        assert "migration-shell-3" not in to_html(archive.snapshot(2))
+        for index in (3, 4, 5):
+            assert "migration-shell-3" in to_html(archive.snapshot(index))
+
+    def test_wrap_div_wraps_every_target(self):
+        family = family_with(one_break("wrap_div", "cast", at=3))
+        archive = family.archive(0, n_snapshots=4)
+        doc = archive.snapshot(3)
+        assert "brk-wrap-3" in to_html(doc)
+        for node in archive.targets(doc, "cast"):
+            assert node.parent.attrs.get("class") == "brk-wrap-3"
+
+    def test_label_relocate_moves_targets(self):
+        family = family_with(one_break("label_relocate", "director", at=3))
+        archive = family.archive(0, n_snapshots=4)
+        doc = archive.snapshot(3)
+        targets = archive.targets(doc, "director")
+        assert targets
+        for node in targets:
+            assert node.parent.attrs.get("class") == "brk-moved-3"
+
+    def test_section_reorder_moves_last_section_first(self):
+        family = family_with(one_break("section_reorder", "", at=3))
+        archive = family.archive(0, n_snapshots=4)
+        before = archive.snapshot(2).find(tag="body").element_children()
+        after_doc = archive.snapshot(3)
+        shell = after_doc.find(tag="body").element_children()[0]
+        inner = [c for c in shell.element_children()]
+        assert str(inner[0].attrs.get("class", inner[0].tag)) == str(
+            before[-1].attrs.get("class", before[-1].tag)
+        )
+
+    def test_class_rename_fires_at_break_and_persists(self):
+        family = family_with(one_break("class_rename", "content", at=3))
+        archive = family.archive(0, n_snapshots=6)
+        before = archive.state(2).class_map["content"]
+        renamed = archive.state(3).class_map["content"]
+        assert renamed != before
+        assert archive.state(5).class_map["content"] == renamed  # rename sticks
+
+    def test_every_target_canonical_path_shifts_at_break(self):
+        """The zero-false-healthy guarantee: any active break moves the
+        canonical path of every body-descendant target."""
+        for verb, target in [
+            ("class_rename", "content"),
+            ("wrap_div", "cast"),
+            ("label_relocate", "director"),
+            ("section_reorder", ""),
+        ]:
+            family = family_with(one_break(verb, target, at=3))
+            archive = family.archive(0, n_snapshots=4)
+            for task in family.sites[0].tasks:
+                before = {
+                    canonical_path(n)
+                    for n in archive.targets(archive.snapshot(2), task.role)
+                }
+                after = {
+                    canonical_path(n)
+                    for n in archive.targets(archive.snapshot(3), task.role)
+                }
+                assert before.isdisjoint(after), (verb, task.role)
+
+    def test_state_hook_consumes_no_walk_draws(self):
+        """The scripted rename must not shift the organic trajectory:
+        everything except the renamed token evolves identically."""
+        broken = family_with(one_break("class_rename", "content", at=3))
+        calm = generate_family(
+            FamilySpec(family_id="t-brk", vertical="movies", n_sites=1)
+        )
+        a = broken.archive(0, n_snapshots=6).state(5)
+        b = calm.archive(0, n_snapshots=6).state(5)
+        assert a.class_map["content"] != b.class_map["content"]
+        for key in a.class_map:
+            if key != "content":
+                assert a.class_map[key] == b.class_map[key], key
+        assert a.lists == b.lists

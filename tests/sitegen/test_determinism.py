@@ -1,0 +1,102 @@
+"""Fleet determinism: a FamilySpec payload is the whole recipe.
+
+Same spec + same seed must render byte-identical HTML — in the same
+process, across archive instances, and across *separate interpreter
+processes* (the process-pool sweep path hands workers nothing but the
+payload dict, so any hidden per-process state would silently fork the
+fleet).
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import repro
+from repro.dom.serialize import to_html
+from repro.sitegen import FamilySpec, default_roster, generate_family
+
+N_SNAPSHOTS = 5
+
+SPEC = FamilySpec(
+    family_id="det-news",
+    vertical="news",
+    n_sites=2,
+    layout="boxed",
+    reskin_axis="both",
+    list_shape="paginated",
+    locale="fr",
+    noise=0.7,
+    breaks=default_roster(2, snapshots=N_SNAPSHOTS)[1].breaks,
+    seed=42,
+)
+
+_RENDER_SCRIPT = """\
+import json, sys
+from repro.dom.serialize import to_html
+from repro.sitegen import FamilySpec, generate_family
+
+payload, n_snapshots = json.loads(sys.stdin.read())
+family = generate_family(FamilySpec.from_payload(payload))
+pages = []
+for member in range(len(family.sites)):
+    archive = family.archive(member, n_snapshots=n_snapshots, cache_size=1)
+    pages.extend(to_html(archive.snapshot(i)) for i in range(n_snapshots))
+json.dump(pages, sys.stdout)
+"""
+
+
+def render_in_process(spec):
+    family = generate_family(spec)
+    pages = []
+    for member in range(len(family.sites)):
+        archive = family.archive(member, n_snapshots=N_SNAPSHOTS)
+        pages.extend(to_html(archive.snapshot(i)) for i in range(N_SNAPSHOTS))
+    return pages
+
+
+def render_in_subprocess(spec):
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _RENDER_SCRIPT],
+        input=json.dumps([spec.to_payload(), N_SNAPSHOTS]),
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def test_same_spec_renders_identically_in_process():
+    assert render_in_process(SPEC) == render_in_process(SPEC)
+
+
+def test_payload_round_trip_renders_identically():
+    rebuilt = FamilySpec.from_payload(json.loads(json.dumps(SPEC.to_payload())))
+    assert render_in_process(rebuilt) == render_in_process(SPEC)
+
+
+def test_subprocess_renders_byte_identical_html():
+    """The determinism satellite: a fresh interpreter, given only the
+    JSON payload, reproduces every page byte for byte."""
+    assert render_in_subprocess(SPEC) == render_in_process(SPEC)
+
+
+def test_global_rng_state_is_irrelevant():
+    random.seed(1)
+    a = render_in_process(SPEC)
+    random.seed(987654)
+    random.random()
+    b = render_in_process(SPEC)
+    assert a == b
+
+
+def test_seed_changes_the_family():
+    import dataclasses
+
+    other = dataclasses.replace(SPEC, seed=SPEC.seed + 1)
+    assert render_in_process(other) != render_in_process(SPEC)

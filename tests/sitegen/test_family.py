@@ -1,0 +1,172 @@
+"""FamilySpec compilation: every declarative axis lands on the page."""
+
+import pytest
+
+from repro.dom.serialize import to_html
+from repro.sitegen import FamilySpec, default_roster, generate_family
+from repro.sitegen.breaks import BreakPoint, BreakScript
+from repro.sitegen.family import PAGER_ROLE, _main_list
+from repro.sitegen.locale import LABELS
+
+
+def family_spec(**overrides):
+    defaults = dict(family_id="t-movies", vertical="movies", n_sites=2)
+    defaults.update(overrides)
+    return FamilySpec(**defaults)
+
+
+def first_page(spec, member=0, snapshot=0):
+    family = generate_family(spec)
+    return family.archive(member, n_snapshots=max(snapshot + 1, 2)).snapshot(snapshot)
+
+
+class TestSpecValidation:
+    def test_unknown_vertical_rejected(self):
+        with pytest.raises(ValueError, match="vertical"):
+            family_spec(vertical="nope")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("layout", "mobile"),
+            ("reskin_axis", "fonts"),
+            ("list_shape", "spiral"),
+            ("locale", "xx"),
+            ("noise", 1.5),
+            ("page_size", 1),
+            ("n_sites", 0),
+            ("change_scale", -1.0),
+        ],
+    )
+    def test_bad_axis_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            family_spec(**{field: value})
+
+    def test_break_target_must_exist_on_vertical(self):
+        bad = BreakScript(points=(BreakPoint(3, "class_rename", "no-such-token"),))
+        with pytest.raises(ValueError, match="class token"):
+            generate_family(family_spec(breaks=(bad,)))
+
+    def test_wrap_div_target_must_be_a_role(self):
+        bad = BreakScript(points=(BreakPoint(3, "wrap_div", "no-such-role"),))
+        with pytest.raises(ValueError, match="task role"):
+            generate_family(family_spec(breaks=(bad,)))
+
+    def test_payload_round_trip(self):
+        spec = family_spec(
+            layout="split",
+            list_shape="paginated",
+            locale="de",
+            noise=0.5,
+            breaks=(BreakScript(points=(BreakPoint(4, "section_reorder"),)),),
+        )
+        assert FamilySpec.from_payload(spec.to_payload()) == spec
+
+
+class TestCompilation:
+    def test_member_sites_get_family_ids_and_urls(self):
+        family = generate_family(family_spec(n_sites=3))
+        assert [site.site_id for site in family.sites] == [
+            "t-movies-0",
+            "t-movies-1",
+            "t-movies-2",
+        ]
+        for site in family.sites:
+            assert site.url == f"http://{site.site_id}.example.net/"
+            for task in site.tasks:
+                assert task.site_id == site.site_id
+                assert task.task_id == f"{site.site_id}/{task.role}"
+
+    def test_members_differ_but_share_the_template(self):
+        family = generate_family(family_spec())
+        pages = [
+            to_html(family.archive(m, n_snapshots=2).snapshot(0)) for m in range(2)
+        ]
+        assert pages[0] != pages[1]  # different seeds + reskin
+        roles = [sorted(t.role for t in site.tasks) for site in family.sites]
+        assert roles[0] == roles[1]
+
+    def test_reskin_suffixes_member_classes(self):
+        html = to_html(first_page(family_spec(reskin_axis="classes"), member=1))
+        assert "-r1" in html
+        base = to_html(first_page(family_spec(reskin_axis="classes"), member=0))
+        assert "-r0" not in base  # member 0 is the as-built A variant
+
+    def test_boxed_layout_wraps_body(self):
+        html = to_html(first_page(family_spec(layout="boxed")))
+        assert "layout-boxed" in html
+
+    def test_split_layout_makes_two_columns(self):
+        html = to_html(first_page(family_spec(layout="split")))
+        assert "col-main" in html and "col-side" in html
+
+    def test_paginated_shape_truncates_and_adds_pager_task(self):
+        spec = family_spec(list_shape="paginated", page_size=3)
+        family = generate_family(spec)
+        doc = family.archive(0, n_snapshots=2).snapshot(0)
+        html = to_html(doc)
+        assert "pager-next" in html
+        assert any(t.role == PAGER_ROLE for t in family.sites[0].tasks)
+        body = doc.find(tag="body")
+        assert _main_list(body, 3) is None  # nothing longer than a page remains
+
+    def test_chunked_shape_segments_the_main_list(self):
+        html = to_html(first_page(family_spec(list_shape="chunked", page_size=3)))
+        assert "stream-chunk" in html
+
+    def test_locale_translates_labels_not_data(self):
+        spec = family_spec(vertical="movies", locale="de")
+        html = to_html(first_page(spec))
+        assert LABELS["de"]["Director:"] in html
+        assert "Director:" not in html
+
+    def test_noise_adds_boiler_blocks(self):
+        clean = to_html(first_page(family_spec(noise=0.0)))
+        noisy = to_html(first_page(family_spec(noise=1.0)))
+        assert "boiler-" not in clean
+        assert "boiler-" in noisy
+
+    def test_noise_positions_stable_across_snapshots(self):
+        family = generate_family(family_spec(noise=0.7))
+        archive = family.archive(0, n_snapshots=3)
+
+        def skeleton(doc):
+            body = doc.find(tag="body")
+            return [
+                (i, node.attrs.get("class"))
+                for i, node in enumerate(body.element_children())
+                if str(node.attrs.get("class", "")).startswith("boiler-")
+            ]
+
+        assert skeleton(archive.snapshot(0)) == skeleton(archive.snapshot(2))
+
+    def test_calm_family_only_changes_data(self):
+        family = generate_family(family_spec())
+        archive = family.archive(0, n_snapshots=4)
+        for index in range(4):
+            doc = archive.snapshot(index)
+            for task in family.sites[0].tasks:
+                assert archive.targets(doc, task.role), (index, task.role)
+
+
+class TestDefaultRoster:
+    def test_roster_cycles_axes_and_compiles(self):
+        specs = default_roster(8, snapshots=10)
+        assert len(specs) == 8
+        assert len({s.vertical for s in specs}) == 8
+        assert {p.verb for s in specs for b in s.breaks for p in b.points} == {
+            "class_rename",
+            "wrap_div",
+            "label_relocate",
+            "section_reorder",
+        }
+        for spec in specs:
+            generate_family(spec)  # every roster entry must validate
+
+    def test_roster_breaks_land_mid_archive(self):
+        for spec in default_roster(4, snapshots=10):
+            for script in spec.breaks:
+                assert all(p.at_snapshot == 5 for p in script.points)
+
+    def test_roster_is_deterministic(self):
+        assert default_roster(4, snapshots=20) == default_roster(4, snapshots=20)

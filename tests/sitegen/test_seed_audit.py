@@ -1,0 +1,80 @@
+"""Seed-threading audit: no generator module may touch the global RNG.
+
+Determinism rests on one rule — every random draw derives from
+``seeded_rng`` (or an explicitly-seeded ``random.Random``), never from
+the process-global ``random`` module.  A single ``random.choice(...)``
+at module scope or inside a builder silently couples output to import
+order and test order.  This audit walks the AST of every module in the
+generator stack (``repro.sites``, ``repro.evolution``,
+``repro.sitegen``) and fails on any call of the form
+``random.<fn>(...)`` — the global-RNG convenience API — while allowing
+``random.Random(seed)`` construction and type annotations.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+#: Packages whose modules draw randomness while generating content.
+AUDITED_PACKAGES = ("sites", "evolution", "sitegen")
+
+#: The one constructor allowed on the module: explicit-seed generators.
+ALLOWED_ATTRS = {"Random"}
+
+
+def audited_files():
+    for package in AUDITED_PACKAGES:
+        for path in sorted((SRC_ROOT / package).rglob("*.py")):
+            yield pytest.param(path, id=str(path.relative_to(SRC_ROOT)))
+
+
+def global_rng_calls(tree: ast.AST) -> list[str]:
+    """Every ``random.<fn>(...)`` call in a module, as ``line: code``."""
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in ALLOWED_ATTRS
+        ):
+            offenders.append(f"line {node.lineno}: random.{func.attr}(...)")
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            offenders.append(f"line {node.lineno}: random.Random() without a seed")
+    return offenders
+
+
+@pytest.mark.parametrize("path", list(audited_files()))
+def test_no_global_rng_draws(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = global_rng_calls(tree)
+    assert not offenders, (
+        f"{path} draws from the process-global RNG (derive from seeded_rng "
+        f"or an explicitly seeded random.Random instead):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_audit_catches_a_global_draw():
+    """The audit itself must not be vacuous."""
+    tree = ast.parse("import random\nx = random.choice([1, 2])\n")
+    assert global_rng_calls(tree)
+    tree = ast.parse("import random\nrng = random.Random()\n")
+    assert global_rng_calls(tree)
+    tree = ast.parse("import random\nrng = random.Random(42)\nrng.choice([1])\n")
+    assert not global_rng_calls(tree)

@@ -233,6 +233,7 @@ class TestRealBaselines:
             "BENCH_net.json",
             "BENCH_runtime.json",
             "BENCH_serving.json",
+            "BENCH_sitegen.json",
             "BENCH_xpath.json",
         ]
         for name in names:
