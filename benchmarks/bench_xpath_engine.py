@@ -137,10 +137,28 @@ def test_engine_microbench(benchmark, emit):
         ]
 
     limit = scale(12, 56)
-    medians = [measure_induction_runtime(limit=limit).median_s for _ in range(3)]
-    results["induction_median_s"] = min(medians)
+    runs = [measure_induction_runtime(limit=limit) for _ in range(3)]
+    best_run = min(runs, key=lambda run: run.median_s)
+    results["induction_median_s"] = best_run.median_s
     results["induction_limit"] = limit
     results["node_count"] = len(nodes)
+
+    # Node-count-normalized induction time: median seconds per 1000
+    # nodes of the induced page, so the figure stays comparable when
+    # the task limit (and hence the page mix) changes across tiers.
+    from repro.runtime.corpus import snapshot0_annotation
+    from repro.sites import single_node_tasks
+
+    page_knodes = {}
+    for corpus_task in single_node_tasks(limit=limit):
+        annotation = snapshot0_annotation(corpus_task)
+        if annotation is not None:
+            page_knodes[corpus_task.task_id] = annotation[0].node_count() / 1000.0
+    results["induction_s_per_knode"] = statistics.median(
+        seconds / page_knodes[task_id]
+        for task_id, seconds in best_run.per_task
+        if page_knodes.get(task_id)
+    )
 
     seed_induction = SEED_BASELINE[
         "induction_median_s_limit12" if limit == 12 else "induction_median_s_limit56"
@@ -160,6 +178,13 @@ def test_engine_microbench(benchmark, emit):
             if results[key] > 0
         }
         | {"induction_median": seed_induction / results["induction_median_s"]},
+    }
+    # Every xpath ratio divides a fixed seed constant by this host's
+    # wall-clock, so all of them gate on any host; the explicit dict
+    # keeps the file on the same per-metric schema as the self-arming
+    # benches (cluster/sitegen/induction).
+    payload["gate_applies"] = {
+        f"speedup.{key}": True for key in payload["speedup"]
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -39,6 +39,10 @@ its wall-clock generation rate by a fixed pages/sec floor, so like the
 xpath file it scales with host speed and gets the 60% band (its
 benchmark asserts the ≥ 25 pages/sec floor itself); its process-pool
 fan-out ratio self-arms per metric the same way.
+``BENCH_induction.json`` divides two same-run wall-clocks but rides
+single-process scheduler noise on a heavy workload, and its fold-pool
+ratio self-arms per metric on CPU count (the benchmark asserts the
+≥ 2× pruned-search bar itself on any host), so it gets the 35% band.
 ``BENCH_runtime.json`` / ``BENCH_serving.json`` ratios divide two
 measurements from the same run and keep the tight default.
 
@@ -81,6 +85,7 @@ FILE_TOLERANCES = {
     "BENCH_net.json": 0.35,
     "BENCH_cluster.json": 0.35,
     "BENCH_sitegen.json": 0.60,
+    "BENCH_induction.json": 0.35,
 }
 
 

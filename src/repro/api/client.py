@@ -44,7 +44,7 @@ from repro.cluster.placement import (
 )
 from repro.dom.node import Document
 from repro.dom.parser import parse_html
-from repro.induction.config import InductionConfig
+from repro.induction.config import InductionConfig, config_with_options
 from repro.induction.induce import WrapperInducer
 from repro.induction.relative import RecordWrapper, RelativeWrapperInducer
 from repro.induction.samples import QuerySample
@@ -124,6 +124,14 @@ class WrapperClient:
         except ValueError as exc:
             raise FacadeError(str(exc)) from exc
         self._memory: dict[str, WrapperArtifact] = {}
+        #: Aggregate induce-side counters (surfaced by the serving
+        #: layer's ``/metrics`` induction block).
+        self.induction_counters: dict[str, int] = {
+            "inductions": 0,
+            "repairs": 0,
+            "candidates_considered": 0,
+            "pruned_candidates_skipped": 0,
+        }
         if store is None:
             self._store: Optional[ShardedArtifactStore] = None
         elif isinstance(store, ShardedArtifactStore):
@@ -223,17 +231,30 @@ class WrapperClient:
         config: Optional[InductionConfig] = None,
         role: str = "",
         provenance: Optional[dict] = None,
+        options: Optional[dict] = None,
     ) -> WrapperHandle:
         """Induce and deploy a wrapper for ``site_key``.
 
         ``samples`` are :class:`Sample` annotations (legacy
         :class:`~repro.induction.samples.QuerySample` accepted).  Record
         mode requires exactly one sample carrying ``fields``.
+
+        ``options`` tunes the induction fast path without constructing a
+        config: ``search="pruned"`` (stochastic beam instead of the
+        exhaustive DP), ``beam_width``/``prune_trials``/``prune_seed``,
+        ``fold_workers`` (pooled parallel folds), and ``diversity``
+        (fragile-feature-penalized ensemble selection).  Unknown keys
+        raise :class:`FacadeError`.
         """
         if mode not in ("node", "record", "ensemble"):
             raise FacadeError(f"unknown induction mode {mode!r}")
         site_key = self._qualify(site_key)
         config = config or InductionConfig(k=k)
+        if options:
+            try:
+                config = config_with_options(config, dict(options))
+            except (TypeError, ValueError) as exc:
+                raise FacadeError(str(exc)) from exc
         facade_samples = coerce_samples(samples)
         meta: dict = {"mode": mode}
         try:
@@ -255,6 +276,17 @@ class WrapperClient:
                 result = WrapperInducer(k=config.k, config=config).induce(
                     query_samples
                 )
+            stats = getattr(result, "stats", None)
+            if stats is not None:
+                # Deterministic counters only — identical on every
+                # backend, so handle/artifact parity is unaffected.
+                meta["induction"] = stats.as_payload()
+                self.induction_counters["candidates_considered"] += (
+                    stats.candidates_considered
+                )
+                self.induction_counters["pruned_candidates_skipped"] += (
+                    stats.candidates_pruned
+                )
             artifact = WrapperArtifact.from_induction(
                 result,
                 query_samples,
@@ -271,6 +303,7 @@ class WrapperClient:
         except (ArtifactError, ValueError) as exc:
             raise FacadeError(f"{site_key}: {exc}") from exc
         self._put(artifact)
+        self.induction_counters["inductions"] += 1
         return WrapperHandle.from_artifact(artifact)
 
     # -- serve / monitor ----------------------------------------------------
@@ -368,6 +401,16 @@ class WrapperClient:
         except (ArtifactError, ValueError) as exc:
             raise FacadeError(f"{site_key}: {exc}") from exc
         self._put(repaired)
+        self.induction_counters["inductions"] += 1
+        self.induction_counters["repairs"] += 1
+        stats = repaired.provenance.get("induction_stats")
+        if isinstance(stats, dict):
+            self.induction_counters["candidates_considered"] += int(
+                stats.get("candidates_considered", 0)
+            )
+            self.induction_counters["pruned_candidates_skipped"] += int(
+                stats.get("candidates_pruned", 0)
+            )
         return WrapperHandle.from_artifact(repaired)
 
 

@@ -441,6 +441,7 @@ class RemoteWrapperClient:
         ensemble_size: int = 3,
         max_queries: int = 10,
         role: str = "",
+        options: Optional[dict] = None,
     ) -> WrapperHandle:
         payloads = []
         for sample in coerce_samples(samples):
@@ -452,19 +453,20 @@ class RemoteWrapperClient:
                 # Same surface as the local client: a bad annotation is a
                 # FacadeError, whichever backend sees it first.
                 raise FacadeError(f"{site_key}: {exc}") from exc
-        answer = self._request(
-            "POST",
-            "/induce",
-            {
-                "site_key": self._qualify(site_key),
-                "mode": mode,
-                "samples": payloads,
-                "k": k,
-                "ensemble_size": ensemble_size,
-                "max_queries": max_queries,
-                "role": role,
-            },
-        )
+        body = {
+            "site_key": self._qualify(site_key),
+            "mode": mode,
+            "samples": payloads,
+            "k": k,
+            "ensemble_size": ensemble_size,
+            "max_queries": max_queries,
+            "role": role,
+        }
+        if options:
+            # Omitted when empty: old servers reject unknown fields on
+            # exactly the requests that would need them.
+            body["options"] = dict(options)
+        answer = self._request("POST", "/induce", body)
         return WrapperHandle.from_payload(answer)
 
     def extract(self, site_key: str, page: Page) -> ExtractionResult:

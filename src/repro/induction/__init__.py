@@ -14,8 +14,18 @@ structure:
 """
 
 from repro.induction.config import InductionConfig
-from repro.induction.ensemble import EnsembleWrapper, build_ensemble, select_diverse
-from repro.induction.induce import InductionResult, WrapperInducer, induce
+from repro.induction.ensemble import (
+    EnsembleWrapper,
+    build_ensemble,
+    fragile_signature,
+    select_diverse,
+)
+from repro.induction.induce import (
+    InductionResult,
+    InductionStats,
+    WrapperInducer,
+    induce,
+)
 from repro.induction.relative import (
     RecordExample,
     RecordWrapper,
@@ -27,12 +37,14 @@ __all__ = [
     "EnsembleWrapper",
     "InductionConfig",
     "InductionResult",
+    "InductionStats",
     "QuerySample",
     "RecordExample",
     "RecordWrapper",
     "RelativeWrapperInducer",
     "WrapperInducer",
     "build_ensemble",
+    "fragile_signature",
     "induce",
     "select_diverse",
 ]

@@ -12,13 +12,70 @@ generators and are then never used in string predicates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+#: Candidate search strategies (see ``search`` below).
+SEARCH_MODES = ("exhaustive", "pruned")
+
+#: ``WrapperClient.induce(options=...)`` keys that map onto config
+#: fields (the remaining facade option, ``diversity``, configures
+#: ensemble selection and is consumed by the client directly).
+OPTION_FIELDS = frozenset(
+    {
+        "search",
+        "beam_width",
+        "prune_trials",
+        "prune_seed",
+        "fold_workers",
+        "diversity",
+    }
+)
+
+
+def config_with_options(config: "InductionConfig", options: dict) -> "InductionConfig":
+    """Apply a facade ``options={...}`` dict; unknown keys raise."""
+    unknown = set(options) - OPTION_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown induction options: {sorted(unknown)} "
+            f"(supported: {sorted(OPTION_FIELDS)})"
+        )
+    return replace(config, **options) if options else config
 
 
 @dataclass(frozen=True)
 class InductionConfig:
     k: int = 10
     beta: float = 0.5
+
+    #: Candidate search strategy.  ``"exhaustive"`` (the default) scores
+    #: every generated step candidate in the DP exactly as the paper
+    #: does; ``"pruned"`` ranks candidates with the cheap stochastic-
+    #: approximation score of :mod:`repro.induction.prune` (SPSA-style
+    #: perturbation trials over a seeded RNG) and runs the full DP
+    #: scoring only on the surviving beam.  The default is pinned
+    #: bit-for-bit by the golden corpus.
+    search: str = "exhaustive"
+    #: Pruned search: candidates kept per (context, anchor) spine
+    #: position after stochastic ranking.
+    beam_width: int = 10
+    #: Pruned search: weight-perturbation trials per candidate list.
+    prune_trials: int = 4
+    #: Pruned search: RNG seed — the determinism contract (same seed,
+    #: same document, same beam → identical induction output).
+    prune_seed: int = 0
+
+    #: Fan per-sample induction folds and the multi-sample aggregation
+    #: out over the shared persistent process pool
+    #: (:mod:`repro.induction.parallel`).  0/1 = serial (the default);
+    #: results are identical either way, only wall-clock changes.
+    fold_workers: int = 0
+
+    #: Ensemble selection: penalty weight for committee members sharing
+    #: a fragile feature class (``ensemble.fragile_signature``).  0.0
+    #: keeps the accuracy-first selection; > 0 trades that many ranks of
+    #: accuracy per shared fragile key for a different failure mode.
+    diversity: float = 0.0
 
     #: Use text-content predicates at all (contains/starts-with/... on ".").
     allow_text_predicates: bool = True
@@ -52,3 +109,17 @@ class InductionConfig:
 
     #: Attributes never used in predicates (too volatile / non-semantic).
     skipped_attributes: frozenset[str] = frozenset({"style"})
+
+    def __post_init__(self) -> None:
+        if self.search not in SEARCH_MODES:
+            raise ValueError(
+                f"search must be one of {SEARCH_MODES}, got {self.search!r}"
+            )
+        if self.beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {self.beam_width}")
+        if self.prune_trials < 1:
+            raise ValueError(f"prune_trials must be >= 1, got {self.prune_trials}")
+        if self.fold_workers < 0:
+            raise ValueError(f"fold_workers must be >= 0, got {self.fold_workers}")
+        if self.diversity < 0:
+            raise ValueError(f"diversity must be >= 0, got {self.diversity}")

@@ -55,15 +55,81 @@ def feature_signature(query: Query) -> frozenset[str]:
     return frozenset(features)
 
 
+def fragile_signature(query: Query) -> frozenset[str]:
+    """The *value-insensitive* fragile features of a query.
+
+    ``feature_signature`` keeps predicate values, so two queries anchored
+    on different class names look disjoint — yet a site-wide reskin
+    renames every class at once and breaks both.  Here all predicates on
+    the same attribute collapse to one key (``attr:class``), all text
+    anchors to ``text``, and positional structure to ``positional``:
+    the failure *modes*, not the failure values.  Tag names are not
+    fragile — tag changes are structural rewrites, not skins.
+    """
+    features: set[str] = set()
+    for step in query.steps:
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionalPredicate):
+                features.add("positional")
+            elif isinstance(predicate, AttributePredicate):
+                features.add(f"attr:{predicate.name}")
+            elif isinstance(predicate, StringPredicate):
+                if isinstance(predicate.subject, TextSubject):
+                    features.add("text")
+                else:
+                    assert isinstance(predicate.subject, AttrSubject)
+                    features.add(f"attr:{predicate.subject.name}")
+    return frozenset(features)
+
+
 def select_diverse(
-    result: InductionResult | Sequence, size: int = 3, min_f_beta: float = 1.0
+    result: InductionResult | Sequence,
+    size: int = 3,
+    min_f_beta: float = 1.0,
+    diversity: Optional[float] = None,
 ) -> list[Query]:
     """Pick up to ``size`` accurate queries with maximally disjoint features.
 
     Greedy: walk the ranking, keep a query if it shares as few features
     as possible with the committee so far (prefer fully disjoint ones).
+
+    ``diversity`` (the "Diversified Multiple Trees" idiom) additionally
+    penalizes sharing *fragile* feature classes with the committee: each
+    slot picks the instance minimizing ``rank + diversity·overlap``,
+    where overlap counts shared :func:`fragile_signature` keys.  A
+    committee of three different-class anchors scores as three shared
+    ``attr:class`` keys — with a meaningful weight (≥ 1) the selection
+    trades a few ranks of accuracy for an anchor on a different failure
+    mode, so one reskin no longer kills the whole vote.  ``None``
+    preserves the accuracy-first behavior exactly.
     """
     instances = list(result)
+    if diversity is not None:
+        if diversity < 0:
+            raise ValueError(f"diversity must be >= 0, got {diversity}")
+        eligible = [
+            (rank, instance)
+            for rank, instance in enumerate(instances)
+            if instance.f_beta() >= min_f_beta
+        ]
+        committee: list[Query] = []
+        fragile_used: set[str] = set()
+        chosen: set[int] = set()
+        while len(committee) < size:
+            best_rank = best_key = None
+            for rank, instance in eligible:
+                if rank in chosen or instance.query in committee:
+                    continue
+                overlap = len(fragile_signature(instance.query) & fragile_used)
+                key = rank + diversity * overlap
+                if best_key is None or key < best_key:
+                    best_key, best_rank = key, rank
+            if best_rank is None:
+                break
+            chosen.add(best_rank)
+            committee.append(instances[best_rank].query)
+            fragile_used |= fragile_signature(instances[best_rank].query)
+        return committee
     committee: list[Query] = []
     used: set[str] = set()
     # First pass: fully feature-disjoint queries in rank order.
@@ -142,9 +208,11 @@ class EnsembleWrapper:
         return " ⊕ ".join(str(member) for member in self.members)
 
 
-def build_ensemble(result: InductionResult, size: int = 3) -> EnsembleWrapper:
+def build_ensemble(
+    result: InductionResult, size: int = 3, diversity: Optional[float] = None
+) -> EnsembleWrapper:
     """Select a feature-diverse committee from an induction result."""
-    members = select_diverse(result, size=size)
+    members = select_diverse(result, size=size, diversity=diversity)
     if not members:
         best = result.best
         if best is None:

@@ -34,11 +34,42 @@ from repro.xpath.cache import CachedEvaluator
 
 
 @dataclass
+class InductionStats:
+    """Deterministic counters from one ``induce()`` run.
+
+    Purely observational — never feeds back into ranking — so stamping
+    these into artifact provenance / ``/metrics`` is parity-safe.
+    """
+
+    search: str = "exhaustive"
+    #: Samples (folds) induced.
+    folds: int = 0
+    #: Whether the folds ran on the shared induction pool.
+    pooled: bool = False
+    #: Candidates seen at DP positions where pruning was attempted.
+    candidates_considered: int = 0
+    #: Candidates the stochastic beam dropped before full DP scoring.
+    candidates_pruned: int = 0
+
+    def as_payload(self) -> dict:
+        return {
+            "search": self.search,
+            "folds": self.folds,
+            "pooled": self.pooled,
+            "candidates_considered": self.candidates_considered,
+            "candidates_pruned": self.candidates_pruned,
+        }
+
+
+@dataclass
 class InductionResult:
     """Ranked query instances with accuracy aggregated over all samples."""
 
     instances: list[QueryInstance]
     beta: float = 0.5
+    #: Run counters (see :class:`InductionStats`); not part of the
+    #: ranking payload — ``export()`` is unchanged.
+    stats: Optional[InductionStats] = None
 
     @property
     def best(self) -> Optional[QueryInstance]:
@@ -79,11 +110,26 @@ class InductionResult:
 
 
 def _induce_sample(
-    sample: QuerySample, config: InductionConfig, params: ScoringParams
+    sample: QuerySample,
+    config: InductionConfig,
+    params: ScoringParams,
+    stats: Optional[InductionStats] = None,
 ) -> list[QueryInstance]:
     """Algorithm 3, lines 1–15, for one sample."""
     doc = sample.doc
     ctx = PathInductionContext.for_doc(doc, config, params)
+    try:
+        return _induce_sample_ctx(ctx, sample, config)
+    finally:
+        if stats is not None and ctx.pruner is not None:
+            stats.candidates_considered += ctx.pruner.considered
+            stats.candidates_pruned += ctx.pruner.skipped
+
+
+def _induce_sample_ctx(
+    ctx: PathInductionContext, sample: QuerySample, config: InductionConfig
+) -> list[QueryInstance]:
+    doc = sample.doc
     u = sample.context
     targets = list(sample.targets)
     if any(v is u for v in targets):
@@ -160,13 +206,24 @@ def induce(
         raise ValueError("at least one query sample is required")
     config = config or InductionConfig()
     params = params or ScoringParams()
-    per_sample = [_induce_sample(sample, config, params) for sample in samples]
+    stats = InductionStats(search=config.search, folds=len(samples))
+
+    if config.fold_workers >= 2 and len(samples) > 1:
+        from repro.induction.parallel import induce_pooled
+
+        pooled = induce_pooled(samples, config, params, stats)
+        if pooled is not None:
+            return pooled
+
+    per_sample = [
+        _induce_sample(sample, config, params, stats) for sample in samples
+    ]
     if len(samples) == 1:
         ranked = [i for i in per_sample[0] if not i.query.is_empty]
-        return InductionResult(ranked, beta=config.beta)
+        return InductionResult(ranked, beta=config.beta, stats=stats)
     scorer = Scorer(params)
     return InductionResult(
-        _aggregate(per_sample, samples, config, scorer), beta=config.beta
+        _aggregate(per_sample, samples, config, scorer), beta=config.beta, stats=stats
     )
 
 

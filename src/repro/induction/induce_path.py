@@ -14,8 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from repro.dom.node import Document, Node
 from repro.induction.config import InductionConfig
+from repro.induction.prune import CandidatePruner, pruned_generation_config
 from repro.induction.samples import QuerySample
 from repro.induction.spine import spine, targets_reachable
 from repro.induction.step_pattern import StepCandidate, step_patterns
@@ -44,17 +47,28 @@ class PathInductionContext:
     step_cache: dict[tuple[int, int, Axis], list[StepCandidate]] = field(
         default_factory=dict
     )
+    #: ``search="pruned"`` only; None on the exhaustive default, which
+    #: therefore runs byte-for-byte the code it always has.
+    pruner: Optional[CandidatePruner] = None
+    pruned_cache: dict[tuple, list[StepCandidate]] = field(default_factory=dict)
 
     @classmethod
     def for_doc(
         cls, doc: Document, config: InductionConfig, params: ScoringParams
     ) -> "PathInductionContext":
+        pruner = None
+        if config.search == "pruned":
+            pruner = CandidatePruner(
+                config.beam_width, config.prune_trials, config.prune_seed
+            )
+            config = pruned_generation_config(config)
         return cls(
             doc=doc,
             config=config,
             params=params,
             scorer=shared_scorer(params),
             evaluator=CachedEvaluator(doc),
+            pruner=pruner,
         )
 
     def node_id(self, node: Node) -> int:
@@ -69,6 +83,26 @@ class PathInductionContext:
             )
             self.step_cache[key] = cached
         return cached
+
+    def step_candidates(
+        self, n: Node, t: Node, axis: Axis, reachable: frozenset[int]
+    ) -> list[StepCandidate]:
+        """The candidates the DP scores at (n, t): all of them under the
+        exhaustive default, the stochastic beam under ``search="pruned"``.
+        The beam is keyed on the reachable-target set too: the
+        two-directional case can revisit a position with different
+        reachable targets, and coverage features depend on them."""
+        candidates = self.step_patterns(n, t, axis)
+        if self.pruner is None:
+            return candidates
+        nid = self.doc.node_id(n)
+        tid = self.doc.node_id(t)
+        key = (nid, tid, axis, reachable)
+        pruned = self.pruned_cache.get(key)
+        if pruned is None:
+            pruned = self.pruner.prune(candidates, nid, tid, axis, reachable, self.doc)
+            self.pruned_cache[key] = pruned
+        return pruned
 
 
 def init_tables(
@@ -124,7 +158,7 @@ def induce_path(
                 # Alg. 2, L5–9, inlined (this is the DP's innermost loop):
                 # score the extension without concatenating, prune, and
                 # only then evaluate and materialize the composed query.
-                for candidate in ctx.step_patterns(n, t, axis):
+                for candidate in ctx.step_candidates(n, t, axis, reachable):
                     head = candidate.instance.query
                     head_len = len(head)
                     head_matches = candidate.matches

@@ -1,0 +1,158 @@
+"""Parallel induction folds (opt-in via ``InductionConfig.fold_workers``).
+
+Multi-sample induction is embarrassingly parallel twice over: Algorithm
+3 first induces each sample independently (the *folds*), then re-scores
+every surviving candidate on every sample (the aggregation).  Both fan
+out here over a persistent ``ProcessPoolExecutor`` — the same
+pooled-executor idiom as the serving layer's ``BatchExtractor``, and
+like it the pool outlives individual calls so repeated ``induce()`` /
+``reinduce()`` traffic (the drift fleet's repair chain, ensemble
+member induction) amortizes worker startup.
+
+Documents never cross the process boundary: samples ship as
+:class:`~repro.runtime.artifact.StoredSample` (HTML + canonical target
+paths) and are re-parsed in the worker, exactly the round-trip
+``reinduce()`` already relies on.  Candidates come back as canonical
+query text plus their bit-exact float score, so the aggregated result
+is identical to the serial path — asserted by the test suite and by
+``benchmarks/bench_induction.py``.  Samples that cannot be stored
+(ambiguous canonical paths) fall back to the serial path.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.induction.config import InductionConfig
+from repro.induction.samples import QuerySample
+from repro.scoring.params import ScoringParams
+from repro.scoring.ranking import QueryInstance, rank_key
+from repro.xpath.ast import Query
+from repro.xpath.cache import CachedEvaluator
+from repro.xpath.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.induction.induce import InductionResult, InductionStats
+
+
+# -- worker side (module-level: must be picklable by reference) ------------
+
+
+def _induce_fold(stored, config: InductionConfig, params: ScoringParams):
+    """Induce one restored sample; rows are (query text, score)."""
+    from repro.induction.induce import InductionStats, _induce_sample
+
+    sample = stored.restore()
+    stats = InductionStats(search=config.search)
+    instances = _induce_sample(sample, config, params, stats)
+    rows = [
+        (str(instance.query), instance.score)
+        for instance in instances
+        if not instance.query.is_empty
+    ]
+    return rows, stats.candidates_considered, stats.candidates_pruned
+
+
+def _aggregate_fold(stored, texts: tuple[str, ...]):
+    """(tp, fp, fn) of every candidate query on one restored sample."""
+    sample = stored.restore()
+    evaluator = CachedEvaluator(sample.doc)
+    target_ids = sample.target_ids
+    n_targets = len(sample.targets)
+    counts = []
+    for text in texts:
+        match_ids = evaluator.evaluate_ids(parse_query(text), sample.context)
+        tp = len(match_ids & target_ids)
+        counts.append((tp, len(match_ids) - tp, n_targets - tp))
+    return counts
+
+
+# -- pool management -------------------------------------------------------
+
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_induction_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent process pool for ``workers``-wide fold fan-out."""
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Shut down every shared pool (tests / interpreter exit)."""
+    for pool in _SHARED_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _SHARED_POOLS.clear()
+
+
+atexit.register(close_shared_pools)
+
+
+# -- parent side -----------------------------------------------------------
+
+
+def induce_pooled(
+    samples: Sequence[QuerySample],
+    config: InductionConfig,
+    params: ScoringParams,
+    stats: "InductionStats",
+) -> Optional["InductionResult"]:
+    """Pooled Algorithm 3; None = not poolable, caller runs serial.
+
+    Matches the serial path exactly: per-fold candidate lists arrive in
+    fold order with KBest ranking intact, dedup keeps the first-seen
+    score per query (``dict.setdefault``, like ``_aggregate``), and the
+    per-sample accuracy counts are summed in sample order before the
+    final ``rank_key`` sort.
+    """
+    from repro.induction.induce import InductionResult
+    from repro.runtime.artifact import ArtifactError, StoredSample
+
+    try:
+        stored = [
+            StoredSample.from_sample(s, volatile_meta_key=config.volatile_meta_key)
+            for s in samples
+        ]
+    except ArtifactError:
+        return None
+
+    pool = shared_induction_pool(config.fold_workers)
+    fold_results = list(
+        pool.map(_induce_fold, stored, [config] * len(stored), [params] * len(stored))
+    )
+
+    candidates: dict[Query, float] = {}
+    order: list[tuple[str, Query]] = []
+    for rows, considered, pruned in fold_results:
+        stats.candidates_considered += considered
+        stats.candidates_pruned += pruned
+        for text, score in rows:
+            query = parse_query(text)
+            if query not in candidates:
+                candidates[query] = score
+                order.append((text, query))
+
+    texts = tuple(text for text, _ in order)
+    count_results = list(
+        pool.map(_aggregate_fold, stored, [texts] * len(stored))
+    )
+
+    aggregated: list[QueryInstance] = []
+    for i, (text, query) in enumerate(order):
+        tp = fp = fn = 0
+        for counts in count_results:
+            tp += counts[i][0]
+            fp += counts[i][1]
+            fn += counts[i][2]
+        aggregated.append(
+            QueryInstance(query, tp=tp, fp=fp, fn=fn, score=candidates[query])
+        )
+    aggregated.sort(key=lambda instance: rank_key(instance, config.beta))
+
+    stats.pooled = True
+    return InductionResult(aggregated, beta=config.beta, stats=stats)

@@ -284,8 +284,10 @@ class WrapperArtifact:
                     f"{task_id}: runtime artifacts require document-node "
                     "contexts (got a non-root sample context)"
                 )
-        ensemble = build_ensemble(result, size=ensemble_size)
         config = config or InductionConfig()
+        ensemble = build_ensemble(
+            result, size=ensemble_size, diversity=config.diversity or None
+        )
         volatile_key = config.volatile_meta_key
         return cls(
             task_id=task_id,

@@ -350,6 +350,7 @@ class AccessLog:
         status: int,
         latency_ms: float,
         coalesced: bool = False,
+        induce_ms: Optional[float] = None,
     ) -> None:
         record = {
             "ts": round(time.time(), 3),
@@ -359,6 +360,10 @@ class AccessLog:
             "latency_ms": round(float(latency_ms), 3),
             "coalesced": bool(coalesced),
         }
+        if induce_ms is not None:
+            # Executor-side induction wall time (queue included) — only
+            # /induce and /repair requests carry it.
+            record["induce_ms"] = round(float(induce_ms), 3)
         try:
             self.stream.write(json.dumps(record) + "\n")
             self.stream.flush()

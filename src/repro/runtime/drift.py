@@ -166,6 +166,18 @@ def reinduce(
     result = inducer.induce(samples)
     if result.best is None:
         raise ArtifactError(f"{artifact.task_id}: re-induction produced no wrapper")
+    stats = getattr(result, "stats", None)
+    provenance = {
+        **artifact.provenance,
+        "repaired_from_generation": artifact.generation,
+        "repaired_at_snapshot": snapshot,
+        "repair_labels": labels,
+    }
+    if stats is not None:
+        # Deterministic counters (search mode, fold/prune counts) — the
+        # serving layer's induce metrics read them off the repaired
+        # artifact, and parity is unaffected.
+        provenance["induction_stats"] = stats.as_payload()
     repaired = WrapperArtifact.from_induction(
         result,
         samples,
@@ -175,12 +187,7 @@ def reinduce(
         ensemble_size=max(1, len(artifact.ensemble)),
         max_queries=max(1, len(artifact.queries)),
         generation=artifact.generation + 1,
-        provenance={
-            **artifact.provenance,
-            "repaired_from_generation": artifact.generation,
-            "repaired_at_snapshot": snapshot,
-            "repair_labels": labels,
-        },
+        provenance=provenance,
         config=inducer.config,
     )
     return repaired

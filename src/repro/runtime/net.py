@@ -96,6 +96,7 @@ import http.client
 import json
 import math
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Awaitable, Callable, Optional
 from urllib.parse import unquote
@@ -178,12 +179,18 @@ class NetConfig:
     auth: Optional[ApiKeyTable] = None
     quota: Optional[QuotaConfig] = None
     access_log: Optional[AccessLog] = None
+    #: Dedicated bounded executor for ``/induce``/``/repair``: heavy
+    #: induction traffic queues here instead of starving the default
+    #: thread pool that extract/deploy/store loads run on.
+    induce_workers: int = 2
 
     def __post_init__(self) -> None:
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         if self.max_header_bytes < 256:
             raise ValueError("max_header_bytes must be >= 256")
+        if self.induce_workers < 1:
+            raise ValueError("induce_workers must be >= 1")
 
 
 class _HTTPError(Exception):
@@ -296,6 +303,15 @@ class WrapperHTTPServer:
         if quota is not None and quota.max_inflight > 0:
             self._inflight = InflightGauge(quota.max_inflight)
         self._access_log = self.config.access_log
+        # Induce-side observability (satellite of the induction fast
+        # path): pool depth/peak and per-request latency for the
+        # dedicated induce executor, surfaced in /metrics.
+        self._induce_pool: Optional[ThreadPoolExecutor] = None
+        self._induce_depth = 0
+        self._induce_depth_peak = 0
+        self._induce_requests = 0
+        self._induce_latency_total_ms = 0.0
+        self._induce_latency_max_ms = 0.0
 
     def _check_owned(self, site_key: str) -> None:
         """421 for keys outside this host's shard group (placement is
@@ -451,6 +467,10 @@ class WrapperHTTPServer:
             raise RuntimeError("server already started")
         self._serving = AsyncExtractionServer(self.config.serving)
         await self._serving.start()
+        self._induce_pool = ThreadPoolExecutor(
+            max_workers=self.config.induce_workers,
+            thread_name_prefix="repro-induce",
+        )
         self._server = await asyncio.start_server(
             self._handle_connection,
             host,
@@ -469,6 +489,9 @@ class WrapperHTTPServer:
         if self._serving is not None:
             await self._serving.aclose()
             self._serving = None
+        if self._induce_pool is not None:
+            self._induce_pool.shutdown(wait=False, cancel_futures=True)
+            self._induce_pool = None
         if self._access_log is not None:
             self._access_log.close()
 
@@ -497,6 +520,7 @@ class WrapperHTTPServer:
                 status=status,
                 latency_ms=(time.perf_counter() - started) * 1000.0,
                 coalesced=bool(ctx.get("coalesced", False)),
+                induce_ms=ctx.get("induce_ms"),
             )
 
     async def _handle_connection(
@@ -797,6 +821,19 @@ class WrapperHTTPServer:
             ),
             **self.metrics.as_payload(),
         }
+        counters = self.client.induction_counters
+        requests = self._induce_requests
+        payload["induction"] = {
+            **counters,
+            "induce_pool_workers": self.config.induce_workers,
+            "induce_pool_depth": self._induce_depth,
+            "induce_pool_depth_peak": self._induce_depth_peak,
+            "induce_requests": requests,
+            "induce_latency_avg_ms": (
+                self._induce_latency_total_ms / requests if requests else 0.0
+            ),
+            "induce_latency_max_ms": self._induce_latency_max_ms,
+        }
         if self.client.tenant:
             payload["tenant"] = self.client.tenant
         return payload
@@ -821,6 +858,33 @@ class WrapperHTTPServer:
     async def _in_executor(self, fn: Callable[[], dict]) -> dict:
         return await asyncio.get_running_loop().run_in_executor(None, fn)
 
+    async def _in_induce_executor(self, fn: Callable[[], dict], ctx: dict) -> dict:
+        """Run an induce/repair op on the dedicated bounded pool.
+
+        Depth/peak counters are loop-thread-only (incremented before the
+        await, decremented after), and the executor-side wall time is
+        stamped into ``ctx`` so the access log records how long the
+        induction itself ran, queue time included.
+        """
+        if self._induce_pool is None:
+            raise RuntimeError("server is not started")
+        self._induce_depth += 1
+        self._induce_depth_peak = max(self._induce_depth_peak, self._induce_depth)
+        started = time.perf_counter()
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._induce_pool, fn
+            )
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._induce_depth -= 1
+            self._induce_requests += 1
+            self._induce_latency_total_ms += elapsed_ms
+            self._induce_latency_max_ms = max(
+                self._induce_latency_max_ms, elapsed_ms
+            )
+            ctx["induce_ms"] = elapsed_ms
+
     async def _op_induce(self, payload: dict, principal: Optional[str], ctx: dict):
         site_key = self._field(payload, "site_key")
         self._check_key(site_key, principal, ctx)
@@ -828,6 +892,9 @@ class WrapperHTTPServer:
         raw_samples = payload.get("samples")
         if not isinstance(raw_samples, list) or not raw_samples:
             raise _HTTPError(400, "missing or invalid field 'samples'")
+        options = payload.get("options")
+        if options is not None and not isinstance(options, dict):
+            raise _HTTPError(400, "'options' must be a JSON object")
 
         def op() -> dict:
             from repro.api.sample import Sample
@@ -841,10 +908,11 @@ class WrapperHTTPServer:
                 ensemble_size=int(payload.get("ensemble_size", 3)),
                 max_queries=int(payload.get("max_queries", 10)),
                 role=str(payload.get("role", "")),
+                options=options,
             )
             return handle.to_payload()
 
-        return 200, await self._in_executor(op)
+        return 200, await self._in_induce_executor(op, ctx)
 
     async def _op_extract(
         self,
@@ -977,7 +1045,7 @@ class WrapperHTTPServer:
         def op() -> dict:
             return self.client.repair(site_key, html, target_paths).to_payload()
 
-        return 200, await self._in_executor(op)
+        return 200, await self._in_induce_executor(op, ctx)
 
 
 async def serve_http(

@@ -1,0 +1,82 @@
+"""Frozen sitegen family members for the golden induction corpus.
+
+The hand-written corpus verticals exercise induction on as-built pages;
+the generated families stress the axes the corpus does not — layout
+shells, A/B reskins, reshaped lists, localization, and boilerplate
+noise.  This module pins a small deterministic roster of family members
+so ``tests/golden/induction.json`` also freezes induction behavior on
+those page shapes (regenerate with
+``PYTHONPATH=src python tests/golden/regenerate.py``).
+
+Everything here must stay byte-stable: the specs are literal (no
+clocks, no ambient randomness — family compilation is seeded), and the
+task list is a deterministic slice so the golden file cannot reorder
+between regenerations.
+"""
+
+from __future__ import annotations
+
+from repro.sitegen.family import FamilySpec, generate_family
+from repro.sites.corpus import CorpusTask
+
+#: Cap on pinned tasks — enough to cover both families and every axis
+#: below without doubling golden-corpus regeneration time.
+GOLDEN_TASK_LIMIT = 8
+
+
+def golden_family_specs() -> list[FamilySpec]:
+    """The two pinned families.
+
+    Chosen to cover complementary axes: a boxed + paginated + reskinned
+    shopping family (adds the synthetic ``pager_next`` task), a
+    split + chunked + localized news family with heavy boilerplate
+    noise, and an id-reskinned travel family on the plain desktop
+    layout.  All are calm (no breaks, no organic churn) — the golden
+    corpus freezes snapshot 0, where breaks never fire anyway.
+    """
+    return [
+        FamilySpec(
+            family_id="gold-shop",
+            vertical="shopping",
+            n_sites=2,
+            layout="boxed",
+            reskin_axis="classes",
+            list_shape="paginated",
+            page_size=4,
+            noise=0.35,
+            seed=101,
+        ),
+        FamilySpec(
+            family_id="gold-news",
+            vertical="news",
+            n_sites=2,
+            layout="split",
+            reskin_axis="both",
+            list_shape="chunked",
+            locale="de",
+            noise=0.7,
+            seed=202,
+        ),
+        FamilySpec(
+            family_id="gold-travel",
+            vertical="travel",
+            n_sites=2,
+            reskin_axis="ids",
+            locale="fr",
+            seed=303,
+        ),
+    ]
+
+
+def golden_sitegen_tasks() -> list[CorpusTask]:
+    """The pinned single-node tasks, in deterministic family order."""
+    tasks = [
+        corpus_task
+        for spec in golden_family_specs()
+        for corpus_task in generate_family(spec).corpus_tasks()
+        if not corpus_task.task.multi
+    ]
+    return tasks[:GOLDEN_TASK_LIMIT]
+
+
+__all__ = ["GOLDEN_TASK_LIMIT", "golden_family_specs", "golden_sitegen_tasks"]

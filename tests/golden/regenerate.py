@@ -20,12 +20,11 @@ import sys
 GOLDEN_PATH = pathlib.Path(__file__).parent / "induction.json"
 
 
-def build_golden() -> dict:
+def _freeze_tasks(corpus_tasks) -> dict[str, dict]:
     from repro.runtime.corpus import induce_corpus_task
-    from repro.sites import single_node_tasks
 
     entries: dict[str, dict] = {}
-    for corpus_task in single_node_tasks():
+    for corpus_task in corpus_tasks:
         induced = induce_corpus_task(corpus_task)
         if induced is None:
             raise SystemExit(f"{corpus_task.task_id}: no targets at snapshot 0")
@@ -39,21 +38,34 @@ def build_golden() -> dict:
             "fp": best.fp,
             "fn": best.fn,
         }
+    return entries
+
+
+def build_golden() -> dict:
+    from repro.sitegen.golden import golden_sitegen_tasks
+    from repro.sites import single_node_tasks
+
     return {
         "description": (
             "Frozen best induced query per single-node corpus task "
             "(snapshot 0, WrapperInducer(k=10), default scoring params). "
+            "'sitegen_tasks' additionally freezes the pinned generated-"
+            "family members from repro.sitegen.golden. "
             "Regenerate with: PYTHONPATH=src python tests/golden/regenerate.py"
         ),
         "inducer": {"k": 10, "beta": 0.5},
-        "tasks": entries,
+        "tasks": _freeze_tasks(single_node_tasks()),
+        "sitegen_tasks": _freeze_tasks(golden_sitegen_tasks()),
     }
 
 
 def main() -> int:
     payload = build_golden()
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"{len(payload['tasks'])} tasks frozen to {GOLDEN_PATH}")
+    print(
+        f"{len(payload['tasks'])} tasks + {len(payload['sitegen_tasks'])} "
+        f"sitegen tasks frozen to {GOLDEN_PATH}"
+    )
     return 0
 
 

@@ -8,10 +8,13 @@ from repro.induction.ensemble import (
     EnsembleWrapper,
     build_ensemble,
     feature_signature,
+    fragile_signature,
     select_diverse,
 )
 from repro.induction.relative import RecordExample, RelativeWrapperInducer
+from repro.scoring.ranking import QueryInstance
 from repro.xpath import parse_query
+from repro.xpath.compile import evaluate_compiled
 
 
 @pytest.fixture
@@ -124,3 +127,93 @@ class TestEnsemble:
     def test_empty_members_rejected(self):
         with pytest.raises(ValueError):
             EnsembleWrapper(())
+
+
+def _instance(text: str) -> QueryInstance:
+    return QueryInstance(parse_query(text), tp=1, fp=0, fn=0, score=1.0)
+
+
+class TestFragileSignature:
+    def test_values_collapse(self):
+        a = fragile_signature(parse_query('descendant::span[@class="big"]'))
+        b = fragile_signature(parse_query('descendant::div[@class="row"]'))
+        assert a == b == frozenset({"attr:class"})
+
+    def test_tags_are_not_fragile(self):
+        assert fragile_signature(parse_query("descendant::span")) == frozenset()
+
+    def test_distinct_failure_modes(self):
+        positional = fragile_signature(parse_query("descendant::li[2]"))
+        attribute = fragile_signature(parse_query('descendant::a[@href]'))
+        assert positional == frozenset({"positional"})
+        assert attribute == frozenset({"attr:href"})
+        assert not (positional & attribute)
+
+
+class TestDiversityEnsemble:
+    """A class reskin must kill fewer members of a diversity-penalized
+    committee than of the accuracy-only one (the "Diversified Multiple
+    Trees" satellite)."""
+
+    #: Ranked as induction would: the class-anchored queries score best,
+    #: the independent anchors (itemprop, position) trail them.
+    INSTANCES = [
+        _instance('descendant::span[@class="price-big"]'),
+        _instance('descendant::div[@class="row"]/child::span'),
+        _instance('descendant::span[@itemprop="price"]'),
+        _instance("descendant::li[2]/descendant::span"),
+    ]
+
+    PAGE = (
+        "<html><body><ul><li>intro</li>"
+        '<li><div class="{row}"><span class="{big}" itemprop="price">$9</span>'
+        "</div></li></ul></body></html>"
+    )
+
+    def docs(self):
+        original = parse_html(self.PAGE.format(row="row", big="price-big"))
+        reskinned = parse_html(self.PAGE.format(row="r-v2", big="p-v2"))
+        return original, reskinned
+
+    def surviving(self, members, doc):
+        target = doc.find(tag="span")
+        return [
+            member
+            for member in members
+            if list(evaluate_compiled(member, doc.root, doc)) == [target]
+        ]
+
+    def test_all_members_select_on_the_original_page(self):
+        original, _ = self.docs()
+        for mode in (None, 3.0):
+            members = select_diverse(self.INSTANCES, size=3, diversity=mode)
+            assert len(self.surviving(members, original)) == 3
+
+    def test_class_rename_kills_fewer_diverse_members(self):
+        _, reskinned = self.docs()
+        accuracy_only = select_diverse(self.INSTANCES, size=3)
+        diverse = select_diverse(self.INSTANCES, size=3, diversity=3.0)
+        broken_accuracy = 3 - len(self.surviving(accuracy_only, reskinned))
+        broken_diverse = 3 - len(self.surviving(diverse, reskinned))
+        assert broken_diverse < broken_accuracy
+
+    def test_diverse_vote_survives_the_reskin(self):
+        _, reskinned = self.docs()
+        diverse = build_ensemble(self.INSTANCES, size=3, diversity=3.0)
+        accuracy_only = build_ensemble(self.INSTANCES, size=3)
+        target = reskinned.find(tag="span")
+        assert diverse.select(reskinned) == [target]
+        assert accuracy_only.select(reskinned) != [target]
+
+    def test_diversity_none_is_the_legacy_selection(self):
+        assert select_diverse(self.INSTANCES, size=3, diversity=None) == (
+            select_diverse(self.INSTANCES, size=3)
+        )
+
+    def test_diversity_zero_is_pure_rank_order(self):
+        members = select_diverse(self.INSTANCES, size=3, diversity=0.0)
+        assert members == [instance.query for instance in self.INSTANCES[:3]]
+
+    def test_negative_diversity_rejected(self):
+        with pytest.raises(ValueError):
+            select_diverse(self.INSTANCES, size=3, diversity=-1.0)

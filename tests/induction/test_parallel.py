@@ -1,0 +1,118 @@
+"""Parallel induction folds: pooled output must be byte-identical to serial.
+
+``fold_workers >= 2`` fans Algorithm 3's per-sample folds and the
+candidate aggregation out over the shared process pool; everything a
+caller can observe (the ranked instances, the export payload) must be
+exactly what the serial path produces.  These tests also pin the
+fallback ladder: single samples, ``fold_workers < 2``, and samples that
+cannot round-trip through :class:`StoredSample` all run serial.
+"""
+
+import pytest
+
+from repro.dom import parse_html
+from repro.induction import WrapperInducer
+from repro.induction.config import InductionConfig
+from repro.induction.parallel import (
+    close_shared_pools,
+    induce_pooled,
+    shared_induction_pool,
+)
+from repro.induction.samples import QuerySample
+
+
+def _snapshot(prices, extra_class="stock"):
+    rows = "".join(
+        f'<div class="item"><a href="/p/{i}">Item {i}</a>'
+        f'<span class="price">{price}</span>'
+        f'<span class="{extra_class}">yes</span></div>'
+        for i, price in enumerate(prices)
+    )
+    return parse_html(f"<html><body><div id='list'>{rows}</div></body></html>")
+
+
+def _sample(doc):
+    targets = list(doc.root.iter_find(tag="span", class_="price"))
+    return QuerySample(doc=doc, targets=targets)
+
+
+@pytest.fixture
+def samples():
+    return [
+        _sample(_snapshot(["$1", "$2", "$3"])),
+        _sample(_snapshot(["$4", "$5", "$6", "$7"])),
+        _sample(_snapshot(["$8", "$9"], extra_class="avail")),
+    ]
+
+
+class TestPooledParity:
+    def test_pooled_export_matches_serial(self, samples):
+        serial = WrapperInducer(k=10).induce(samples)
+        pooled = WrapperInducer(
+            k=10, config=InductionConfig(fold_workers=2)
+        ).induce(samples)
+        assert pooled.export() == serial.export()
+        assert serial.stats is not None and not serial.stats.pooled
+        assert pooled.stats is not None and pooled.stats.pooled
+
+    def test_pooled_pruned_matches_serial_pruned(self, samples):
+        serial = WrapperInducer(
+            k=10, config=InductionConfig(search="pruned")
+        ).induce(samples)
+        pooled = WrapperInducer(
+            k=10, config=InductionConfig(search="pruned", fold_workers=2)
+        ).induce(samples)
+        assert pooled.export() == serial.export()
+        assert pooled.stats.search == "pruned"
+
+
+class TestSerialFallbacks:
+    def test_single_sample_stays_serial(self, samples):
+        result = WrapperInducer(
+            k=10, config=InductionConfig(fold_workers=2)
+        ).induce(samples[:1])
+        assert result.stats is not None and not result.stats.pooled
+
+    def test_fold_workers_below_two_stay_serial(self, samples):
+        for workers in (0, 1):
+            result = WrapperInducer(
+                k=10, config=InductionConfig(fold_workers=workers)
+            ).induce(samples)
+            assert result.stats is not None and not result.stats.pooled
+
+    def test_unstorable_samples_fall_back(self, samples, monkeypatch):
+        """A sample whose targets have no unambiguous canonical path
+        cannot ship to a worker; induce() must quietly run serial."""
+        from repro.runtime import artifact
+
+        def _refuse(*args, **kwargs):
+            raise artifact.ArtifactError("not storable")
+
+        monkeypatch.setattr(artifact.StoredSample, "from_sample", _refuse)
+        config = InductionConfig(fold_workers=2)
+        from repro.induction.induce import InductionStats
+
+        stats = InductionStats(search=config.search)
+        from repro.scoring.params import ScoringParams
+
+        assert induce_pooled(samples, config, ScoringParams(), stats) is None
+        result = WrapperInducer(k=10, config=config).induce(samples)
+        assert result.best is not None
+        assert not result.stats.pooled
+
+
+class TestSharedPool:
+    def test_pool_is_reused_per_width(self):
+        try:
+            assert shared_induction_pool(2) is shared_induction_pool(2)
+        finally:
+            close_shared_pools()
+
+    def test_close_clears_registry(self):
+        first = shared_induction_pool(2)
+        close_shared_pools()
+        second = shared_induction_pool(2)
+        try:
+            assert second is not first
+        finally:
+            close_shared_pools()

@@ -17,11 +17,15 @@ import pathlib
 import pytest
 
 from repro.runtime.corpus import induce_corpus_task
+from repro.sitegen.golden import golden_sitegen_tasks
 from repro.sites import single_node_tasks
 
 GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "golden" / "induction.json"
-GOLDEN = json.loads(GOLDEN_PATH.read_text())["tasks"]
+_GOLDEN_DOC = json.loads(GOLDEN_PATH.read_text())
+GOLDEN = _GOLDEN_DOC["tasks"]
+GOLDEN_SITEGEN = _GOLDEN_DOC["sitegen_tasks"]
 TASKS = single_node_tasks()
+SITEGEN_TASKS = golden_sitegen_tasks()
 
 
 class TestGoldenCoverage:
@@ -38,10 +42,13 @@ class TestGoldenCoverage:
     def test_corpus_is_complete(self):
         assert len(GOLDEN) >= 50  # the paper's single-node dataset size
 
+    def test_sitegen_roster_matches_golden(self):
+        """The pinned generated-family tasks and the golden file must
+        list exactly the same task ids (regenerate after roster edits)."""
+        assert {t.task_id for t in SITEGEN_TASKS} == GOLDEN_SITEGEN.keys()
 
-@pytest.mark.parametrize("corpus_task", TASKS, ids=lambda t: t.task_id)
-def test_induction_reproduces_golden(corpus_task):
-    golden = GOLDEN[corpus_task.task_id]
+
+def _assert_reproduces(corpus_task, golden):
     induced = induce_corpus_task(corpus_task)
     assert induced is not None
     best = induced[0].best
@@ -49,3 +56,13 @@ def test_induction_reproduces_golden(corpus_task):
     assert str(best.query) == golden["query"]
     assert best.score == golden["score"]
     assert (best.tp, best.fp, best.fn) == (golden["tp"], golden["fp"], golden["fn"])
+
+
+@pytest.mark.parametrize("corpus_task", TASKS, ids=lambda t: t.task_id)
+def test_induction_reproduces_golden(corpus_task):
+    _assert_reproduces(corpus_task, GOLDEN[corpus_task.task_id])
+
+
+@pytest.mark.parametrize("corpus_task", SITEGEN_TASKS, ids=lambda t: t.task_id)
+def test_induction_reproduces_golden_sitegen(corpus_task):
+    _assert_reproduces(corpus_task, GOLDEN_SITEGEN[corpus_task.task_id])

@@ -745,3 +745,147 @@ class TestConfig:
                     await server.start()
 
         run(go())
+
+
+class TestInduceWire:
+    """The induce-side fast-path surface: dedicated executor metrics,
+    the ``options`` wire field, and ``induce_ms`` in the access log."""
+
+    def _wire_sample(self) -> dict:
+        from repro import Sample as FacadeSample
+
+        doc = parse_html(TITLE_PAGE)
+        price = doc.find(tag="span", class_="price")
+        mark_volatile(price)
+        return FacadeSample(doc, [price]).to_payload()
+
+    def test_metrics_grow_an_induction_block(self):
+        sample = self._wire_sample()
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post("/induce", {"site_key": "shop/wire", "samples": [sample]}),
+                )
+                assert status == 200, body
+                status2, _, metrics = await raw_request(host, port, get("/metrics"))
+                assert status2 == 200
+                return metrics["induction"]
+
+        block = run(go())
+        # Client-level counters (deployed_client() already induced twice).
+        assert block["inductions"] >= 3
+        # Exhaustive default: the pruner (which owns these counters)
+        # never runs, so both stay zero.
+        assert block["candidates_considered"] == 0
+        assert block["pruned_candidates_skipped"] == 0
+        assert block["repairs"] == 0
+        # Executor-level gauges.
+        assert block["induce_pool_workers"] >= 1
+        assert block["induce_pool_depth"] == 0  # idle at scrape time
+        assert block["induce_pool_depth_peak"] >= 1
+        assert block["induce_requests"] == 1
+        assert block["induce_latency_avg_ms"] > 0
+        assert block["induce_latency_max_ms"] >= block["induce_latency_avg_ms"]
+
+    def test_options_reach_the_inducer(self):
+        sample = self._wire_sample()
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {
+                            "site_key": "shop/pruned",
+                            "samples": [sample],
+                            "options": {"search": "pruned", "prune_seed": 3},
+                        },
+                    ),
+                )
+                assert status == 200, body
+                # The stats land in the stored artifact's provenance.
+                artifact = server.client.artifact("shop/pruned")
+                stamped = artifact.provenance["facade"]["induction"]
+                assert stamped["search"] == "pruned"
+                _, _, metrics = await raw_request(host, port, get("/metrics"))
+                return metrics["induction"]
+
+        block = run(go())
+        assert block["inductions"] >= 3
+        assert block["candidates_considered"] > 0
+
+    def test_bad_options_rejected(self):
+        sample = self._wire_sample()
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {
+                            "site_key": "shop/x",
+                            "samples": [sample],
+                            "options": "pruned",
+                        },
+                    ),
+                )
+                assert status == 400 and "options" in body["error"]
+                status2, _, body2 = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {
+                            "site_key": "shop/x",
+                            "samples": [sample],
+                            "options": {"beem_width": 4},
+                        },
+                    ),
+                )
+                assert status2 == 422, body2
+                assert "unknown induction options" in body2["error"]
+
+        run(go())
+
+    def test_access_log_stamps_induce_ms_only_on_induce(self):
+        import io
+
+        from repro.runtime.auth import AccessLog
+
+        sample = self._wire_sample()
+        stream = io.StringIO()
+        config = NetConfig(access_log=AccessLog(stream=stream))
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client(), config) as server:
+                host, port = server.address
+                await raw_request(
+                    host,
+                    port,
+                    post("/induce", {"site_key": "shop/wire", "samples": [sample]}),
+                )
+                await raw_request(
+                    host,
+                    port,
+                    post("/extract", {"site_key": "shop/name", "html": TITLE_PAGE}),
+                )
+                return stream.getvalue()
+
+        text = run(go())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 2
+        induce_record, extract_record = records
+        assert induce_record["verb"] == "POST /induce"
+        assert induce_record["induce_ms"] >= 0
+        assert induce_record["induce_ms"] <= induce_record["latency_ms"]
+        assert "induce_ms" not in extract_record

@@ -230,6 +230,7 @@ class TestRealBaselines:
         )
         assert names == [
             "BENCH_cluster.json",
+            "BENCH_induction.json",
             "BENCH_net.json",
             "BENCH_runtime.json",
             "BENCH_serving.json",
