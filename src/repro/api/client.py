@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 from typing import Optional, Sequence, Union
 
 from repro.cluster.placement import (
@@ -125,13 +126,17 @@ class WrapperClient:
             raise FacadeError(str(exc)) from exc
         self._memory: dict[str, WrapperArtifact] = {}
         #: Aggregate induce-side counters (surfaced by the serving
-        #: layer's ``/metrics`` induction block).
+        #: layer's ``/metrics`` induction block).  The serving layer
+        #: updates these from its multi-threaded induce executor, so
+        #: writes go through :meth:`_bump_counters` and readers take
+        #: :meth:`induction_counter_snapshot`.
         self.induction_counters: dict[str, int] = {
             "inductions": 0,
             "repairs": 0,
             "candidates_considered": 0,
             "pruned_candidates_skipped": 0,
         }
+        self._counters_lock = threading.Lock()
         if store is None:
             self._store: Optional[ShardedArtifactStore] = None
         elif isinstance(store, ShardedArtifactStore):
@@ -143,6 +148,18 @@ class WrapperClient:
     def store(self) -> Optional[ShardedArtifactStore]:
         """The persistent backend, or ``None`` for in-memory clients."""
         return self._store
+
+    def _bump_counters(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to :attr:`induction_counters`."""
+        with self._counters_lock:
+            for key, delta in deltas.items():
+                self.induction_counters[key] += delta
+
+    def induction_counter_snapshot(self) -> dict[str, int]:
+        """A consistent copy of :attr:`induction_counters` (the
+        ``/metrics`` reader runs concurrently with inductions)."""
+        with self._counters_lock:
+            return dict(self.induction_counters)
 
     def _qualify(self, site_key: str) -> str:
         """``site_key`` in this client's namespace (FacadeError on a
@@ -281,11 +298,9 @@ class WrapperClient:
                 # Deterministic counters only — identical on every
                 # backend, so handle/artifact parity is unaffected.
                 meta["induction"] = stats.as_payload()
-                self.induction_counters["candidates_considered"] += (
-                    stats.candidates_considered
-                )
-                self.induction_counters["pruned_candidates_skipped"] += (
-                    stats.candidates_pruned
+                self._bump_counters(
+                    candidates_considered=stats.candidates_considered,
+                    pruned_candidates_skipped=stats.candidates_pruned,
                 )
             artifact = WrapperArtifact.from_induction(
                 result,
@@ -303,7 +318,7 @@ class WrapperClient:
         except (ArtifactError, ValueError) as exc:
             raise FacadeError(f"{site_key}: {exc}") from exc
         self._put(artifact)
-        self.induction_counters["inductions"] += 1
+        self._bump_counters(inductions=1)
         return WrapperHandle.from_artifact(artifact)
 
     # -- serve / monitor ----------------------------------------------------
@@ -401,16 +416,14 @@ class WrapperClient:
         except (ArtifactError, ValueError) as exc:
             raise FacadeError(f"{site_key}: {exc}") from exc
         self._put(repaired)
-        self.induction_counters["inductions"] += 1
-        self.induction_counters["repairs"] += 1
         stats = repaired.provenance.get("induction_stats")
-        if isinstance(stats, dict):
-            self.induction_counters["candidates_considered"] += int(
-                stats.get("candidates_considered", 0)
-            )
-            self.induction_counters["pruned_candidates_skipped"] += int(
-                stats.get("candidates_pruned", 0)
-            )
+        stats = stats if isinstance(stats, dict) else {}
+        self._bump_counters(
+            inductions=1,
+            repairs=1,
+            candidates_considered=int(stats.get("candidates_considered", 0)),
+            pruned_candidates_skipped=int(stats.get("candidates_pruned", 0)),
+        )
         return WrapperHandle.from_artifact(repaired)
 
 

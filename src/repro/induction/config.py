@@ -31,16 +31,43 @@ OPTION_FIELDS = frozenset(
     }
 )
 
+#: Expected value type per option — checked before ``replace`` so that
+#: malformed wire input (``beam_width=2.5``, ``fold_workers="4"``) fails
+#: here as a ValueError (→ FacadeError → 422 on the wire) instead of
+#: surfacing later as an opaque 500 deep inside the pruner or the pool.
+_OPTION_TYPES: dict[str, tuple] = {
+    "search": (str,),
+    "beam_width": (int,),
+    "prune_trials": (int,),
+    "prune_seed": (int,),
+    "fold_workers": (int,),
+    "diversity": (int, float),
+}
+
 
 def config_with_options(config: "InductionConfig", options: dict) -> "InductionConfig":
-    """Apply a facade ``options={...}`` dict; unknown keys raise."""
+    """Apply a facade ``options={...}`` dict; unknown keys and
+    wrongly-typed values raise ``ValueError``."""
     unknown = set(options) - OPTION_FIELDS
     if unknown:
         raise ValueError(
             f"unknown induction options: {sorted(unknown)} "
             f"(supported: {sorted(OPTION_FIELDS)})"
         )
-    return replace(config, **options) if options else config
+    if not options:
+        return config
+    coerced = {}
+    for key, value in options.items():
+        expected = _OPTION_TYPES[key]
+        # bool is an int subclass; True is never a valid knob value.
+        if isinstance(value, bool) or not isinstance(value, expected):
+            names = " or ".join(t.__name__ for t in expected)
+            raise ValueError(
+                f"induction option {key!r} must be {names}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        coerced[key] = float(value) if key == "diversity" else value
+    return replace(config, **coerced)
 
 
 @dataclass(frozen=True)

@@ -16,13 +16,19 @@ paths) and are re-parsed in the worker, exactly the round-trip
 query text plus their bit-exact float score, so the aggregated result
 is identical to the serial path — asserted by the test suite and by
 ``benchmarks/bench_induction.py``.  Samples that cannot be stored
-(ambiguous canonical paths) fall back to the serial path.
+(ambiguous canonical paths) fall back to the serial path, as does a
+pool whose spawn-started workers cannot come up (e.g. a top-level
+script without an ``if __name__ == "__main__"`` guard).
 """
 
 from __future__ import annotations
 
 import atexit
+import multiprocessing
+import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.induction.config import InductionConfig
@@ -72,22 +78,47 @@ def _aggregate_fold(stored, texts: tuple[str, ...]):
 # -- pool management -------------------------------------------------------
 
 _SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def shared_induction_pool(workers: int) -> ProcessPoolExecutor:
-    """The persistent process pool for ``workers``-wide fold fan-out."""
-    pool = _SHARED_POOLS.get(workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        _SHARED_POOLS[workers] = pool
-    return pool
+    """The persistent process pool for ``workers``-wide fold fan-out.
+
+    ``workers`` is clamped to the machine's CPU count, which both caps
+    pool width and bounds how many distinct pools can ever accumulate
+    here.  Workers use the ``spawn`` start context: the serving layer
+    calls into this from a multithreaded asyncio process, where forked
+    children inherit copied lock state and can deadlock.
+    """
+    workers = max(1, min(workers, os.cpu_count() or 1))
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _SHARED_POOLS[workers] = pool
+        return pool
 
 
 def close_shared_pools() -> None:
     """Shut down every shared pool (tests / interpreter exit)."""
-    for pool in _SHARED_POOLS.values():
+    with _POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
-    _SHARED_POOLS.clear()
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Drop a broken pool from the registry so the next request builds
+    a fresh one instead of reusing a dead executor."""
+    with _POOLS_LOCK:
+        for key, value in list(_SHARED_POOLS.items()):
+            if value is pool:
+                del _SHARED_POOLS[key]
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 atexit.register(close_shared_pools)
@@ -122,25 +153,38 @@ def induce_pooled(
         return None
 
     pool = shared_induction_pool(config.fold_workers)
-    fold_results = list(
-        pool.map(_induce_fold, stored, [config] * len(stored), [params] * len(stored))
-    )
+    considered_before = stats.candidates_considered
+    pruned_before = stats.candidates_pruned
+    try:
+        fold_results = list(
+            pool.map(
+                _induce_fold, stored, [config] * len(stored), [params] * len(stored)
+            )
+        )
 
-    candidates: dict[Query, float] = {}
-    order: list[tuple[str, Query]] = []
-    for rows, considered, pruned in fold_results:
-        stats.candidates_considered += considered
-        stats.candidates_pruned += pruned
-        for text, score in rows:
-            query = parse_query(text)
-            if query not in candidates:
-                candidates[query] = score
-                order.append((text, query))
+        candidates: dict[Query, float] = {}
+        order: list[tuple[str, Query]] = []
+        for rows, considered, pruned in fold_results:
+            stats.candidates_considered += considered
+            stats.candidates_pruned += pruned
+            for text, score in rows:
+                query = parse_query(text)
+                if query not in candidates:
+                    candidates[query] = score
+                    order.append((text, query))
 
-    texts = tuple(text for text, _ in order)
-    count_results = list(
-        pool.map(_aggregate_fold, stored, [texts] * len(stored))
-    )
+        texts = tuple(text for text, _ in order)
+        count_results = list(
+            pool.map(_aggregate_fold, stored, [texts] * len(stored))
+        )
+    except BrokenProcessPool:
+        # Spawn workers re-import __main__; a guard-less top-level
+        # script kills them during bootstrap.  Drop the dead executor
+        # and run serial — same output, one process.
+        _discard_pool(pool)
+        stats.candidates_considered = considered_before
+        stats.candidates_pruned = pruned_before
+        return None
 
     aggregated: list[QueryInstance] = []
     for i, (text, query) in enumerate(order):

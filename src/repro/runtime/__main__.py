@@ -1,7 +1,14 @@
-"""Entry point for ``python -m repro.runtime``."""
+"""Entry point for ``python -m repro.runtime``.
+
+The ``__main__`` guard is load-bearing: spawn-started induction pool
+workers (``repro.induction.parallel``) re-import the parent's main
+module, and an unguarded ``sys.exit(main())`` would re-enter the CLI
+inside every worker of a served process.
+"""
 
 import sys
 
 from repro.runtime.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

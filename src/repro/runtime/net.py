@@ -95,6 +95,7 @@ import asyncio
 import http.client
 import json
 import math
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -821,7 +822,7 @@ class WrapperHTTPServer:
             ),
             **self.metrics.as_payload(),
         }
-        counters = self.client.induction_counters
+        counters = self.client.induction_counter_snapshot()
         requests = self._induce_requests
         payload["induction"] = {
             **counters,
@@ -885,6 +886,34 @@ class WrapperHTTPServer:
             )
             ctx["induce_ms"] = elapsed_ms
 
+    #: Ceilings clamped onto client-supplied ``/induce`` options.  The
+    #: listen surface serves untrusted clients (the PR 7 hardening), so
+    #: config knobs that drive server-side resource allocation must not
+    #: be attacker-chosen: ``fold_workers`` sizes a persistent process
+    #: pool and is clamped to the machine's CPU count, and the pruned-
+    #: search work knobs are bounded to sane widths.  Non-integer values
+    #: pass through untouched and are rejected with a 422 by
+    #: ``config_with_options``'s type validation.
+    _WIRE_OPTION_CEILINGS = {
+        "beam_width": 64,
+        "prune_trials": 32,
+    }
+
+    @classmethod
+    def _sanitize_induce_options(cls, options: Optional[dict]) -> Optional[dict]:
+        if not options:
+            return options
+        options = dict(options)
+        ceilings = dict(cls._WIRE_OPTION_CEILINGS)
+        ceilings["fold_workers"] = os.cpu_count() or 1
+        for key, ceiling in ceilings.items():
+            value = options.get(key)
+            if isinstance(value, int) and not isinstance(value, bool):
+                # Negative values stay as-is: config validation rejects
+                # them with its own (422) message.
+                options[key] = min(value, ceiling)
+        return options
+
     async def _op_induce(self, payload: dict, principal: Optional[str], ctx: dict):
         site_key = self._field(payload, "site_key")
         self._check_key(site_key, principal, ctx)
@@ -895,6 +924,7 @@ class WrapperHTTPServer:
         options = payload.get("options")
         if options is not None and not isinstance(options, dict):
             raise _HTTPError(400, "'options' must be a JSON object")
+        options = self._sanitize_induce_options(options)
 
         def op() -> dict:
             from repro.api.sample import Sample

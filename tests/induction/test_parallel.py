@@ -116,3 +116,134 @@ class TestSharedPool:
             assert second is not first
         finally:
             close_shared_pools()
+
+    def test_width_clamped_to_cpu_count(self):
+        """An absurd worker count cannot allocate an absurd pool — and
+        every clamped request maps onto one shared pool, so distinct
+        values can never accumulate unbounded executors."""
+        import os
+
+        try:
+            huge = shared_induction_pool(100_000)
+            assert huge._max_workers <= (os.cpu_count() or 1)
+            assert huge is shared_induction_pool(2 ** 20)
+        finally:
+            close_shared_pools()
+
+    def test_workers_use_spawn_context(self):
+        """The serving layer calls in from a multithreaded asyncio
+        process; forked children inherit copied lock state."""
+        try:
+            pool = shared_induction_pool(2)
+            assert pool._mp_context.get_start_method() == "spawn"
+        finally:
+            close_shared_pools()
+
+    def test_broken_pool_falls_back_serial_and_is_discarded(
+        self, samples, monkeypatch
+    ):
+        """Spawn workers re-import ``__main__``; a guard-less script
+        kills them during bootstrap.  The dead executor must be dropped
+        from the registry and induce() must quietly run serial."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.induction import parallel
+
+        class _DeadPool:
+            shutdowns = 0
+
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("workers died during bootstrap")
+
+            def shutdown(self, *args, **kwargs):
+                type(self).shutdowns += 1
+
+        dead = _DeadPool()
+        parallel._SHARED_POOLS[2] = dead
+        monkeypatch.setattr(
+            parallel, "shared_induction_pool", lambda workers: dead
+        )
+        from repro.induction.induce import InductionStats
+        from repro.scoring.params import ScoringParams
+
+        stats = InductionStats(search="exhaustive")
+        stats.candidates_considered = 5
+        try:
+            assert induce_pooled(samples, InductionConfig(fold_workers=2),
+                                 ScoringParams(), stats) is None
+            assert stats.candidates_considered == 5  # rolled back
+            assert 2 not in parallel._SHARED_POOLS
+            assert _DeadPool.shutdowns == 1
+            result = WrapperInducer(
+                k=10, config=InductionConfig(fold_workers=2)
+            ).induce(samples)
+            assert result.best is not None
+        finally:
+            close_shared_pools()
+
+    def test_guardless_main_script_still_induces(self, tmp_path):
+        """End-to-end: a top-level script with no __main__ guard used to
+        work under fork pools; under spawn it must fall back serial with
+        identical output instead of crashing."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = tmp_path / "guardless.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                from repro.dom import parse_html
+                from repro.induction import WrapperInducer
+                from repro.induction.config import InductionConfig
+                from repro.induction.samples import QuerySample
+
+                def page(prices):
+                    rows = "".join(
+                        f'<div class="item"><span class="price">{p}</span></div>'
+                        for p in prices
+                    )
+                    return parse_html(f"<html><body>{rows}</body></html>")
+
+                def sample(doc):
+                    targets = list(doc.root.iter_find(tag="span", class_="price"))
+                    return QuerySample(doc=doc, targets=targets)
+
+                samples = [sample(page(["$1", "$2"])), sample(page(["$3"]))]
+                serial = WrapperInducer(k=10).induce(samples)
+                pooled = WrapperInducer(
+                    k=10, config=InductionConfig(fold_workers=2)
+                ).induce(samples)
+                assert pooled.export() == serial.export()
+                print("OK", pooled.stats.pooled)
+                """
+            )
+        )
+        done = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "OK False" in done.stdout
+
+    def test_concurrent_requests_share_one_pool(self):
+        import threading
+
+        results = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            results.append(shared_induction_pool(2))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len({id(pool) for pool in results}) == 1
+        finally:
+            close_shared_pools()

@@ -159,6 +159,29 @@ class TestConfigOptions:
         with pytest.raises(ValueError, match="search must be one of"):
             config_with_options(InductionConfig(), {"search": "greedy"})
 
+    @pytest.mark.parametrize(
+        "key,bad",
+        [
+            ("beam_width", 2.5),
+            ("beam_width", True),
+            ("prune_trials", "4"),
+            ("prune_seed", None),
+            ("fold_workers", 2.0),
+            ("search", 1),
+            ("diversity", "0.5"),
+        ],
+    )
+    def test_wrongly_typed_options_rejected(self, key, bad):
+        """Malformed wire values must fail here (FacadeError/422 on the
+        wire), not as a 500 deep inside the pruner or the process pool."""
+        with pytest.raises(ValueError, match=f"induction option '{key}'"):
+            config_with_options(InductionConfig(), {key: bad})
+
+    def test_int_diversity_coerced_to_float(self):
+        config = config_with_options(InductionConfig(), {"diversity": 1})
+        assert config.diversity == 1.0
+        assert isinstance(config.diversity, float)
+
     def test_config_stays_frozen(self):
         with pytest.raises(dataclasses.FrozenInstanceError):
             InductionConfig().search = "pruned"

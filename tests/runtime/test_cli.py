@@ -15,6 +15,17 @@ def artifact_dir(tmp_path_factory):
     return out
 
 
+def test_main_module_import_is_side_effect_free():
+    """Spawn-started pool workers re-import the parent's main module;
+    ``repro.runtime.__main__`` must not run the CLI on bare import
+    (only under ``__name__ == "__main__"``)."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.runtime.__main__", None)
+    importlib.import_module("repro.runtime.__main__")  # must not SystemExit
+
+
 class TestInduce:
     def test_writes_one_artifact_per_task(self, artifact_dir):
         assert len(list(artifact_dir.glob("*.json"))) == 3

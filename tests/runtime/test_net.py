@@ -857,6 +857,85 @@ class TestInduceWire:
 
         run(go())
 
+    def test_resource_options_clamped_before_the_inducer(self):
+        """Pool- and work-sizing options from untrusted clients are
+        clamped server-side: ``fold_workers`` can never exceed the CPU
+        count (it sizes a persistent process pool), beam/trial widths
+        are bounded, and everything else passes through untouched."""
+        import os
+
+        sanitize = WrapperHTTPServer._sanitize_induce_options
+        sanitized = sanitize(
+            {
+                "fold_workers": 100_000,
+                "beam_width": 10**6,
+                "prune_trials": 999,
+                "prune_seed": 7,
+                "search": "pruned",
+            }
+        )
+        assert sanitized["fold_workers"] <= (os.cpu_count() or 1)
+        assert sanitized["beam_width"] == 64
+        assert sanitized["prune_trials"] == 32
+        assert sanitized["prune_seed"] == 7
+        assert sanitized["search"] == "pruned"
+        # Non-integer values pass through for config validation to 422.
+        assert sanitize({"fold_workers": 2.5}) == {"fold_workers": 2.5}
+        assert sanitize(None) is None
+        assert sanitize({}) == {}
+
+    def test_huge_wire_fold_workers_accepted_but_bounded(self):
+        from repro.induction import parallel
+
+        sample = self._wire_sample()
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {
+                            "site_key": "shop/wire",
+                            "samples": [sample],
+                            "options": {"fold_workers": 100_000},
+                        },
+                    ),
+                )
+                assert status == 200, body
+
+        run(go())
+        import os
+
+        assert all(
+            workers <= (os.cpu_count() or 1) for workers in parallel._SHARED_POOLS
+        )
+
+    def test_wrongly_typed_option_is_422_not_500(self):
+        sample = self._wire_sample()
+
+        async def go():
+            async with WrapperHTTPServer(deployed_client()) as server:
+                host, port = server.address
+                status, _, body = await raw_request(
+                    host,
+                    port,
+                    post(
+                        "/induce",
+                        {
+                            "site_key": "shop/x",
+                            "samples": [sample],
+                            "options": {"search": "pruned", "beam_width": 2.5},
+                        },
+                    ),
+                )
+                assert status == 422, body
+                assert "beam_width" in body["error"]
+
+        run(go())
+
     def test_access_log_stamps_induce_ms_only_on_induce(self):
         import io
 
